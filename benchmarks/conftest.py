@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_FULL=1`` to run the paper's full parameters (100 MB streams,
+all 15 Fig. 3/4 sizes, 100-trial connection setup).  The default is a
+scaled run that preserves every reported shape while finishing quickly.
+"""
+
+import os
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def fig_sizes(full_sizes, quick_sizes):
+    return full_sizes if FULL else quick_sizes
+
+
+def print_table(title, header, rows):
+    print()
+    print(f"== {title} ==")
+    print(" | ".join(header))
+    print("-+-".join("-" * len(h) for h in header))
+    for row in rows:
+        print(" | ".join(str(c).rjust(len(h)) for c, h in zip(row, header)))

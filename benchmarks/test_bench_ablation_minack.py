@@ -1,0 +1,48 @@
+"""E7 — ablation: min-ACK merging vs forwarding the primary's own ACK.
+
+DESIGN.md calls out requirement 2 of §2 ("the primary server must not
+acknowledge a client's TCP segment until it has received an acknowledgment
+of that segment from the secondary server") as the safety property the
+whole design rests on.  This ablation disables the min-ACK merge and shows
+the paper's rule is not an optimisation but a correctness requirement:
+without it, a single snoop loss at the secondary plus a primary crash
+loses acknowledged client data.
+"""
+
+from benchmarks.conftest import print_table
+from repro.harness.experiments import measure_minack_ablation
+
+
+def run_ablation():
+    return {
+        "with-min-ack": measure_minack_ablation(ack_merging=True),
+        "without-min-ack": measure_minack_ablation(ack_merging=False),
+    }
+
+
+def test_bench_ablation_minack(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = []
+    for label, r in results.items():
+        rows.append(
+            (
+                label,
+                r["frame_dropped"],
+                r["survivor_bytes"],
+                r["survivor_intact"],
+                r["client_ok"],
+            )
+        )
+    print_table(
+        "E7: min-ACK ablation (one snoop loss at S, then P crashes)",
+        ["variant", "loss-injected", "survivor-bytes", "intact", "client-ok"],
+        rows,
+    )
+    good = results["with-min-ack"]
+    bad = results["without-min-ack"]
+    assert good["frame_dropped"] and bad["frame_dropped"]
+    # Paper's rule: the stream survives the crash intact.
+    assert good["survivor_intact"] and good["client_ok"]
+    # Ablated: acknowledged data is gone forever.
+    assert not bad["survivor_intact"]
+    assert not bad["client_ok"]

@@ -1,0 +1,56 @@
+"""E3 — Figure 4: server-to-client transfer time vs reply size.
+
+Paper: client sends a 4-byte request; the figure plots the time until the
+client has received the last byte of the reply (64 B – 1 MB), standard TCP
+vs TCP Failover.  Shape: failover above standard everywhere, the gap
+widening with size (every server byte crosses the shared wire twice); the
+standard curve shows collision-induced non-linearity.
+"""
+
+from benchmarks.conftest import FULL, fig_sizes, print_table
+from repro.harness.experiments import FIG4_SIZES, measure_request_reply
+
+SIZES = fig_sizes(
+    FIG4_SIZES,
+    [64, 1024, 8 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024],
+)
+TRIALS = 9 if FULL else 5
+
+
+def run_sweep():
+    series = {}
+    for replicated in (False, True):
+        label = "failover" if replicated else "standard"
+        series[label] = [
+            (size, measure_request_reply(size, replicated=replicated, trials=TRIALS))
+            for size in SIZES
+        ]
+    return series
+
+
+def test_bench_fig4_server_to_client(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for (size, std), (_, fo) in zip(series["standard"], series["failover"]):
+        rows.append(
+            (
+                f"{size//1024}K" if size >= 1024 else f"{size}B",
+                f"{std.median * 1e3:.2f}",
+                f"{fo.median * 1e3:.2f}",
+                f"{fo.median / std.median:.2f}x",
+            )
+        )
+    print_table(
+        "E3 / Fig 4: server->client transfer time (ms, median)",
+        ["size", "standard", "failover", "ratio"],
+        rows,
+    )
+    std = dict(series["standard"])
+    fo = dict(series["failover"])
+    large = 1024 * 1024
+    # Failover above standard at every size.
+    for size in SIZES:
+        assert fo[size].median >= std[size].median * 0.95
+    # The large-transfer gap approaches the Fig. 5 rate ratio (~2-3x).
+    ratio = fo[large].median / std[large].median
+    assert 1.6 < ratio < 3.5, f"1MB ratio {ratio:.2f}"

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: a replicated echo server surviving a primary crash.
+
+Builds the paper's testbed (client + primary + secondary on a shared
+100 Mbit/s Ethernet), runs an unmodified echo application on both
+replicas, exchanges a few messages, crashes the primary, and keeps
+talking — the client never notices.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.echo import echo_server
+from repro.harness.topology import LanTestbed
+from repro.sim.process import spawn
+from repro.tcp.socket_api import SimSocket
+
+PORT = 7
+
+
+def main() -> None:
+    bed = LanTestbed(seed=42, replicated=True, failover_ports=[PORT])
+    bed.start_detectors()
+
+    # The echo application knows nothing about replication: the same
+    # factory runs on the primary and the secondary.
+    bed.pair.run_app(lambda host: echo_server(host, PORT), "echo")
+
+    transcript = []
+
+    def client() -> "Generator":
+        sock = SimSocket.connect(bed.client, bed.server_ip, PORT)
+        yield from sock.wait_connected()
+        transcript.append(f"[{bed.sim.now*1e3:8.3f} ms] connected to {bed.server_ip}")
+
+        for i, message in enumerate([b"hello", b"is anyone there?", b"still you?"]):
+            yield from sock.send_all(message)
+            reply = yield from sock.recv_exactly(len(b"echo:") + len(message))
+            transcript.append(f"[{bed.sim.now*1e3:8.3f} ms] reply {i}: {reply!r}")
+            if i == 1:
+                transcript.append(
+                    f"[{bed.sim.now*1e3:8.3f} ms] *** crashing the primary ***"
+                )
+                bed.pair.crash_primary()
+                yield 0.5  # give the detector and ARP takeover time to run
+
+        yield from sock.close_and_wait()
+        transcript.append(f"[{bed.sim.now*1e3:8.3f} ms] connection closed cleanly")
+
+    spawn(bed.sim, client(), "quickstart-client")
+    bed.run(until=10.0)
+
+    print("\n".join(transcript))
+    print()
+    print(f"primary alive:    {bed.primary.alive}")
+    print(f"failover done:    {bed.pair.failed_over}")
+    owned = [str(ip) for ip in bed.secondary.ip.owned_ips()]
+    print(f"secondary owns:   {owned}")
+    assert any(b"still you?" in line.encode() or "still you?" in line for line in transcript)
+    print("client conversed across the failover without a reset — success")
+
+
+if __name__ == "__main__":
+    main()

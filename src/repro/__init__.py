@@ -1,0 +1,45 @@
+"""repro — Transparent TCP Connection Failover (DSN 2003), reproduced.
+
+A deterministic discrete-event reproduction of R. R. Koch, S. Hortikar,
+L. E. Moser and P. M. Melliar-Smith, *Transparent TCP Connection
+Failover* (DSN 2003): a bridge sublayer between TCP and IP that lets a
+TCP server endpoint fail over from a primary to a secondary replica at
+any point in a connection's lifetime, transparently to an unmodified
+client and an unmodified (actively replicated, deterministic) server
+application.
+
+Packages:
+
+* :mod:`repro.sim` — discrete-event kernel (clock, processes, RNG, traces);
+* :mod:`repro.net` — Ethernet (shared medium, promiscuous NICs), ARP,
+  IP, routers, WAN links, hosts with a CPU cost model;
+* :mod:`repro.tcp` — a full userspace TCP (RFC 793/879 behaviours);
+* :mod:`repro.failover` — the paper's contribution: primary/secondary
+  bridges, Δseq, output-queue matching, min-ACK/min-window merging,
+  fault detector, IP takeover;
+* :mod:`repro.apps` — echo/bulk/request-reply/store/FTP applications;
+* :mod:`repro.harness` — calibrated testbeds and one runner per paper
+  table/figure.
+
+Quick taste::
+
+    from repro.harness.topology import LanTestbed
+    from repro.apps.echo import echo_server, echo_once
+    from repro.sim.process import spawn
+
+    bed = LanTestbed(replicated=True, failover_ports=[7])
+    bed.start_detectors()
+    bed.pair.run_app(lambda host: echo_server(host, 7))
+
+    def client():
+        reply = yield from echo_once(bed.client, bed.server_ip, 7, b"hi")
+        assert reply == b"echo:hi"
+
+    spawn(bed.sim, client(), "client")
+    bed.sim.schedule(0.001, bed.pair.crash_primary)  # survives this
+    bed.run(until=5.0)
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,10 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs the paper-reproduction experiments without pytest and prints the
+same tables the benchmarks produce.  See ``python -m repro --help``.
+"""
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Applications that drive the stack.
+
+All of them are written against the plain socket facade and are therefore
+oblivious to replication — the transparency property of the paper.  They
+are deterministic per connection, which is the paper's requirement for
+active replication (§1).
+
+* :mod:`repro.apps.echo` — request/response echo service;
+* :mod:`repro.apps.bulk` — unidirectional byte streams (Fig. 3/5 workloads);
+* :mod:`repro.apps.request_reply` — 4-byte request, N-byte reply (Fig. 4);
+* :mod:`repro.apps.store` — the deterministic "on-line store" of §1;
+* :mod:`repro.apps.ftp` — minimal FTP with active-mode data connections
+  from port 20 (§7.2 and the Fig. 6 experiment).
+"""

@@ -1,0 +1,13 @@
+"""Minimal FTP (RFC 959 subset) with active-mode data connections.
+
+This is the paper's "real-world application" (§9, Fig. 6): a control
+connection on port 21 and, for every transfer, a *server-initiated* data
+connection from port 20 to a client-chosen ephemeral port — which
+exercises §7.2 (the replicated server acting as a TCP client).
+"""
+
+from repro.apps.ftp.client import FtpClient
+from repro.apps.ftp.protocol import FTP_CONTROL_PORT, FTP_DATA_PORT, FileStore
+from repro.apps.ftp.server import ftp_server
+
+__all__ = ["FTP_CONTROL_PORT", "FTP_DATA_PORT", "FileStore", "FtpClient", "ftp_server"]

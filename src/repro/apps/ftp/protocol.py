@@ -1,0 +1,57 @@
+"""FTP wire-format helpers and the in-memory file store."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.net.addresses import Ipv4Address
+
+FTP_CONTROL_PORT = 21
+FTP_DATA_PORT = 20
+
+
+class FileStore:
+    """Deterministic in-memory filesystem shared (by construction) between
+    the replicas: both are created from the same initial contents and see
+    the same STOR payloads."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None):
+        self.files: Dict[str, bytes] = dict(files or {})
+
+    def get(self, name: str) -> Optional[bytes]:
+        return self.files.get(name)
+
+    def put(self, name: str, data: bytes) -> None:
+        self.files[name] = data
+
+    def listing(self) -> str:
+        lines = [f"{name} {len(data)}" for name, data in sorted(self.files.items())]
+        return "\r\n".join(lines) + ("\r\n" if lines else "")
+
+
+def format_port_command(ip: Ipv4Address, port: int) -> str:
+    """Encode a PORT argument: h1,h2,h3,h4,p1,p2."""
+    octets = ip.value.to_bytes(4, "big")
+    return (
+        f"PORT {octets[0]},{octets[1]},{octets[2]},{octets[3]},"
+        f"{port >> 8},{port & 0xFF}"
+    )
+
+
+def parse_port_argument(argument: str) -> Tuple[Ipv4Address, int]:
+    """Decode a PORT argument back into (ip, port)."""
+    parts = [int(p) for p in argument.split(",")]
+    if len(parts) != 6 or any(not 0 <= p <= 255 for p in parts):
+        raise ValueError(f"malformed PORT argument {argument!r}")
+    ip = Ipv4Address(int.from_bytes(bytes(parts[:4]), "big"))
+    return ip, (parts[4] << 8) | parts[5]
+
+
+def parse_command(line: bytes) -> Tuple[str, str]:
+    """Split a control line into (VERB, argument)."""
+    text = line.decode("ascii", "replace").strip()
+    if " " in text:
+        verb, argument = text.split(" ", 1)
+    else:
+        verb, argument = text, ""
+    return verb.upper(), argument.strip()

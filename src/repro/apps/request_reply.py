@@ -1,0 +1,66 @@
+"""Request/reply workload: 4-byte request, N-byte reply (Figure 4).
+
+"The client application sends a 4-byte message to the server, and the
+server sends a reply message back to the client.  [Figure 4] shows the
+time that elapsed between the client starting to send the 4-byte message,
+and the client receiving the last byte of the servers' reply."
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator
+
+from repro.apps.bulk import pattern_bytes
+from repro.net.host import Host
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+
+
+def reply_server(host: Host, port: int, max_requests: int = None) -> Generator:
+    """Serve requests forever: each 4-byte request encodes the reply size."""
+    listening = ListeningSocket.listen(host, port)
+    served = 0
+    while max_requests is None or served < max_requests:
+        sock = yield from listening.accept()
+        host.spawn(_serve_one(sock), f"reply-conn-{served}")
+        served += 1
+    listening.close()
+
+
+def _serve_one(sock: SimSocket) -> Generator:
+    while True:
+        try:
+            request = yield from sock.recv_exactly(4)
+        except ConnectionError:
+            break
+        if not request:
+            break
+        (size,) = struct.unpack(">I", request)
+        if size == 0:
+            break
+        yield from sock.send_all(pattern_bytes(size, salt=size & 0xFF))
+    yield from sock.close_and_wait()
+
+
+def request_once(
+    client: Host, server_ip, port: int, reply_size: int, results: dict
+) -> Generator:
+    """One full exchange on a fresh connection; records Fig. 4's interval."""
+    sock = SimSocket.connect(client, server_ip, port)
+    yield from sock.wait_connected()
+    results["t_request"] = client.sim.now
+    yield from sock.send_all(struct.pack(">I", reply_size))
+    data = yield from sock.recv_exactly(reply_size)
+    results["t_reply_done"] = client.sim.now
+    results["intact"] = data == pattern_bytes(reply_size, salt=reply_size & 0xFF)
+    yield from sock.send_all(struct.pack(">I", 0))
+    yield from sock.close_and_wait()
+
+
+def request_on_socket(sock: SimSocket, reply_size: int, results: dict) -> Generator:
+    """One exchange on an existing connection (for repeated trials)."""
+    results["t_request"] = sock.conn.sim.now
+    yield from sock.send_all(struct.pack(">I", reply_size))
+    data = yield from sock.recv_exactly(reply_size)
+    results["t_reply_done"] = sock.conn.sim.now
+    results["intact"] = data == pattern_bytes(reply_size, salt=reply_size & 0xFF)

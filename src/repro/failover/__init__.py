@@ -1,0 +1,39 @@
+"""TCP Failover: the paper's primary contribution.
+
+The *bridge* is a sublayer between TCP and IP on both replicated servers:
+
+* :class:`~repro.failover.secondary.SecondaryBridge` — snoops the client's
+  datagrams in promiscuous mode and feeds them to the local TCP layer;
+  diverts the local TCP layer's replies to the primary (§3.1);
+* :class:`~repro.failover.primary.PrimaryBridge` — delays the primary's
+  own TCP output, matches it byte-for-byte against the secondary's diverted
+  output, and emits to the client only what both replicas produced, with
+  sequence numbers in the secondary's numbering (Δseq), ACK = min(ack_P,
+  ack_S) and window = min(win_P, win_S) (§3.2–§3.4);
+* :class:`~repro.failover.detector.FaultDetector` and
+  :mod:`~repro.failover.takeover` — detect fail-stop crashes and run the
+  §5/§6 recovery procedures;
+* :class:`~repro.failover.replicated.ReplicatedServerPair` — one-call
+  assembly of the whole arrangement for applications and benchmarks.
+"""
+
+from repro.failover.delta import SeqOffset
+from repro.failover.detector import FaultDetector
+from repro.failover.merge import AckWindowMerge
+from repro.failover.options import FailoverConfig
+from repro.failover.primary import PrimaryBridge
+from repro.failover.queues import OutputQueue, PayloadMismatch
+from repro.failover.replicated import ReplicatedServerPair
+from repro.failover.secondary import SecondaryBridge
+
+__all__ = [
+    "AckWindowMerge",
+    "FailoverConfig",
+    "FaultDetector",
+    "OutputQueue",
+    "PayloadMismatch",
+    "PrimaryBridge",
+    "ReplicatedServerPair",
+    "SecondaryBridge",
+    "SeqOffset",
+]

@@ -1,0 +1,77 @@
+"""Common bridge machinery.
+
+A bridge interposes between the host's TCP and IP layers through two hooks
+(see :mod:`repro.net.host` and :mod:`repro.net.ip`):
+
+* ``segment_from_tcp(segment, src_ip, dst_ip) -> bool`` — called for every
+  outgoing TCP segment; returning True means the bridge consumed it;
+* ``datagram_from_ip(datagram) -> Optional[Ipv4Datagram]`` — called for
+  every received datagram before local delivery; returning None consumes
+  it, returning a (possibly rewritten) datagram continues normal delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
+from repro.tcp.segment import TcpSegment
+
+
+class BridgeBase:
+    """Shared plumbing for the primary and secondary bridges."""
+
+    def __init__(self, host, config, tracer=None, bridge_cost: float = 15e-6):
+        self.host = host
+        self.sim = host.sim
+        self.config = config
+        self.tracer = tracer or host.tracer
+        self.bridge_cost = bridge_cost
+
+    # -- hooks to override ---------------------------------------------------
+
+    def segment_from_tcp(
+        self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address
+    ) -> bool:
+        raise NotImplementedError
+
+    def datagram_from_ip(self, datagram: Ipv4Datagram) -> Optional[Ipv4Datagram]:
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------
+
+    def _connection_flag(
+        self, local_ip: Ipv4Address, local_port: int, remote_ip: Ipv4Address, remote_port: int
+    ) -> bool:
+        """Did the application mark this connection via the socket option?"""
+        conn = self.host.tcp.connections.get(
+            (local_ip, local_port, remote_ip, remote_port)
+        )
+        return bool(conn is not None and conn.failover)
+
+    def _listener_flag(self, local_port: int) -> bool:
+        """§7 method 1 for passive sockets: a failover-marked listener
+        designates every connection on its port."""
+        listener = self.host.tcp.listeners.get(local_port)
+        return bool(listener is not None and listener.failover)
+
+    def _covers(self, local_port: int, conn_flag: bool) -> bool:
+        return self.config.covers(local_port, conn_flag) or self._listener_flag(
+            local_port
+        )
+
+    def _is_failover_outgoing(
+        self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address
+    ) -> bool:
+        flag = self._connection_flag(src_ip, segment.src_port, dst_ip, segment.dst_port)
+        return self._covers(segment.src_port, flag)
+
+    def _send_datagram(self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address) -> None:
+        """Emit a sealed segment directly at the IP layer (below the bridge)."""
+        self.host.ip.send(
+            Ipv4Datagram(src=src_ip, dst=dst_ip, protocol=IPPROTO_TCP, payload=segment)
+        )
+
+    def _trace(self, category: str, **detail) -> None:
+        self.tracer.emit(self.sim.now, category, self.host.name, **detail)

@@ -1,0 +1,319 @@
+"""Daisy-chained N-way replication (§1: "higher degrees of replication
+can be achieved by daisy-chaining multiple backup servers" — mentioned by
+the paper, not described; this module works out the construction).
+
+Topology for a chain of K replicas ``head, m1, m2, ..., tail``::
+
+    client ⇆ head ⇆ m1 ⇆ ... ⇆ tail        (all on one snoopable segment)
+
+* every non-head replica snoops the client's datagrams in promiscuous
+  mode and feeds them to its own TCP stack (as the paper's secondary);
+* the **tail** diverts its TCP output to its upstream neighbour;
+* every **intermediate** runs a merging bridge exactly like the paper's
+  primary — but instead of emitting the merged segments to the client it
+  diverts them to *its* upstream neighbour;
+* the **head** runs the paper's primary bridge unchanged.
+
+Why this composes: the intermediate's Δseq maps its own numbering onto
+its *downstream's* numbering, so what it forwards upstream is already in
+tail-space; the head's Δseq then maps head-space onto tail-space too.
+The client is synchronised to the **tail's** sequence numbers, and the
+forwarded ACK/window are ``min`` over the whole chain (min cascades).
+
+Failures:
+
+* head dies → its neighbour performs the §5 takeover and becomes head
+  (it stops diverting; its own merging bridge keeps protecting the rest
+  of the chain);
+* an intermediate dies → its neighbours splice around it: the downstream
+  replica re-aims its diversion at the upstream one.  No sequence
+  adjustment is needed anywhere, because everything the dead node ever
+  forwarded was already in tail-space;
+* tail dies → its upstream neighbour runs the §6 procedure (flush +
+  direct mode) and the chain shortens by one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, List, Optional
+
+from repro.failover.detector import FaultDetector
+from repro.failover.options import FailoverConfig
+from repro.failover.primary import PrimaryBridge
+from repro.failover.takeover import _rebind_failover_connections
+from repro.net.addresses import Ipv4Address
+from repro.net.host import Host
+from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
+from repro.tcp.segment import TcpSegment, incremental_rewrite
+
+
+class ChainBridge(PrimaryBridge):
+    """A merging bridge whose client-bound emissions are diverted upstream.
+
+    Used by every chain position except the head.  It combines the roles
+    of the paper's two bridges: *secondary-style* snooping/translation on
+    the receive side, *primary-style* queue matching on the send side —
+    with the merged result diverted to ``upstream_ip`` instead of sent to
+    the peer.
+    """
+
+    def __init__(
+        self,
+        host,
+        config,
+        downstream_ip: Optional[Ipv4Address],
+        upstream_ip: Ipv4Address,
+        service_ip: Ipv4Address,
+        tracer=None,
+        bridge_cost: float = 15e-6,
+        emit_cost: float = 25e-6,
+    ):
+        # ``secondary_ip`` in the parent is "where my merge partner's
+        # segments come from"; for a chain node that is its downstream.
+        super().__init__(
+            host,
+            config,
+            downstream_ip if downstream_ip is not None else upstream_ip,
+            tracer=tracer,
+            bridge_cost=bridge_cost,
+            emit_cost=emit_cost,
+        )
+        self.upstream_ip = upstream_ip
+        self.service_ip = service_ip  # the client-visible address (a_p)
+        self.is_head = False
+        self.is_tail = downstream_ip is None
+        if self.is_tail:
+            # A tail has no merge partner: behave as §6 direct mode from
+            # the start, i.e. pure divert like the paper's secondary.
+            self.secondary_down = True
+        self.segments_translated_in = 0
+        self.segments_diverted_up = 0
+
+    def install(self) -> None:
+        super().install()
+        if not self.is_head:
+            self.host.nic.set_promiscuous(True)
+
+    # -- receive side -------------------------------------------------------
+
+    def datagram_from_ip(self, datagram: Ipv4Datagram) -> Optional[Ipv4Datagram]:
+        if self.is_head:
+            return super().datagram_from_ip(datagram)
+        if datagram.protocol != IPPROTO_TCP:
+            # Own heartbeats etc. pass; snooped non-TCP is dropped.
+            return datagram if self.host.ip.owns(datagram.dst) else None
+        segment = datagram.payload
+        if segment.orig_dst_option is not None and self.host.ip.owns(datagram.dst):
+            # Diverted segments from our downstream: merge them.
+            return super().datagram_from_ip(datagram)
+        if datagram.dst == self.service_ip:
+            # Snooped client traffic: translate a_p -> a_self (the §3.1
+            # translation), but first run the head-style bookkeeping
+            # (ACK rewrite into our own numbering, FIN tracking).
+            flag = False
+            if not self._covers(segment.dst_port, flag):
+                return None
+            local = self.host.ip.primary_address()
+            rewritten_dgram = super()._from_peer_datagram(datagram, segment)
+            if rewritten_dgram is None:
+                return None
+            inner = rewritten_dgram.payload
+            translated = incremental_rewrite(
+                inner,
+                old_src=rewritten_dgram.src,
+                old_dst=rewritten_dgram.dst,
+                new_dst=local,
+            )
+            self.segments_translated_in += 1
+            from dataclasses import replace
+
+            return replace(rewritten_dgram, dst=local, payload=translated)
+        if self.host.ip.owns(datagram.dst):
+            return datagram
+        return None  # snooped traffic that is not for the service
+
+    # -- send side ------------------------------------------------------------
+
+    def _send_datagram(
+        self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address
+    ) -> None:
+        if self.is_head:
+            super()._send_datagram(segment, src_ip, dst_ip)
+            return
+        if dst_ip == self.secondary_ip or self.host.ip.owns(dst_ip):
+            # §8 synthesised ACKs toward the downstream: deliver directly.
+            super()._send_datagram(segment, src_ip, dst_ip)
+            return
+        # Merged client-bound segment: divert it upstream with ORIG_DST,
+        # exactly as the paper's secondary diverts its TCP output.
+        diverted = incremental_rewrite(
+            segment,
+            old_src=src_ip,
+            old_dst=dst_ip,
+            new_dst=self.upstream_ip,
+            orig_dst=dst_ip,
+        )
+        self.segments_diverted_up += 1
+        super()._send_datagram(diverted, src_ip, self.upstream_ip)
+
+    # -- role changes -----------------------------------------------------------
+
+    def become_head(self) -> None:
+        """§5 takeover: stop snooping/diverting; emit directly."""
+        self.is_head = True
+        self.host.nic.set_promiscuous(False)
+
+    def retarget_upstream(self, new_upstream: Ipv4Address) -> None:
+        """Splice around a dead upstream neighbour."""
+        self.upstream_ip = new_upstream
+
+    def adopt_downstream(self, new_downstream: Optional[Ipv4Address]) -> None:
+        """Splice around a dead downstream neighbour (or become tail)."""
+        if new_downstream is None:
+            self.secondary_failed()
+        else:
+            self.secondary_ip = new_downstream
+
+
+class ReplicatedChain:
+    """A daisy chain of K actively replicated servers.
+
+    ``hosts[0]`` is the head (owns the client-visible service address),
+    ``hosts[-1]`` the tail.  Use exactly like
+    :class:`~repro.failover.replicated.ReplicatedServerPair` — run the
+    same deterministic app factory on every member, crash members at
+    will; surviving members keep the client's connections alive as long
+    as at least one replica remains.
+    """
+
+    def __init__(
+        self,
+        hosts: List[Host],
+        failover_ports: Iterable[int] = (),
+        detector_interval: float = 0.010,
+        detector_timeout: float = 0.050,
+        takeover_resume_delay: float = 200e-6,
+        bridge_cost: float = 15e-6,
+        emit_cost: float = 25e-6,
+    ):
+        if len(hosts) < 2:
+            raise ValueError("a chain needs at least two replicas")
+        self.hosts = list(hosts)
+        self.sim = hosts[0].sim
+        self.service_ip = hosts[0].ip.primary_address()
+        self.takeover_resume_delay = takeover_resume_delay
+        self.config = FailoverConfig(failover_ports)
+        self.alive = {host.name: True for host in hosts}
+        self.bridges: dict = {}
+        self.detectors: List[FaultDetector] = []
+        self._apps: List[object] = []
+
+        for index, host in enumerate(self.hosts):
+            upstream = self.hosts[index - 1] if index > 0 else None
+            downstream = self.hosts[index + 1] if index < len(self.hosts) - 1 else None
+            if index == 0:
+                bridge = ChainBridge(
+                    host,
+                    self.config.copy(),
+                    downstream_ip=downstream.ip.primary_address(),
+                    upstream_ip=self.service_ip,
+                    service_ip=self.service_ip,
+                    bridge_cost=bridge_cost,
+                    emit_cost=emit_cost,
+                )
+                bridge.is_head = True
+            else:
+                bridge = ChainBridge(
+                    host,
+                    self.config.copy(),
+                    downstream_ip=(
+                        downstream.ip.primary_address() if downstream else None
+                    ),
+                    upstream_ip=upstream.ip.primary_address(),
+                    service_ip=self.service_ip,
+                    bridge_cost=bridge_cost,
+                    emit_cost=emit_cost,
+                )
+            bridge.install()
+            self.bridges[host.name] = bridge
+
+        # Full-mesh failure detection keeps the splice logic simple: every
+        # member watches every other and reacts only to its own neighbours.
+        for host in self.hosts:
+            for peer in self.hosts:
+                if peer is host:
+                    continue
+                detector = FaultDetector(
+                    host,
+                    peer.ip.primary_address(),
+                    on_failure=self._make_failure_handler(host, peer),
+                    interval=detector_interval,
+                    timeout=detector_timeout,
+                )
+                self.detectors.append(detector)
+
+    # ------------------------------------------------------------------
+
+    def start_detectors(self) -> None:
+        for detector in self.detectors:
+            detector.start()
+
+    def run_app(self, factory: Callable[[Host], Generator], name: str = "app") -> None:
+        for host in self.hosts:
+            self._apps.append(host.spawn(factory(host), f"{name}@{host.name}"))
+
+    def crash(self, host: Host) -> None:
+        host.crash()
+
+    # ------------------------------------------------------------------
+    # failure handling: each survivor splices its own links
+    # ------------------------------------------------------------------
+
+    def _make_failure_handler(self, observer: Host, failed: Host):
+        def handler() -> None:
+            self._on_failure(observer, failed)
+
+        return handler
+
+    def _living_chain(self) -> List[Host]:
+        return [h for h in self.hosts if self.alive.get(h.name, False)]
+
+    def _on_failure(self, observer: Host, failed: Host) -> None:
+        if not self.alive.get(failed.name, False):
+            pass  # another detector on this host already reacted
+        self.alive[failed.name] = False
+        if not observer.alive:
+            return
+        chain = self._living_chain()
+        if observer not in chain or not chain:
+            return
+        position = chain.index(observer)
+        bridge: ChainBridge = self.bridges[observer.name]
+        # Recompute this observer's neighbours in the spliced chain.
+        new_upstream = chain[position - 1] if position > 0 else None
+        new_downstream = chain[position + 1] if position < len(chain) - 1 else None
+        if new_upstream is None and not bridge.is_head:
+            self._promote_to_head(observer, bridge)
+        elif new_upstream is not None and not bridge.is_head:
+            bridge.retarget_upstream(new_upstream.ip.primary_address())
+        if failed.ip.primary_address() == bridge.secondary_ip:
+            # Our downstream merge partner died: splice to the next one,
+            # or run the §6 procedure if none is left.
+            bridge.adopt_downstream(
+                new_downstream.ip.primary_address() if new_downstream else None
+            )
+
+    def _promote_to_head(self, host: Host, bridge: ChainBridge) -> None:
+        """§5 takeover, chain edition."""
+        old_ip = host.ip.primary_address()
+        bridge.become_head()
+        interface = host.eth_interface
+        interface.add_address(self.service_ip)
+        _rebind_failover_connections(host, bridge.config, old_ip, self.service_ip)
+        # Bridge-connection state is keyed by peer; the local identity the
+        # emissions use must follow the takeover.
+        for bc in bridge.connections.values():
+            bc.local_ip = self.service_ip
+        interface.arp.announce(self.service_ip)
+        host.tracer.emit(host.sim.now, "chain.promoted", host.name,
+                         ip=str(self.service_ip))

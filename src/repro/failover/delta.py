@@ -1,0 +1,44 @@
+"""Sequence-number offset Δseq (§3.3).
+
+At establishment the primary bridge records both initial sequence numbers
+and computes ``Δseq = seq_P,init − seq_S,init``.  Every sequence number the
+primary's TCP layer produces is mapped into the secondary's numbering by
+subtracting Δseq; every acknowledgement arriving from the client (which is
+synchronised to the *secondary's* numbering) is mapped back by adding Δseq
+before the primary's TCP layer sees it.
+
+The client is synchronised to S-space from the very first SYN, which is
+what makes the §5 failover need no renumbering at all, and why §6 requires
+the offset subtraction to continue forever after the secondary fails.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.seqnum import seq_add, seq_sub
+
+
+class SeqOffset:
+    """Bidirectional Δseq mapping between P-space and S-space."""
+
+    __slots__ = ("delta",)
+
+    def __init__(self, seq_p_init: int, seq_s_init: int):
+        self.delta = seq_sub(seq_p_init, seq_s_init)
+
+    @classmethod
+    def identity(cls) -> "SeqOffset":
+        """Zero offset (used when the secondary failed before establishment)."""
+        offset = cls.__new__(cls)
+        offset.delta = 0
+        return offset
+
+    def p_to_s(self, seq: int) -> int:
+        """Map a primary-generated sequence number into S-space."""
+        return seq_sub(seq, self.delta)
+
+    def s_to_p(self, seq: int) -> int:
+        """Map a client acknowledgement (S-space) into P-space."""
+        return seq_add(seq, self.delta)
+
+    def __repr__(self) -> str:
+        return f"SeqOffset(delta={self.delta})"

@@ -1,0 +1,88 @@
+"""Heartbeat fault detector (§2: "the system employs a fault detector").
+
+Each server periodically sends a small heartbeat datagram (a
+simulation-private IP protocol, so it shares the wire with real traffic)
+to its peer and declares the peer failed after ``timeout`` seconds of
+silence.  Detection latency is therefore in [timeout, timeout+interval],
+and it is the first component of the paper's failover interval ``T``.
+
+Fail-stop only: the paper assumes crash faults, and so do we.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IPPROTO_HEARTBEAT, HeartbeatPayload, Ipv4Datagram
+
+
+class FaultDetector:
+    """Monitors one peer from one host."""
+
+    def __init__(
+        self,
+        host,
+        peer_ip: Ipv4Address,
+        on_failure: Callable[[], None],
+        interval: float = 0.010,
+        timeout: float = 0.050,
+        tracer=None,
+    ):
+        if timeout <= interval:
+            raise ValueError("timeout must exceed the heartbeat interval")
+        self.host = host
+        self.sim = host.sim
+        self.peer_ip = peer_ip
+        self.on_failure = on_failure
+        self.interval = interval
+        self.timeout = timeout
+        self.tracer = tracer or host.tracer
+        self.last_heard: Optional[float] = None
+        self.fired = False
+        self.started = False
+        self._sequence = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_received = 0
+        host.add_heartbeat_handler(self._heartbeat_received)
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self.last_heard = self.sim.now
+        self._send_tick()
+        self._check_tick()
+
+    def _send_tick(self) -> None:
+        if not self.host.alive:
+            return
+        self._sequence += 1
+        self.heartbeats_sent += 1
+        self.host.send_raw_datagram(
+            Ipv4Datagram(
+                src=self.host.ip.primary_address(),
+                dst=self.peer_ip,
+                protocol=IPPROTO_HEARTBEAT,
+                payload=HeartbeatPayload(sender=self.host.name, sequence=self._sequence),
+            )
+        )
+        self.sim.schedule(self.interval, self._send_tick)
+
+    def _heartbeat_received(self, datagram: Ipv4Datagram) -> None:
+        if datagram.src != self.peer_ip:
+            return  # another replica's heartbeat; not our peer
+        self.heartbeats_received += 1
+        self.last_heard = self.sim.now
+
+    def _check_tick(self) -> None:
+        if self.fired or not self.host.alive:
+            return
+        if self.last_heard is not None and self.sim.now - self.last_heard > self.timeout:
+            self.fired = True
+            self.tracer.emit(
+                self.sim.now, "detector.failure", self.host.name, peer=str(self.peer_ip)
+            )
+            self.on_failure()
+            return
+        self.sim.schedule(self.interval, self._check_tick)

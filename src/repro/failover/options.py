@@ -1,0 +1,44 @@
+"""Designating which connections are TCP-failover connections (§7).
+
+The paper implemented two methods and so do we:
+
+1. a per-socket option (our ``failover=True`` on ``listen()``/``connect()``,
+   mirroring their augmented socket interface), and
+2. a per-port configuration: every connection whose *local* port is in the
+   configured set is treated as a failover connection.  "The user must
+   specify the same set of ports on the primary server host and the
+   secondary server host" — :class:`ReplicatedServerPair` enforces that by
+   construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+
+class FailoverConfig:
+    """Per-host failover designation state."""
+
+    def __init__(self, ports: Optional[Iterable[int]] = None):
+        self.ports: Set[int] = set(ports or ())
+
+    def add_port(self, port: int) -> None:
+        if not 0 < port < 65536:
+            raise ValueError(f"bad port {port}")
+        self.ports.add(port)
+
+    def remove_port(self, port: int) -> None:
+        self.ports.discard(port)
+
+    def is_failover_port(self, port: int) -> bool:
+        return port in self.ports
+
+    def covers(self, local_port: int, conn_flag: bool = False) -> bool:
+        """True if a connection with this local port is a failover one."""
+        return conn_flag or local_port in self.ports
+
+    def copy(self) -> "FailoverConfig":
+        return FailoverConfig(self.ports)
+
+    def __repr__(self) -> str:
+        return f"FailoverConfig(ports={sorted(self.ports)})"

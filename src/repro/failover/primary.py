@@ -1,0 +1,667 @@
+"""The primary server bridge (§3.2–§3.4, §4, §6, §7, §8).
+
+All client-visible traffic of a failover connection is synthesised here:
+
+* the primary's own TCP output is *never* sent directly — its payload is
+  mapped into S-space (Δseq) and parked in the **primary output queue**;
+* the secondary's diverted segments land in the **secondary output
+  queue**; the byte-for-byte common prefix of the two queues is emitted to
+  the client with ACK = min(ack_P, ack_S) and window = min(win_P, win_S);
+* retransmissions (payload below the high-water mark already sent to the
+  client) are recognised and forwarded immediately without queueing (§4);
+* empty segments are synthesised when the merged ACK advances with no
+  payload to carry it (§3.4);
+* connection establishment merges the two SYNs (min MSS, min window) and
+  records Δseq (§7); termination merges the two FINs and §8's late-FIN
+  rules synthesise ACKs after the state is deleted;
+* on secondary failure the §6 procedure flushes the primary queue and
+  drops into *direct* mode: segments pass with only the Δseq adjustment,
+  forever.
+
+State is keyed by (peer address, peer port, local port): the peer is the
+unreplicated endpoint — the client for client-initiated connections, the
+back-end server ``T`` for server-initiated ones (§7.2).  Both replicas
+allocate identical local ports (deterministic ephemeral allocation), so
+the key is stable across the three traffic sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.failover.bridge import BridgeBase
+from repro.failover.delta import SeqOffset
+from repro.failover.merge import AckWindowMerge
+from repro.failover.queues import OutputQueue, PayloadMismatch, match_prefix
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
+from repro.tcp.segment import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_SYN,
+    TcpSegment,
+    incremental_rewrite,
+)
+from repro.tcp.seqnum import seq_add, seq_gt, seq_lt, seq_max, seq_sub
+
+BridgeKey = Tuple[Ipv4Address, int, int]  # (peer ip, peer port, local port)
+
+
+@dataclass
+class BridgeConnection:
+    """Per-connection bridge state on the primary (one per 4-tuple)."""
+
+    peer_ip: Ipv4Address
+    peer_port: int
+    local_ip: Ipv4Address
+    local_port: int
+    role: str  # 'server' (client-initiated) or 'client' (server-initiated)
+    syn_p: Optional[TcpSegment] = None
+    syn_s: Optional[TcpSegment] = None
+    syn_emitted: bool = False
+    delta: Optional[SeqOffset] = None
+    mss: int = 1460
+    p_queue: Optional[OutputQueue] = None
+    s_queue: Optional[OutputQueue] = None
+    merge: AckWindowMerge = field(default_factory=AckWindowMerge)
+    sent_hwm: Optional[int] = None  # S-space seq never yet sent to the peer
+    fin_p: Optional[int] = None  # S-space seq of each replica's FIN
+    fin_s: Optional[int] = None
+    fin_sent: bool = False
+    peer_fin_end: Optional[int] = None  # peer-space seq_end of the peer's FIN
+    our_fin_acked: bool = False
+    direct: bool = False  # §6 mode after secondary failure
+    broken: bool = False  # replica divergence detected
+
+    @property
+    def key(self) -> BridgeKey:
+        return (self.peer_ip, self.peer_port, self.local_port)
+
+    def ready_to_delete(self) -> bool:
+        """§8: both directions closed and both FINs acknowledged."""
+        if not (self.fin_sent and self.our_fin_acked):
+            return False
+        if self.peer_fin_end is None:
+            return False
+        merged = self.merge.merged_ack()
+        return merged is not None and seq_gt(merged, seq_sub(self.peer_fin_end, 1))
+
+
+class PrimaryBridge(BridgeBase):
+    """Merging bridge on the primary server."""
+
+    def __init__(
+        self,
+        host,
+        config,
+        secondary_ip: Ipv4Address,
+        tracer=None,
+        bridge_cost: float = 15e-6,
+        emit_cost: float = 25e-6,
+        ack_merging: bool = True,
+        window_merging: bool = True,
+    ):
+        super().__init__(host, config, tracer=tracer, bridge_cost=bridge_cost)
+        self.emit_cost = emit_cost
+        self.secondary_ip = secondary_ip
+        # Ablation knobs (benchmarks only); True reproduces the paper.
+        self.ack_merging = ack_merging
+        self.window_merging = window_merging
+        self.secondary_down = False
+        self.connections: Dict[BridgeKey, BridgeConnection] = {}
+        # Statistics (asserted on by tests, reported by benchmarks).
+        self.segments_merged = 0
+        self.empty_acks_sent = 0
+        self.retransmissions_forwarded = 0
+        self.late_acks_synthesized = 0
+        self.mismatches = 0
+
+    def install(self) -> None:
+        self.host.install_bridge(self)
+
+    # ==================================================================
+    # outgoing: segments from the primary's own TCP layer  (§3.2)
+    # ==================================================================
+
+    def segment_from_tcp(
+        self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address
+    ) -> bool:
+        if dst_ip == self.secondary_ip:
+            return False
+        if not self._is_failover_outgoing(segment, src_ip, dst_ip):
+            return False
+        key = (dst_ip, segment.dst_port, segment.src_port)
+        bc = self.connections.get(key)
+        if bc is None:
+            if segment.rst:
+                return False  # RST for an unknown connection: pass through
+            if not segment.syn:
+                # Late retransmission after §8 state deletion; the peer
+                # already acknowledged everything, so drop it.
+                self._trace("bridge.p.late_local_drop", seq=segment.seq)
+                return True
+            bc = self._create_connection(
+                key, src_ip, role="server" if segment.has_ack else "client"
+            )
+        self.host.cpu.run(self.bridge_cost, self._from_primary_tcp, bc, segment)
+        return True
+
+    def _create_connection(
+        self, key: BridgeKey, local_ip: Ipv4Address, role: str
+    ) -> BridgeConnection:
+        bc = BridgeConnection(
+            peer_ip=key[0],
+            peer_port=key[1],
+            local_ip=local_ip,
+            local_port=key[2],
+            role=role,
+        )
+        bc.merge = AckWindowMerge(
+            use_min_ack=self.ack_merging, use_min_window=self.window_merging
+        )
+        if self.secondary_down:
+            # Born after the secondary failed: direct mode from the start,
+            # with P's own numbering (Δseq = 0).
+            bc.direct = True
+            bc.delta = SeqOffset.identity()
+        self.connections[key] = bc
+        self._trace("bridge.p.conn_created", peer=f"{key[0]}:{key[1]}",
+                    local_port=key[2], role=role)
+        return bc
+
+    def _from_primary_tcp(self, bc: BridgeConnection, segment: TcpSegment) -> None:
+        if bc.broken:
+            return
+        if segment.rst:
+            self._emit_rst(bc, segment, from_primary=True)
+            return
+        if segment.syn:
+            bc.syn_p = segment
+            if bc.direct:
+                if bc.syn_emitted:
+                    self._direct_passthrough(bc, segment)
+                else:
+                    self._direct_emit_syn(bc)
+            elif bc.syn_emitted:
+                self._reemit_syn(bc)  # primary's SYN retransmission
+            elif bc.syn_s is not None:
+                self._complete_handshake(bc)
+            return
+        if bc.direct:
+            self._direct_passthrough(bc, segment)
+            return
+        if bc.delta is None:
+            # Data-bearing segment before the merged SYN: cannot map yet.
+            self._trace("bridge.p.early_drop", seq=segment.seq)
+            return
+        s_seq = bc.delta.p_to_s(segment.seq)
+        bc.merge.update_from_primary(
+            segment.ack if segment.has_ack else None, segment.window
+        )
+        fin_seq = seq_add(s_seq, len(segment.payload)) if segment.fin else None
+        self._ingest(bc, "P", s_seq, segment.payload, fin_seq)
+
+    # ==================================================================
+    # incoming datagrams  (§3.2 demultiplexer)
+    # ==================================================================
+
+    def datagram_from_ip(self, datagram: Ipv4Datagram) -> Optional[Ipv4Datagram]:
+        if datagram.protocol != IPPROTO_TCP:
+            return datagram
+        if not self.host.ip.owns(datagram.dst):
+            return datagram
+        segment = datagram.payload
+        if segment.orig_dst_option is not None:
+            return self._from_secondary_datagram(datagram, segment)
+        return self._from_peer_datagram(datagram, segment)
+
+    # ---- segments diverted from the secondary ------------------------
+
+    def _from_secondary_datagram(
+        self, datagram: Ipv4Datagram, segment: TcpSegment
+    ) -> None:
+        peer = segment.orig_dst_option
+        key = (peer, segment.dst_port, segment.src_port)
+        bc = self.connections.get(key)
+        if bc is None:
+            if segment.syn:
+                bc = self._create_connection(
+                    key,
+                    self._local_ip_guess(),
+                    role="server" if segment.has_ack else "client",
+                )
+            elif segment.rst:
+                return None  # primary's own TCP will have RST'd already
+            else:
+                # §8: a FIN (or trailing segment) retransmitted by S after
+                # we deleted the connection state: acknowledge it to S.
+                self._synthesize_ack_to_secondary(datagram, segment)
+                return None
+        if self.secondary_down:
+            return None  # stale segment already in flight when S died
+        # The diverted segment never reaches our TCP layer, so charge its
+        # receive cost here along with the bridge's own processing cost.
+        cost = (
+            self.host.rx_segment_cost
+            + self.host.rx_byte_cost * len(segment.payload)
+            + self.bridge_cost
+        )
+        self.host.cpu.run(cost, self._from_secondary_tcp, bc, segment)
+        return None
+
+    def _from_secondary_tcp(self, bc: BridgeConnection, segment: TcpSegment) -> None:
+        if bc.broken or bc.direct:
+            return
+        if segment.rst:
+            self._trace("bridge.p.s_rst_dropped", peer=str(bc.peer_ip))
+            return
+        if segment.syn:
+            bc.syn_s = segment
+            if bc.syn_emitted:
+                self._reemit_syn(bc)  # secondary's SYN retransmission
+            elif bc.syn_p is not None:
+                self._complete_handshake(bc)
+            return
+        if bc.delta is None:
+            self._trace("bridge.p.early_drop_s", seq=segment.seq)
+            return
+        bc.merge.update_from_secondary(
+            segment.ack if segment.has_ack else None, segment.window
+        )
+        fin_seq = seq_add(segment.seq, len(segment.payload)) if segment.fin else None
+        self._ingest(bc, "S", segment.seq, segment.payload, fin_seq)
+
+    # ---- segments from the unreplicated peer (client or back-end T) ---
+
+    def _from_peer_datagram(
+        self, datagram: Ipv4Datagram, segment: TcpSegment
+    ) -> Optional[Ipv4Datagram]:
+        flag = self._connection_flag(
+            datagram.dst, segment.dst_port, datagram.src, segment.src_port
+        )
+        if not self._covers(segment.dst_port, flag):
+            return datagram  # ordinary traffic
+        key = (datagram.src, segment.src_port, segment.dst_port)
+        bc = self.connections.get(key)
+        if bc is None:
+            if segment.syn and not segment.has_ack:
+                self._create_connection(key, datagram.dst, role="server")
+                return datagram  # the SYN itself goes up unmodified
+            if segment.rst:
+                return datagram
+            # §8: peer retransmission after state deletion → synthesise ACK.
+            if segment.fin or segment.payload:
+                self._synthesize_ack_to_peer(datagram, segment)
+                return None
+            return None
+        if segment.rst:
+            self._delete(bc, reason="peer_rst")
+            return datagram
+        if segment.fin:
+            bc.peer_fin_end = segment.seq_end
+        if not segment.has_ack:
+            return datagram
+        if bc.delta is None:
+            # ACK in S-space before we computed Δseq: cannot translate.
+            self._trace("bridge.p.ack_before_delta", seq=segment.seq)
+            return None
+        if (
+            bc.fin_sent
+            and bc.fin_p is not None
+            and seq_gt(segment.ack, bc.fin_p)
+        ):
+            bc.our_fin_acked = True
+        rewritten = incremental_rewrite(
+            segment,
+            old_src=datagram.src,
+            old_dst=datagram.dst,
+            ack=bc.delta.s_to_p(segment.ack),
+        )
+        if bc.ready_to_delete():
+            self._delete(bc, reason="closed")
+        return replace(datagram, payload=rewritten)
+
+    # ==================================================================
+    # the §3.4 engine: queues, matching, retransmissions, empty ACKs
+    # ==================================================================
+
+    def _ingest(
+        self,
+        bc: BridgeConnection,
+        source: str,
+        s_seq: int,
+        payload: bytes,
+        fin_seq: Optional[int],
+    ) -> None:
+        emitted = False
+        if payload:
+            # §4: payload at or below the high-water mark was already sent
+            # to the client — this is a retransmission; forward immediately.
+            already = 0
+            if seq_lt(s_seq, bc.sent_hwm):
+                already = min(seq_sub(bc.sent_hwm, s_seq), len(payload))
+                self._emit_data(bc, s_seq, payload[:already], retransmission=True)
+                self.retransmissions_forwarded += 1
+                emitted = True
+            if already < len(payload):
+                fresh_seq = seq_add(s_seq, already)
+                queue = bc.p_queue if source == "P" else bc.s_queue
+                try:
+                    queue.enqueue(fresh_seq, payload[already:])
+                except PayloadMismatch as exc:
+                    self._mark_broken(bc, exc)
+                    return
+                emitted = self._match_and_emit(bc) or emitted
+        if fin_seq is not None:
+            if source == "P":
+                bc.fin_p = fin_seq
+            else:
+                bc.fin_s = fin_seq
+            if bc.fin_sent and seq_lt(fin_seq, bc.sent_hwm):
+                self._emit_fin(bc)  # retransmitted FIN → forward again
+                self.retransmissions_forwarded += 1
+                emitted = True
+        if self._emit_fin_if_ready(bc):
+            emitted = True
+        if not emitted:
+            self._maybe_empty_ack(bc)
+        if bc.ready_to_delete():
+            self._delete(bc, reason="closed")
+
+    def _match_and_emit(self, bc: BridgeConnection) -> bool:
+        emitted = False
+        while True:
+            try:
+                match = match_prefix(bc.p_queue, bc.s_queue)
+            except PayloadMismatch as exc:
+                self._mark_broken(bc, exc)
+                return emitted
+            if match is None:
+                return emitted
+            seq, data = match
+            offset = 0
+            while offset < len(data):
+                chunk = data[offset : offset + bc.mss]
+                self._emit_data(bc, seq_add(seq, offset), chunk)
+                offset += len(chunk)
+            self.segments_merged += 1
+            emitted = True
+
+    def _emit_data(
+        self, bc: BridgeConnection, seq: int, payload: bytes, retransmission: bool = False
+    ) -> None:
+        ack = bc.merge.merged_ack()
+        flags = FLAG_PSH | (FLAG_ACK if ack is not None else 0)
+        segment = TcpSegment(
+            src_port=bc.local_port,
+            dst_port=bc.peer_port,
+            seq=seq,
+            ack=ack if ack is not None else 0,
+            flags=flags,
+            window=bc.merge.merged_window(),
+            payload=payload,
+        )
+        self._emit(bc, segment)
+        bc.merge.note_sent(ack)
+        bc.sent_hwm = seq_max(bc.sent_hwm, segment.seq_end)
+        self._trace(
+            "bridge.p.emit_data",
+            seq=seq,
+            len=len(payload),
+            rtx=retransmission,
+            ack=segment.ack,
+        )
+
+    def _emit_fin_if_ready(self, bc: BridgeConnection) -> bool:
+        """Emit the merged FIN once both replicas have closed and all
+        payload before the FIN has been sent."""
+        if bc.fin_sent or bc.fin_p is None or bc.fin_s is None:
+            return False
+        if bc.fin_p != bc.fin_s:
+            self._mark_broken(
+                bc, PayloadMismatch(f"FIN positions differ: {bc.fin_p} vs {bc.fin_s}")
+            )
+            return False
+        if len(bc.p_queue) or len(bc.s_queue):
+            return False
+        if bc.sent_hwm != bc.fin_p:
+            return False  # unmatched payload still outstanding
+        self._emit_fin(bc)
+        bc.fin_sent = True
+        bc.sent_hwm = seq_add(bc.fin_p, 1)
+        return True
+
+    def _emit_fin(self, bc: BridgeConnection) -> None:
+        ack = bc.merge.merged_ack()
+        segment = TcpSegment(
+            src_port=bc.local_port,
+            dst_port=bc.peer_port,
+            seq=bc.fin_p if bc.fin_p is not None else bc.sent_hwm,
+            ack=ack if ack is not None else 0,
+            flags=FLAG_FIN | (FLAG_ACK if ack is not None else 0),
+            window=bc.merge.merged_window(),
+        )
+        self._emit(bc, segment)
+        bc.merge.note_sent(ack)
+        self._trace("bridge.p.emit_fin", seq=segment.seq)
+
+    def _maybe_empty_ack(self, bc: BridgeConnection) -> None:
+        if bc.sent_hwm is None or not bc.merge.should_send_empty_ack():
+            return
+        ack = bc.merge.merged_ack()
+        segment = TcpSegment(
+            src_port=bc.local_port,
+            dst_port=bc.peer_port,
+            seq=bc.sent_hwm,
+            ack=ack,
+            flags=FLAG_ACK,
+            window=bc.merge.merged_window(),
+        )
+        self._emit(bc, segment)
+        bc.merge.note_sent(ack)
+        self.empty_acks_sent += 1
+        self._trace("bridge.p.empty_ack", ack=ack)
+
+    def _emit(self, bc: BridgeConnection, segment: TcpSegment) -> None:
+        # Constructing the outgoing segment costs CPU (mbuf surgery plus
+        # the incremental checksum update); emission order is preserved
+        # because the host CPU is a FIFO.
+        sealed = segment.sealed(bc.local_ip, bc.peer_ip)
+        self.host.cpu.run(
+            self.emit_cost, self._send_datagram, sealed, bc.local_ip, bc.peer_ip
+        )
+
+    # ==================================================================
+    # connection establishment  (§7.1, §7.2)
+    # ==================================================================
+
+    def _complete_handshake(self, bc: BridgeConnection) -> None:
+        """Both SYNs are in: compute Δseq and emit the merged SYN."""
+        bc.delta = SeqOffset(bc.syn_p.seq, bc.syn_s.seq)
+        frontier = seq_add(bc.syn_s.seq, 1)
+        bc.p_queue = OutputQueue(frontier, name="P")
+        bc.s_queue = OutputQueue(frontier, name="S")
+        mss_p = bc.syn_p.mss_option or bc.mss
+        mss_s = bc.syn_s.mss_option or bc.mss
+        bc.mss = min(mss_p, mss_s)
+        if bc.syn_p.has_ack:
+            bc.merge.update_from_primary(bc.syn_p.ack, bc.syn_p.window)
+            bc.merge.update_from_secondary(bc.syn_s.ack, bc.syn_s.window)
+        else:
+            bc.merge.update_from_primary(None, bc.syn_p.window)
+            bc.merge.update_from_secondary(None, bc.syn_s.window)
+        bc.sent_hwm = frontier
+        bc.syn_emitted = True
+        self._reemit_syn(bc)
+        self._trace(
+            "bridge.p.syn_merged",
+            delta=bc.delta.delta,
+            mss=bc.mss,
+            role=bc.role,
+        )
+
+    def _reemit_syn(self, bc: BridgeConnection) -> None:
+        """(Re)send the merged SYN / SYN-ACK with min-MSS and min-window."""
+        if not bc.syn_emitted:
+            return
+        ack = bc.merge.merged_ack()
+        flags = FLAG_SYN | (FLAG_ACK if ack is not None else 0)
+        segment = TcpSegment(
+            src_port=bc.local_port,
+            dst_port=bc.peer_port,
+            seq=bc.syn_s.seq,
+            ack=ack if ack is not None else 0,
+            flags=flags,
+            window=bc.merge.merged_window(),
+            mss_option=bc.mss,
+        )
+        self._emit(bc, segment)
+        bc.merge.note_sent(ack)
+
+    # ==================================================================
+    # secondary failure  (§6)
+    # ==================================================================
+
+    def secondary_failed(self) -> None:
+        """Run the §6 procedure on every failover connection."""
+        if self.secondary_down:
+            return
+        self.secondary_down = True
+        self._trace("bridge.p.secondary_failed")
+        for bc in list(self.connections.values()):
+            self._enter_direct_mode(bc)
+
+    def _enter_direct_mode(self, bc: BridgeConnection) -> None:
+        if bc.broken or bc.direct:
+            return
+        bc.direct = True
+        if bc.delta is None:
+            # The secondary died before establishment: no client-visible
+            # sequence numbers exist yet, so P's numbering wins (Δseq = 0).
+            bc.delta = SeqOffset.identity()
+            if bc.syn_p is not None and not bc.syn_emitted:
+                self._direct_emit_syn(bc)
+            return
+        # §6 step 1: flush everything in the primary output queue.
+        seq, data = bc.p_queue.drain()
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset : offset + bc.mss]
+            self._emit_direct_data(bc, seq_add(seq, offset), chunk)
+            offset += len(chunk)
+        if (
+            bc.fin_p is not None
+            and not bc.fin_sent
+            and bc.sent_hwm == bc.fin_p
+        ):
+            self._emit_fin(bc)
+            bc.fin_sent = True
+            bc.sent_hwm = seq_add(bc.fin_p, 1)
+        self._trace("bridge.p.flushed", bytes=len(data))
+
+    def _direct_emit_syn(self, bc: BridgeConnection) -> None:
+        """Emit P's own SYN unmodified (secondary died pre-establishment)."""
+        syn = bc.syn_p
+        frontier = seq_add(syn.seq, 1)
+        bc.p_queue = OutputQueue(frontier, name="P")
+        bc.s_queue = OutputQueue(frontier, name="S")
+        if syn.mss_option is not None:
+            bc.mss = syn.mss_option
+        bc.sent_hwm = frontier
+        bc.syn_emitted = True
+        self._emit(bc, syn)
+
+    def _emit_direct_data(self, bc: BridgeConnection, seq: int, payload: bytes) -> None:
+        """Flush-path emission: P's own ACK and window (§6)."""
+        ack = bc.merge.ack_p
+        segment = TcpSegment(
+            src_port=bc.local_port,
+            dst_port=bc.peer_port,
+            seq=seq,
+            ack=ack if ack is not None else 0,
+            flags=FLAG_PSH | (FLAG_ACK if ack is not None else 0),
+            window=bc.merge.win_p,
+            payload=payload,
+        )
+        self._emit(bc, segment)
+        bc.sent_hwm = seq_max(bc.sent_hwm, segment.seq_end)
+
+    def _direct_passthrough(self, bc: BridgeConnection, segment: TcpSegment) -> None:
+        """§6 step 3: only the Δseq subtraction remains, forever."""
+        s_seq = bc.delta.p_to_s(segment.seq)
+        bc.merge.update_from_primary(
+            segment.ack if segment.has_ack else None, segment.window
+        )
+        adjusted = replace(segment, seq=s_seq)
+        self._emit(bc, adjusted)
+        bc.sent_hwm = seq_max(bc.sent_hwm, adjusted.seq_end)
+        if segment.fin and bc.fin_p is None:
+            bc.fin_p = seq_add(s_seq, len(segment.payload))
+            bc.fin_sent = True
+
+    # ==================================================================
+    # §8 late-segment handling and teardown
+    # ==================================================================
+
+    def _synthesize_ack_to_secondary(
+        self, datagram: Ipv4Datagram, segment: TcpSegment
+    ) -> None:
+        """ACK a FIN the secondary retransmitted after state deletion.
+
+        The ACK is built to look as if the client sent it: source is the
+        original client address, destination the secondary itself.
+        """
+        ack_seg = TcpSegment(
+            src_port=segment.dst_port,
+            dst_port=segment.src_port,
+            seq=segment.ack,
+            ack=segment.seq_end,
+            flags=FLAG_ACK,
+            window=0xFFFF,
+        )
+        peer = segment.orig_dst_option
+        sealed = ack_seg.sealed(peer, self.secondary_ip)
+        self.late_acks_synthesized += 1
+        self._trace("bridge.p.late_ack_to_s", seq=segment.seq)
+        self._send_datagram(sealed, peer, self.secondary_ip)
+
+    def _synthesize_ack_to_peer(
+        self, datagram: Ipv4Datagram, segment: TcpSegment
+    ) -> None:
+        """ACK a FIN the client retransmitted after state deletion."""
+        ack_seg = TcpSegment(
+            src_port=segment.dst_port,
+            dst_port=segment.src_port,
+            seq=segment.ack,
+            ack=segment.seq_end,
+            flags=FLAG_ACK,
+            window=0xFFFF,
+        )
+        sealed = ack_seg.sealed(datagram.dst, datagram.src)
+        self.late_acks_synthesized += 1
+        self._trace("bridge.p.late_ack_to_peer", seq=segment.seq)
+        self._send_datagram(sealed, datagram.dst, datagram.src)
+
+    def _emit_rst(self, bc: BridgeConnection, segment: TcpSegment, from_primary: bool) -> None:
+        """Forward an abort: adjust the sequence number if Δseq is known."""
+        if bc.delta is not None:
+            adjusted = replace(segment, seq=bc.delta.p_to_s(segment.seq))
+        else:
+            adjusted = segment
+        self._emit(bc, adjusted)
+        self._delete(bc, reason="rst")
+
+    def _mark_broken(self, bc: BridgeConnection, exc: Exception) -> None:
+        bc.broken = True
+        self.mismatches += 1
+        self._trace("bridge.p.mismatch", error=str(exc), peer=str(bc.peer_ip))
+
+    def _delete(self, bc: BridgeConnection, reason: str) -> None:
+        self.connections.pop(bc.key, None)
+        self._trace("bridge.p.conn_deleted", peer=f"{bc.peer_ip}:{bc.peer_port}",
+                    reason=reason)
+
+    def _local_ip_guess(self) -> Ipv4Address:
+        return self.host.ip.primary_address()

@@ -1,0 +1,162 @@
+"""The primary bridge's output queues and payload matching (§3.2, §3.4).
+
+The primary server output queue holds payload bytes produced by the
+primary's own TCP layer (already mapped into S-space); the secondary
+server output queue holds payload bytes from the secondary's diverted
+segments.  Because the replicas are deterministic, both queues carry the
+*same application byte stream*; only the segmentation differs ("one of the
+server's TCP layer might split the reply into multiple TCP segments,
+whereas the other [...] might pack the entire reply into a single
+segment").  Matching therefore reduces to taking the common prefix of the
+two queues — Figure 2 of the paper is exactly one `enqueue` + one
+`match_prefix` here.
+
+A divergence between the streams means the application was not
+deterministic; it is detected byte-for-byte and reported as
+:class:`PayloadMismatch`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.tcp.seqnum import seq_add, seq_lt, seq_sub
+
+
+class PayloadMismatch(Exception):
+    """The replicas produced different bytes for the same sequence range."""
+
+
+class OutputQueue:
+    """A contiguous run of stream bytes, keyed by S-space sequence numbers.
+
+    ``frontier`` is the sequence number one past the last byte ever
+    enqueued; it is maintained even while the queue is empty so duplicate
+    (retransmitted) payload can be recognised and discarded.
+    """
+
+    MAX_PENDING_CHUNKS = 256
+
+    def __init__(self, initial_seq: int, name: str = "queue"):
+        self.name = name
+        self.base_seq = initial_seq  # seq of data[0]
+        self.data = bytearray()
+        # Above-frontier chunks: a diverted segment can be lost between
+        # the replicas (§4 case 4) while later segments still arrive, so
+        # the queue must reassemble around the hole until the
+        # retransmission fills it.
+        self._pending: dict = {}
+        self.bytes_enqueued = 0
+        self.duplicates_discarded = 0
+        self.gaps_buffered = 0
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def frontier(self) -> int:
+        """Sequence number of the next byte we have never stored."""
+        return seq_add(self.base_seq, len(self.data))
+
+    def enqueue(self, seq: int, payload: bytes) -> int:
+        """Add payload at ``seq``; overlap with existing bytes is verified
+        and discarded.  Returns the number of genuinely new bytes made
+        contiguous (out-of-order chunks are buffered and count later).
+
+        Raises :class:`PayloadMismatch` if an overlap disagrees.
+        """
+        if not payload:
+            return 0
+        frontier = self.frontier
+        if seq_lt(frontier, seq):
+            # A hole: an earlier segment was lost on the replica-to-replica
+            # path.  Buffer and wait for the retransmission.
+            if len(self._pending) < self.MAX_PENDING_CHUNKS and seq not in self._pending:
+                self._pending[seq] = payload
+                self.gaps_buffered += 1
+            return 0
+        overlap = seq_sub(frontier, seq)
+        if overlap > 0:
+            check = min(overlap, len(payload))
+            stored_start = len(self.data) - overlap
+            expected = bytes(self.data[stored_start : stored_start + check])
+            # Overlap entirely below base_seq (already matched and popped)
+            # cannot be verified any more; only verify what we still hold.
+            if stored_start >= 0 and expected != payload[:check]:
+                raise PayloadMismatch(
+                    f"{self.name}: replica streams diverge at seq {seq}"
+                )
+            if overlap >= len(payload):
+                self.duplicates_discarded += len(payload)
+                return 0
+            payload = payload[overlap:]
+        self.data.extend(payload)
+        self.bytes_enqueued += len(payload)
+        added = len(payload) + self._drain_pending()
+        return added
+
+    def _drain_pending(self) -> int:
+        """Fold buffered above-frontier chunks that became contiguous."""
+        added = 0
+        while self._pending:
+            match = None
+            for seq in self._pending:
+                overlap_or_contiguous = seq_sub(self.frontier, seq) < (1 << 31)
+                if overlap_or_contiguous:
+                    match = seq
+                    break
+            if match is None:
+                return added
+            payload = self._pending.pop(match)
+            frontier = self.frontier
+            skip = seq_sub(frontier, match)
+            if skip >= len(payload):
+                self.duplicates_discarded += len(payload)
+                continue
+            fresh = payload[skip:]
+            self.data.extend(fresh)
+            self.bytes_enqueued += len(fresh)
+            added += len(fresh)
+        return added
+
+    def pop(self, count: int) -> bytes:
+        """Remove and return ``count`` bytes from the front."""
+        if count > len(self.data):
+            raise ValueError(f"{self.name}: popping {count} of {len(self.data)}")
+        out = bytes(self.data[:count])
+        del self.data[:count]
+        self.base_seq = seq_add(self.base_seq, count)
+        return out
+
+    def drain(self) -> Tuple[int, bytes]:
+        """Remove everything; returns (first seq, bytes).  Used by the §6
+        secondary-failure flush."""
+        seq = self.base_seq
+        out = bytes(self.data)
+        self.data.clear()
+        self.base_seq = seq_add(seq, len(out))
+        return seq, out
+
+
+def match_prefix(p_queue: OutputQueue, s_queue: OutputQueue) -> Optional[Tuple[int, bytes]]:
+    """Common prefix both replicas have produced, or None.
+
+    Raises :class:`PayloadMismatch` when the prefixes disagree.  Both
+    queues advance past the matched bytes.
+    """
+    count = min(len(p_queue), len(s_queue))
+    if count == 0:
+        return None
+    if p_queue.base_seq != s_queue.base_seq:
+        # Queue fronts can only differ if bridge bookkeeping broke.
+        raise PayloadMismatch(
+            f"queue fronts diverge: {p_queue.base_seq} vs {s_queue.base_seq}"
+        )
+    if p_queue.data[:count] != s_queue.data[:count]:
+        raise PayloadMismatch(
+            f"replica payloads diverge at seq {p_queue.base_seq}"
+        )
+    seq = p_queue.base_seq
+    matched = p_queue.pop(count)
+    s_queue.pop(count)
+    return seq, matched

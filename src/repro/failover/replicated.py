@@ -1,0 +1,151 @@
+"""One-call assembly of a replicated TCP-failover server pair.
+
+Wires the primary and secondary bridges, the fault detectors (in both
+directions — §5 and §6 are symmetric in who watches whom) and runs the
+same application factory on both hosts.  The application must be
+deterministic per connection (§1); the bridge detects divergence and the
+tests assert on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, List, Optional
+
+from repro.failover.detector import FaultDetector
+from repro.failover.options import FailoverConfig
+from repro.failover.primary import PrimaryBridge
+from repro.failover.secondary import SecondaryBridge
+from repro.failover.takeover import perform_ip_takeover
+from repro.net.host import Host
+
+
+class ReplicatedServerPair:
+    """A primary/secondary pair running an actively replicated service."""
+
+    def __init__(
+        self,
+        primary: Host,
+        secondary: Host,
+        failover_ports: Iterable[int] = (),
+        detector_interval: float = 0.010,
+        detector_timeout: float = 0.050,
+        takeover_resume_delay: float = 200e-6,
+        bridge_cost: float = 15e-6,
+        emit_cost: float = 25e-6,
+        ack_merging: bool = True,
+        window_merging: bool = True,
+        auto_recover: bool = True,
+    ):
+        if primary.sim is not secondary.sim:
+            raise ValueError("both hosts must share one simulator")
+        self.sim = primary.sim
+        self.primary = primary
+        self.secondary = secondary
+        self.primary_ip = primary.ip.primary_address()
+        self.secondary_ip = secondary.ip.primary_address()
+        self.takeover_resume_delay = takeover_resume_delay
+        self.auto_recover = auto_recover
+        # §7: "the user must specify the same set of ports on the primary
+        # server host and the secondary server host" — one config, two copies.
+        self.primary_config = FailoverConfig(failover_ports)
+        self.secondary_config = self.primary_config.copy()
+
+        self.primary_bridge = PrimaryBridge(
+            primary,
+            self.primary_config,
+            self.secondary_ip,
+            bridge_cost=bridge_cost,
+            emit_cost=emit_cost,
+            ack_merging=ack_merging,
+            window_merging=window_merging,
+        )
+        self.secondary_bridge = SecondaryBridge(
+            secondary, self.secondary_config, self.primary_ip, bridge_cost=bridge_cost
+        )
+        self.primary_bridge.install()
+        self.secondary_bridge.install()
+
+        self.primary_detector = FaultDetector(
+            primary,
+            self.secondary_ip,
+            on_failure=self._secondary_failed,
+            interval=detector_interval,
+            timeout=detector_timeout,
+        )
+        self.secondary_detector = FaultDetector(
+            secondary,
+            self.primary_ip,
+            on_failure=self._primary_failed,
+            interval=detector_interval,
+            timeout=detector_timeout,
+        )
+        self.failed_over = False
+        self.secondary_removed = False
+        self._apps: List[object] = []
+
+    # ------------------------------------------------------------------
+    # configuration and application startup
+    # ------------------------------------------------------------------
+
+    def add_failover_port(self, port: int) -> None:
+        self.primary_config.add_port(port)
+        self.secondary_config.add_port(port)
+
+    def start_detectors(self) -> None:
+        self.primary_detector.start()
+        self.secondary_detector.start()
+
+    def run_app(
+        self, factory: Callable[[Host], Generator], name: str = "app"
+    ) -> None:
+        """Run the same (deterministic) application on both replicas."""
+        self._apps.append(self.primary.spawn(factory(self.primary), f"{name}@P"))
+        self._apps.append(self.secondary.spawn(factory(self.secondary), f"{name}@S"))
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+
+    def crash_primary(self) -> None:
+        """Fail-stop the primary; recovery runs when the detector fires."""
+        self.primary.crash()
+        if not self.auto_recover:
+            return
+
+    def crash_secondary(self) -> None:
+        self.secondary.crash()
+        if not self.auto_recover:
+            return
+
+    def _primary_failed(self) -> None:
+        """Detector on the secondary fired: run the §5 takeover."""
+        if self.failed_over:
+            return
+        self.failed_over = True
+        perform_ip_takeover(
+            self.secondary_bridge,
+            self.primary_ip,
+            resume_delay=self.takeover_resume_delay,
+        )
+
+    def _secondary_failed(self) -> None:
+        """Detector on the primary fired: run the §6 procedure."""
+        if self.secondary_removed:
+            return
+        self.secondary_removed = True
+        self.primary_bridge.secondary_failed()
+
+    # ------------------------------------------------------------------
+    # manual triggers (tests/benchmarks that want exact timing)
+    # ------------------------------------------------------------------
+
+    def force_primary_failover(self) -> None:
+        self._primary_failed()
+
+    def force_secondary_removal(self) -> None:
+        self._secondary_failed()
+
+    @property
+    def service_ip(self):
+        """The address clients connect to (always the primary's)."""
+        return self.primary_ip

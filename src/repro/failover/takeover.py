@@ -1,0 +1,79 @@
+"""IP takeover: the §5 primary-failure procedure on the secondary.
+
+Steps, as enumerated in the paper:
+
+1. stop sending client-bound TCP segments (bridge holds them);
+2. disable promiscuous receive mode;
+3. disable the ``a_p → a_s`` inbound translation;
+4. disable the ``a_c → a_p`` outbound translation;
+5. take over the primary's IP address (gratuitous ARP).
+
+Steps 1–4 are :meth:`SecondaryBridge.prepare_failover` plus deactivation;
+step 5 acquires ``a_p`` on the interface and broadcasts a gratuitous ARP.
+Every other node applies the new mapping after its own configured delay —
+the router's delay is the paper's interval ``T``, during which client
+segments are black-holed and recovered by ordinary TCP retransmission.
+
+The simulated stack keys TCBs by local address, so the takeover also
+re-homes the failover TCBs from ``a_s`` to ``a_p`` (the kernel
+implementation expresses the same thing through its translation layer;
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import Ipv4Address
+from repro.failover.options import FailoverConfig
+from repro.failover.secondary import SecondaryBridge
+
+
+def perform_ip_takeover(
+    bridge: SecondaryBridge,
+    primary_ip: Ipv4Address,
+    resume_delay: float = 0.0,
+) -> None:
+    """Run the §5 procedure on the secondary ``bridge``'s host.
+
+    ``resume_delay`` models the local reconfiguration time between the
+    gratuitous ARP and the bridge resuming transmission ("after the change
+    of IP address is completed, the bridge resumes sending TCP segments").
+    """
+    host = bridge.host
+    config = bridge.config
+    old_ip = host.ip.primary_address()
+
+    # Steps 1-4: silence the bridge and stop snooping/translating.
+    bridge.prepare_failover()
+
+    # Step 5: acquire a_p and announce it.
+    interface = host.eth_interface
+    interface.add_address(primary_ip)
+    _rebind_failover_connections(host, config, old_ip, primary_ip)
+    interface.arp.announce(primary_ip)
+    host.tracer.emit(host.sim.now, "takeover.announced", host.name, ip=str(primary_ip))
+
+    def resume() -> None:
+        bridge.complete_failover(primary_ip)
+        host.tracer.emit(host.sim.now, "takeover.complete", host.name)
+
+    if resume_delay > 0:
+        host.sim.schedule(resume_delay, resume)
+    else:
+        resume()
+
+
+def _rebind_failover_connections(
+    host, config: FailoverConfig, old_ip: Ipv4Address, new_ip: Ipv4Address
+) -> None:
+    """Re-home failover TCBs (and only those) onto the taken-over address."""
+    moving = [
+        conn
+        for key, conn in list(host.tcp.connections.items())
+        if key[0] == old_ip and config.covers(conn.local_port, conn.failover)
+    ]
+    for conn in moving:
+        del host.tcp.connections[conn.key]
+        conn.rebind_local_ip(new_ip)
+        host.tcp.connections[conn.key] = conn

@@ -1,0 +1,30 @@
+"""Experiment harness: calibrated topologies, workloads and runners.
+
+One function per paper table/figure lives in
+:mod:`repro.harness.experiments`; the benchmarks under ``benchmarks/`` are
+thin wrappers that print the same rows/series the paper reports.
+"""
+
+from repro.harness.metrics import Stats, rate_kb_s, summarize
+from repro.harness.topology import (
+    CLIENT_PROFILE,
+    ROUTER_ARP_DELAY,
+    SERVER_PROFILE,
+    LanTestbed,
+    WanTestbed,
+    build_lan,
+    build_wan,
+)
+
+__all__ = [
+    "CLIENT_PROFILE",
+    "LanTestbed",
+    "ROUTER_ARP_DELAY",
+    "SERVER_PROFILE",
+    "Stats",
+    "WanTestbed",
+    "build_lan",
+    "build_wan",
+    "rate_kb_s",
+    "summarize",
+]

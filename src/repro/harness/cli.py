@@ -1,0 +1,192 @@
+"""Command-line experiment runner (``python -m repro``).
+
+A pytest-free way to regenerate any of the paper's tables/figures::
+
+    python -m repro setup               # E1  connection setup times
+    python -m repro fig3 --quick        # E2  client->server send times
+    python -m repro fig4 --quick        # E3  server->client transfer times
+    python -m repro fig5 --bytes 8000000
+    python -m repro fig6 --quick        # E5  FTP over WAN
+    python -m repro failover            # E6  stall vs detector/ARP knobs
+    python -m repro ablation            # E7/E8 merge-rule ablations
+    python -m repro chain               # E9  daisy-chain depth sweep
+    python -m repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.harness import experiments
+from repro.harness.metrics import Stats
+
+
+def _table(title: str, header: List[str], rows: List[tuple]) -> None:
+    print()
+    print(f"== {title} ==")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    print(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def _us(stats: Stats) -> str:
+    return f"{stats.median * 1e6:.0f}"
+
+
+def cmd_setup(args) -> None:
+    std = experiments.measure_connection_setup(False, trials=args.trials)
+    fo = experiments.measure_connection_setup(True, trials=args.trials)
+    _table(
+        "E1: connection setup (us)",
+        ["mode", "median", "max", "paper"],
+        [
+            ("standard", _us(std), f"{std.maximum*1e6:.0f}", "294 / 603"),
+            ("failover", _us(fo), f"{fo.maximum*1e6:.0f}", "505 / 1193"),
+        ],
+    )
+
+
+def _sweep_sizes(quick: bool) -> List[int]:
+    if quick:
+        return [64, 8 * 1024, 64 * 1024, 512 * 1024]
+    return experiments.FIG3_SIZES
+
+
+def cmd_fig3(args) -> None:
+    rows = []
+    for size in _sweep_sizes(args.quick):
+        std = experiments.measure_send_time(size, False, trials=args.trials)
+        fo = experiments.measure_send_time(size, True, trials=args.trials)
+        rows.append((size, _us(std), _us(fo), f"{fo.median/std.median:.2f}x"))
+    _table("E2 / Fig 3: send time (us, median)",
+           ["bytes", "standard", "failover", "ratio"], rows)
+
+
+def cmd_fig4(args) -> None:
+    rows = []
+    for size in _sweep_sizes(args.quick):
+        std = experiments.measure_request_reply(size, False, trials=args.trials)
+        fo = experiments.measure_request_reply(size, True, trials=args.trials)
+        rows.append(
+            (size, f"{std.median*1e3:.2f}", f"{fo.median*1e3:.2f}",
+             f"{fo.median/std.median:.2f}x")
+        )
+    _table("E3 / Fig 4: request->reply time (ms, median)",
+           ["bytes", "standard", "failover", "ratio"], rows)
+
+
+def cmd_fig5(args) -> None:
+    std = experiments.measure_stream_rates(args.bytes, replicated=False)
+    fo = experiments.measure_stream_rates(args.bytes, replicated=True)
+    _table(
+        f"E4 / Fig 5: stream rates over {args.bytes/1e6:.0f} MB (KB/s)",
+        ["mode", "send", "recv", "paper send/recv"],
+        [
+            ("standard", f"{std['send_rate_kb_s']:.0f}", f"{std['recv_rate_kb_s']:.0f}",
+             "7834 / 8708"),
+            ("failover", f"{fo['send_rate_kb_s']:.0f}", f"{fo['recv_rate_kb_s']:.0f}",
+             "5836 / 3510"),
+        ],
+    )
+
+
+def cmd_fig6(args) -> None:
+    sizes = experiments.FIG6_FILE_SIZES_KB[: 3 if args.quick else None]
+    rows = []
+    for size_kb in sizes:
+        std = experiments.measure_ftp_rates(size_kb, False, trials=args.trials)
+        fo = experiments.measure_ftp_rates(size_kb, True, trials=args.trials)
+        rows.append(
+            (size_kb, f"{std['get_kb_s']:.1f}", f"{fo['get_kb_s']:.1f}",
+             f"{std['put_kb_s']:.1f}", f"{fo['put_kb_s']:.1f}")
+        )
+    _table("E5 / Fig 6: FTP over WAN (KB/s)",
+           ["fileKB", "get std", "get fo", "put std", "put fo"], rows)
+
+
+def cmd_failover(args) -> None:
+    rows = []
+    for timeout in (0.020, 0.100, 0.300):
+        result = experiments.measure_failover(
+            total_bytes=800_000, detector_timeout=timeout, min_rto=0.05
+        )
+        rows.append((f"detector={timeout*1e3:.0f}ms",
+                     f"{result['stall_s']*1e3:.1f}ms", result["intact"]))
+    result = experiments.measure_failover(total_bytes=800_000, crash="secondary")
+    rows.append(("secondary crash", f"{result['stall_s']*1e3:.1f}ms", result["intact"]))
+    _table("E6: failover stall", ["scenario", "stall", "stream intact"], rows)
+
+
+def cmd_ablation(args) -> None:
+    rows = []
+    for merging in (True, False):
+        r = experiments.measure_minack_ablation(ack_merging=merging)
+        rows.append((f"min-ACK={'on' if merging else 'OFF'}",
+                     r["survivor_bytes"], r["survivor_intact"], r["client_ok"]))
+    _table("E7: min-ACK ablation",
+           ["variant", "survivor bytes", "intact", "client ok"], rows)
+    rows = []
+    for merging in (True, False):
+        r = experiments.measure_minwindow_ablation(window_merging=merging)
+        rows.append((f"min-window={'on' if merging else 'OFF'}",
+                     f"{r['completion_s']:.3f}s", r["secondary_trimmed"], r["intact"]))
+    _table("E8: min-window ablation",
+           ["variant", "completion", "S bytes trimmed", "intact"], rows)
+
+
+def cmd_chain(args) -> None:
+    rows = []
+    base = None
+    for depth in (1, 2, 3, 4):
+        rate = experiments.measure_chain_depth(depth)
+        base = base or rate
+        rows.append((depth, f"{rate:.0f}", f"{base/rate:.2f}x"))
+    _table("E9: chain depth vs server->client rate (KB/s)",
+           ["replicas", "KB/s", "slowdown"], rows)
+
+
+COMMANDS = {
+    "setup": cmd_setup,
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "failover": cmd_failover,
+    "ablation": cmd_ablation,
+    "chain": cmd_chain,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the DSN'03 TCP-failover paper's experiments.",
+    )
+    parser.add_argument("experiment", choices=[*COMMANDS, "all"])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer sweep points / smaller streams")
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--bytes", type=int, default=None,
+                        help="stream length for fig5")
+    args = parser.parse_args(argv)
+    if args.trials is None:
+        args.trials = 5 if args.quick else 20
+    if args.bytes is None:
+        args.bytes = 4_000_000 if args.quick else 10_000_000
+    if args.experiment == "all":
+        for name, command in COMMANDS.items():
+            command(args)
+    else:
+        COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Simple statistics over experiment trials."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary of a sample of measurements."""
+
+    count: int
+    median: float
+    mean: float
+    minimum: float
+    maximum: float
+    p90: float
+
+    def scaled(self, factor: float) -> "Stats":
+        return Stats(
+            count=self.count,
+            median=self.median * factor,
+            mean=self.mean * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+            p90=self.p90 * factor,
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    if not ordered:
+        raise ValueError("empty sample")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def summarize(samples: Iterable[float]) -> Stats:
+    """Median/mean/min/max/p90 of a sample."""
+    ordered: List[float] = sorted(samples)
+    if not ordered:
+        raise ValueError("empty sample")
+    return Stats(
+        count=len(ordered),
+        median=_percentile(ordered, 0.5),
+        mean=sum(ordered) / len(ordered),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p90=_percentile(ordered, 0.9),
+    )
+
+
+def rate_kb_s(byte_count: int, seconds: float) -> float:
+    """Transfer rate in KB/s (the paper's unit: 1 KB = 1024 bytes)."""
+    if seconds <= 0:
+        raise ValueError("non-positive duration")
+    return byte_count / 1024.0 / seconds

@@ -1,0 +1,44 @@
+"""Network substrate: Ethernet, ARP, IP, routers and WAN links.
+
+This package models the paper's testbed: hosts on a shared 100 Mbit/s
+Ethernet segment (promiscuous-mode snooping and collisions both matter to
+the reproduction), an ARP protocol with per-node caches (IP takeover is an
+ARP-level operation), an IP layer with a default route, a router, and a
+lossy bandwidth-limited WAN link for the FTP experiment.
+"""
+
+from repro.net.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
+from repro.net.ethernet import EthernetSegment
+from repro.net.nic import Nic
+from repro.net.packet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame, Ipv4Datagram
+from repro.net.wan import WanLink
+
+
+def __getattr__(name: str):
+    # Host and Router pull in the TCP layer; import them lazily so that
+    # ``repro.tcp`` modules can import address/packet types from this
+    # package without a cycle.
+    if name == "Host":
+        from repro.net.host import Host
+
+        return Host
+    if name == "Router":
+        from repro.net.router import Router
+
+        return Router
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BROADCAST_MAC",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "EthernetFrame",
+    "EthernetSegment",
+    "Host",
+    "Ipv4Address",
+    "Ipv4Datagram",
+    "MacAddress",
+    "Nic",
+    "Router",
+    "WanLink",
+]

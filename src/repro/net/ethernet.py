@@ -1,0 +1,117 @@
+"""Shared-medium Ethernet segment.
+
+The paper's testbed is 100 Mbit/s Ethernet on a shared collision domain —
+two of its results depend on that:
+
+* the secondary server snoops the client's traffic in promiscuous mode,
+  which requires every frame to reach every station (bus semantics);
+* Figure 4's non-linearity is attributed to "collisions on the Ethernet"
+  between acknowledgements and data frames.
+
+The model is a serialised CSMA bus: stations defer while the medium is
+busy, transmissions are FIFO in submission order (deterministic), and when
+a station submits while the medium is contended the transmission suffers a
+collision with configurable probability, costing a jam slot plus a random
+exponential-ish backoff.  This is intentionally simpler than bit-level
+CSMA/CD but creates the same macroscopic effect.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.net.packet import EthernetFrame
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:
+    from repro.net.nic import Nic
+
+
+class EthernetSegment:
+    """One collision domain connecting any number of NICs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "eth0",
+        bandwidth_bps: float = 100e6,
+        propagation_delay: float = 1e-6,
+        collision_prob: float = 0.05,
+        tracer: Optional[Tracer] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.collision_prob = collision_prob
+        self.tracer = tracer or Tracer(record=False)
+        self.rng = rng or random.Random(0)
+        self._nics: List["Nic"] = []
+        self._pending = 0
+        self.frames_delivered = 0
+        self.collisions = 0
+        # 100 Mbit/s constants, scaled if bandwidth differs.
+        self._bit_time = 1.0 / bandwidth_bps
+        self.interframe_gap = 96 * self._bit_time
+        self.slot_time = 512 * self._bit_time
+        # Idle medium: the gap has already elapsed before the first frame.
+        self._busy_until = -self.interframe_gap
+
+    def attach(self, nic: "Nic") -> None:
+        if nic in self._nics:
+            raise ValueError(f"NIC {nic.mac} already attached to {self.name}")
+        self._nics.append(nic)
+
+    def detach(self, nic: "Nic") -> None:
+        if nic in self._nics:
+            self._nics.remove(nic)
+
+    def transmission_time(self, frame: EthernetFrame) -> float:
+        return frame.wire_size * 8 * self._bit_time
+
+    def submit(self, sender: "Nic", frame: EthernetFrame) -> None:
+        """Transmit ``frame`` from ``sender``, deferring while busy."""
+        now = self.sim.now
+        earliest = max(now, self._busy_until + self.interframe_gap)
+        contended = self._pending > 0 or self._busy_until > now
+        delay_extra = 0.0
+        if contended and self.rng.random() < self.collision_prob:
+            self.collisions += 1
+            backoff_slots = self.rng.uniform(1.0, 8.0)
+            delay_extra = self.slot_time * (1.0 + backoff_slots)
+            self.tracer.emit(
+                now, "eth.collision", self.name, sender=str(sender.mac)
+            )
+        start = earliest + delay_extra
+        tx_time = self.transmission_time(frame)
+        self._busy_until = start + tx_time
+        self._pending += 1
+        self.sim.call_at(
+            start + tx_time + self.propagation_delay,
+            self._deliver,
+            sender,
+            frame,
+        )
+
+    def _deliver(self, sender: "Nic", frame: EthernetFrame) -> None:
+        self._pending -= 1
+        self.frames_delivered += 1
+        self.tracer.emit(
+            self.sim.now,
+            "eth.rx",
+            self.name,
+            src=str(frame.src),
+            dst=str(frame.dst),
+            size=frame.wire_size,
+        )
+        # Bus semantics: every station other than the sender sees the frame.
+        for nic in list(self._nics):
+            if nic is not sender:
+                nic.frame_arrived(frame)
+
+    def utilization_window(self) -> float:
+        """Seconds of queued transmission still ahead of the current time."""
+        return max(0.0, self._busy_until - self.sim.now)

@@ -1,0 +1,268 @@
+"""Host: NIC + ARP + IP + TCP glued together, with a CPU cost model.
+
+The paper's absolute numbers come from real 566 MHz (servers) and 1 GHz
+(client) machines.  We model per-segment protocol-processing cost with a
+serialising CPU: every inbound and outbound TCP segment occupies the CPU
+for ``fixed + per_byte × payload`` seconds (plus optional jitter).  The
+harness calibrates these constants once so the standard-TCP baseline lands
+near the paper's medians; every failover-vs-standard *ratio* then emerges
+from the mechanism, not from tuning.
+
+The host is also the interposition point for the failover bridge: outbound
+TCP segments pass through :meth:`Host.transport_out` (bridge first, IP
+second) and inbound datagrams pass the IP layer's rx tap (§1: the bridge
+resides "between the TCP layer and the IP layer").
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.ethernet import EthernetSegment
+from repro.net.ip import EthernetInterface, IpLayer, PointToPointInterface
+from repro.net.nic import Nic
+from repro.net.packet import IPPROTO_HEARTBEAT, IPPROTO_TCP, Ipv4Datagram
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, spawn
+from repro.sim.trace import Tracer
+from repro.tcp.layer import TcpLayer
+
+
+class Cpu:
+    """Serialising FIFO processor with jitter and rare latency spikes.
+
+    Jitter models run-to-run variation in protocol processing; spikes model
+    the occasional interrupt/scheduling hiccup responsible for the gap
+    between the paper's *median* and *maximum* latencies.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+        spike_prob: float = 0.0,
+        spike_cost: float = 0.0,
+    ):
+        self.sim = sim
+        self.jitter = jitter
+        self.rng = rng or random.Random(0)
+        self.spike_prob = spike_prob
+        self.spike_cost = spike_cost
+        self._busy_until = 0.0
+        self.busy_time = 0.0
+
+    def run(self, cost: float, fn: Callable[..., None], *args: Any) -> None:
+        """Execute ``fn(*args)`` after queueing for ``cost`` CPU seconds."""
+        if self.jitter > 0:
+            cost *= 1.0 + self.jitter * self.rng.random()
+        if self.spike_prob > 0 and self.rng.random() < self.spike_prob:
+            cost += self.spike_cost * (0.5 + self.rng.random())
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + cost
+        self.busy_time += cost
+        self.sim.call_at(self._busy_until, fn, *args)
+
+    @property
+    def backlog(self) -> float:
+        return max(0.0, self._busy_until - self.sim.now)
+
+
+class Host:
+    """An end host (or the base of a router) in the simulated network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: MacAddress,
+        tracer: Optional[Tracer] = None,
+        rng: Optional[random.Random] = None,
+        rx_segment_cost: float = 40e-6,
+        rx_byte_cost: float = 0.0,
+        tx_segment_cost: float = 40e-6,
+        tx_byte_cost: float = 0.0,
+        cpu_jitter: float = 0.0,
+        cpu_spike_prob: float = 0.0,
+        cpu_spike_cost: float = 0.0,
+        app_write_fixed_cost: float = 0.0,
+        app_write_byte_cost: float = 0.0,
+        forwarding: bool = False,
+        gratuitous_apply_delay: float = 0.0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.tracer = tracer or Tracer(record=False)
+        # Default seed derives from the host name so two hosts never share
+        # RNG state by accident (distinct ISS choices matter to the bridge).
+        self.rng = rng or random.Random(zlib.crc32(name.encode()))
+        self.rx_segment_cost = rx_segment_cost
+        self.rx_byte_cost = rx_byte_cost
+        self.tx_segment_cost = tx_segment_cost
+        self.tx_byte_cost = tx_byte_cost
+        # Cost of the application's send() call itself (syscall + copy into
+        # the socket buffer) — what the paper's Fig. 3 actually times.
+        self.app_write_fixed_cost = app_write_fixed_cost
+        self.app_write_byte_cost = app_write_byte_cost
+        self.gratuitous_apply_delay = gratuitous_apply_delay
+        self.alive = True
+        self.cpu = Cpu(
+            sim,
+            jitter=cpu_jitter,
+            rng=random.Random(self.rng.getrandbits(64)),
+            spike_prob=cpu_spike_prob,
+            spike_cost=cpu_spike_cost,
+        )
+        self.nic = Nic(mac, name=f"{name}.nic")
+        self.nic.set_receiver(self._frame_received)
+        self.ip = IpLayer(sim, name, tracer=self.tracer, forwarding=forwarding)
+        self.tcp = TcpLayer(
+            sim,
+            node_name=name,
+            local_ips=self.ip.owned_ips,
+            transmit=self.transport_out,
+            tracer=self.tracer,
+            rng=random.Random(self.rng.getrandbits(64)),
+        )
+        self.ip.register_protocol(IPPROTO_TCP, self._tcp_datagram)
+        # Back-reference for the socket facade's write-cost accounting.
+        self.tcp.host = self
+        self.bridge: Optional[object] = None
+        self._eth_interface: Optional[EthernetInterface] = None
+        self._heartbeat_handlers: List[Callable[[Ipv4Datagram], None]] = []
+        self.ip.register_protocol(IPPROTO_HEARTBEAT, self._heartbeat_datagram)
+
+    # -- topology wiring ---------------------------------------------------
+
+    def attach_ethernet(
+        self, segment: EthernetSegment, address: Ipv4Address, prefix_len: int = 24
+    ) -> EthernetInterface:
+        """Join an Ethernet segment with the given address."""
+        self.nic.attach(segment)
+        interface = EthernetInterface(
+            self.sim,
+            self.nic,
+            address,
+            prefix_len,
+            node_name=self.name,
+            tracer=self.tracer,
+            gratuitous_apply_delay=self.gratuitous_apply_delay,
+        )
+        self.ip.add_interface(interface)
+        self._eth_interface = interface
+        return interface
+
+    def attach_point_to_point(
+        self, address: Ipv4Address, prefix_len: int = 30
+    ) -> PointToPointInterface:
+        """Create a point-to-point (WAN) interface; wire it via WanLink.connect."""
+        interface = PointToPointInterface(address, prefix_len)
+        self.ip.add_interface(interface)
+        return interface
+
+    @property
+    def eth_interface(self) -> EthernetInterface:
+        if self._eth_interface is None:
+            raise RuntimeError(f"{self.name} has no Ethernet interface")
+        return self._eth_interface
+
+    def primary_ip(self) -> Ipv4Address:
+        return self.ip.primary_address()
+
+    # -- bridge interposition ------------------------------------------------
+
+    def install_bridge(self, bridge: object) -> None:
+        """Interpose a failover bridge between TCP and IP."""
+        self.bridge = bridge
+        self.ip.set_rx_tap(bridge.datagram_from_ip)
+
+    def remove_bridge(self) -> None:
+        self.bridge = None
+        self.ip.set_rx_tap(None)
+
+    # -- datapath ------------------------------------------------------------
+
+    def transport_out(self, segment: object, src_ip: Ipv4Address, dst_ip: Ipv4Address) -> None:
+        """TCP hands a segment down; charge CPU, then bridge, then IP."""
+        if not self.alive:
+            return
+        cost = self.tx_segment_cost + self.tx_byte_cost * len(
+            getattr(segment, "payload", b"")
+        )
+        self.cpu.run(cost, self._transport_out_ready, segment, src_ip, dst_ip)
+
+    def _transport_out_ready(
+        self, segment: object, src_ip: Ipv4Address, dst_ip: Ipv4Address
+    ) -> None:
+        if not self.alive:
+            return
+        if self.bridge is not None and self.bridge.segment_from_tcp(
+            segment, src_ip, dst_ip
+        ):
+            return
+        self.send_ip(segment, src_ip, dst_ip)
+
+    def send_ip(self, segment: object, src_ip: Ipv4Address, dst_ip: Ipv4Address) -> None:
+        """Emit a TCP segment as an IP datagram, bypassing the bridge."""
+        if not self.alive:
+            return
+        self.ip.send(Ipv4Datagram(src=src_ip, dst=dst_ip, protocol=IPPROTO_TCP, payload=segment))
+
+    def _frame_received(self, frame: object) -> None:
+        if not self.alive:
+            return
+        if self._eth_interface is not None:
+            self.ip.frame_received(self._eth_interface, frame)
+
+    def datagram_from_wan(self, datagram: Ipv4Datagram) -> None:
+        """Delivery callback for point-to-point links."""
+        if self.alive:
+            self.ip.datagram_received(datagram)
+
+    def _tcp_datagram(self, datagram: Ipv4Datagram) -> None:
+        segment = datagram.payload
+        cost = self.rx_segment_cost + self.rx_byte_cost * len(
+            getattr(segment, "payload", b"")
+        )
+        self.cpu.run(cost, self._tcp_deliver, datagram)
+
+    def _tcp_deliver(self, datagram: Ipv4Datagram) -> None:
+        if self.alive:
+            self.tcp.receive_segment(datagram.payload, datagram.src, datagram.dst)
+
+    # -- fault detector plumbing ----------------------------------------------
+
+    def add_heartbeat_handler(self, handler: Callable[[Ipv4Datagram], None]) -> None:
+        """Register a heartbeat consumer (several detectors may coexist)."""
+        self._heartbeat_handlers.append(handler)
+
+    def set_heartbeat_handler(self, handler: Callable[[Ipv4Datagram], None]) -> None:
+        """Replace all heartbeat consumers with one (single-detector hosts)."""
+        self._heartbeat_handlers = [handler]
+
+    def _heartbeat_datagram(self, datagram: Ipv4Datagram) -> None:
+        if not self.alive:
+            return
+        for handler in self._heartbeat_handlers:
+            handler(datagram)
+
+    def send_raw_datagram(self, datagram: Ipv4Datagram) -> None:
+        if self.alive:
+            self.ip.send(datagram)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        return spawn(self.sim, generator, name=name or f"{self.name}.proc")
+
+    def crash(self) -> None:
+        """Fail-stop: the host goes silent (NIC down, no deliveries)."""
+        self.alive = False
+        self.nic.up = False
+        self.tracer.emit(self.sim.now, "host.crash", self.name)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name}, ips={[str(i) for i in self.ip.owned_ips()]})"

@@ -1,0 +1,48 @@
+"""IP router.
+
+A thin specialisation of :class:`repro.net.host.Host` with forwarding
+enabled and (typically) two interfaces — the server LAN and a WAN uplink.
+Routers matter to the reproduction because §5's takeover analysis is about
+the *router's* ARP-table update latency ``T``: set ``gratuitous_apply_delay``
+to model how long the router takes to honour the secondary's gratuitous ARP.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.addresses import MacAddress
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+class Router(Host):
+    """Host with IP forwarding and router-grade processing costs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: MacAddress,
+        tracer: Optional[Tracer] = None,
+        rng: Optional[random.Random] = None,
+        forwarding_cost: float = 15e-6,
+        gratuitous_apply_delay: float = 0.0,
+    ):
+        super().__init__(
+            sim,
+            name,
+            mac,
+            tracer=tracer,
+            rng=rng,
+            rx_segment_cost=forwarding_cost,
+            tx_segment_cost=forwarding_cost,
+            forwarding=True,
+            gratuitous_apply_delay=gratuitous_apply_delay,
+        )
+        self.forwarding_cost = forwarding_cost
+        self.ip.set_forward_defer(
+            lambda cont: self.cpu.run(self.forwarding_cost, cont)
+        )

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+The kernel provides a simulated clock, an event queue (:class:`Simulator`),
+generator-based cooperative processes (:mod:`repro.sim.process`), seeded
+random-number streams (:mod:`repro.sim.rng`) and structured tracing
+(:mod:`repro.sim.trace`).
+
+Every other subsystem in this repository — the Ethernet/IP substrate, the
+TCP implementation and the failover bridges — is driven exclusively by this
+kernel, so complete runs are deterministic given a seed.
+"""
+
+from repro.sim.engine import Simulator, Timer
+from repro.sim.process import Event, Process, Queue, Sleep
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Process",
+    "Queue",
+    "RngRegistry",
+    "Simulator",
+    "Sleep",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,181 @@
+"""Event queue and simulated clock.
+
+The :class:`Simulator` is a classic discrete-event scheduler: callbacks are
+enqueued at absolute simulated times and executed in time order.  Ties are
+broken by insertion order, which keeps runs deterministic.
+
+Time is a float measured in **seconds** of simulated time.  All network
+latencies, transmission delays and protocol timers in this repository are
+expressed in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Timer:
+    """Handle for a scheduled callback.
+
+    A ``Timer`` is returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.call_at`.  It can be cancelled as long as it has not
+    fired; cancelling an already-fired or already-cancelled timer is a no-op,
+    which makes cleanup code straightforward.
+    """
+
+    __slots__ = ("deadline", "_callback", "_args", "_cancelled", "_fired")
+
+    def __init__(self, deadline: float, callback: Callable[..., None], args: tuple):
+        self.deadline = deadline
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not fired, not cancelled)."""
+        return not (self._cancelled or self._fired)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        if not self._fired:
+            self._cancelled = True
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fired = True
+        self._callback(*self._args)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"Timer(deadline={self.deadline:.9f}, {state})"
+
+
+class Simulator:
+    """Discrete-event scheduler with a simulated clock.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "fires at t=1.5")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled timers)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Run ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} (now={self._now})"
+            )
+        timer = Timer(when, callback, args)
+        heapq.heappush(self._queue, (when, next(self._sequence), timer))
+        return timer
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains, ``until`` or ``max_events``.
+
+        Returns the simulated time when the run stopped.  If ``until`` is
+        given and the queue drains earlier, the clock is advanced to
+        ``until`` so repeated bounded runs compose naturally.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                when, _seq, timer = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                if timer.cancelled:
+                    continue
+                self._now = when
+                timer._fire()
+                self._events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._queue_has_work(until):
+            self._now = until
+        return self._now
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        """Run until ``predicate()`` becomes true or ``timeout`` sim-seconds pass.
+
+        The predicate is checked after every processed event.  Returns True
+        if the predicate held when the run stopped.
+        """
+        deadline = self._now + timeout
+        if predicate():
+            return True
+        while self._queue:
+            when, _seq, timer = self._queue[0]
+            if when > deadline:
+                break
+            heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self._now = when
+            timer._fire()
+            self._events_processed += 1
+            if predicate():
+                return True
+        if self._now < deadline:
+            self._now = deadline
+        return predicate()
+
+    def _queue_has_work(self, until: float) -> bool:
+        return any(not t.cancelled and when <= until for when, _s, t in self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now:.9f}, pending={len(self._queue)},"
+            f" processed={self._events_processed})"
+        )

@@ -1,0 +1,93 @@
+"""Structured event tracing.
+
+Network layers and bridges emit :class:`TraceRecord` objects through a shared
+:class:`Tracer`.  Tests assert on traces (e.g. "no RST reached the client",
+"the bridge emitted exactly one empty ACK"), and the benchmark harness uses
+them to compute wire-level statistics.  Tracing is cheap when nothing is
+recorded or subscribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``category`` is a dotted topic such as ``"eth.tx"``, ``"tcp.rtx"`` or
+    ``"bridge.merge"``; ``node`` names the emitting host; ``detail`` carries
+    free-form structured fields.
+    """
+
+    time: float
+    category: str
+    node: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:.6f}] {self.node} {self.category} {parts}"
+
+
+class Tracer:
+    """Collects trace records and fans them out to subscribers."""
+
+    def __init__(self, record: bool = True):
+        self._record = record
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self._category_counts: Dict[str, int] = {}
+
+    def emit(self, time: float, category: str, node: str, **detail: Any) -> None:
+        """Emit a record; no-op cost is one dict update when unsubscribed."""
+        self._category_counts[category] = self._category_counts.get(category, 0) + 1
+        if not self._record and not self._subscribers:
+            return
+        record = TraceRecord(time=time, category=category, node=node, detail=detail)
+        if self._record:
+            self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(callback)
+
+    def count(self, category: str) -> int:
+        """Number of records emitted for ``category`` (recorded or not)."""
+        return self._category_counts.get(category, 0)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Filter recorded records by category prefix, node, and predicate."""
+
+        def keep(record: TraceRecord) -> bool:
+            if category is not None and not record.category.startswith(category):
+                return False
+            if node is not None and record.node != node:
+                return False
+            if predicate is not None and not predicate(record):
+                return False
+            return True
+
+        return [r for r in self.records if keep(r)]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._category_counts.clear()
+
+    def dump(self, categories: Optional[Iterable[str]] = None) -> str:
+        """Human-readable dump, optionally restricted to category prefixes."""
+        prefixes = tuple(categories) if categories else None
+        lines = [
+            str(r)
+            for r in self.records
+            if prefixes is None or r.category.startswith(prefixes)
+        ]
+        return "\n".join(lines)

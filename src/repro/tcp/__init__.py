@@ -1,0 +1,34 @@
+"""Userspace TCP implementation.
+
+A faithful-enough TCP per RFC 793/879 for the failover bridge to sit
+under: three-way handshake with MSS negotiation, sliding-window flow
+control, retransmission with Jacobson RTO and Karn's rule, delayed and
+piggybacked acknowledgements, slow start / congestion avoidance / fast
+retransmit, four-way termination with half-close and TIME_WAIT, and a
+64 KB send buffer whose blocking behaviour produces the Figure-3 shape.
+
+The implementation is deliberately event-driven and kernel-shaped (a
+:class:`~repro.tcp.layer.TcpLayer` per host demultiplexing to
+:class:`~repro.tcp.connection.TcpConnection` control blocks) so the
+paper's bridge can interpose between it and IP exactly as described.
+"""
+
+from repro.tcp.connection import TcpConnection, TcpState
+from repro.tcp.layer import Listener, TcpLayer
+from repro.tcp.segment import FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_RST, FLAG_SYN, TcpSegment
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+
+__all__ = [
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_PSH",
+    "FLAG_RST",
+    "FLAG_SYN",
+    "Listener",
+    "ListeningSocket",
+    "SimSocket",
+    "TcpConnection",
+    "TcpLayer",
+    "TcpSegment",
+    "TcpState",
+]

@@ -1,0 +1,858 @@
+"""TCP connection state machine.
+
+One :class:`TcpConnection` is a transmission control block: RFC 793 states,
+send/receive sequence variables, buffers, timers and the segment
+send/receive engines.  Connections never talk to the network directly —
+every outgoing segment goes through the owning
+:class:`~repro.tcp.layer.TcpLayer`, which hands it to the host, which hands
+it to the failover bridge when one is installed.  The connection therefore
+has no idea whether it is replicated, which is precisely the transparency
+property the paper claims for server applications.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.net.addresses import Ipv4Address
+from repro.sim.process import Event
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer
+from repro.tcp.congestion import CongestionControl
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.segment import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    TcpSegment,
+)
+from repro.tcp.seqnum import (
+    seq_add,
+    seq_between,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+    seq_max,
+    seq_sub,
+)
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+
+DATA_STATES = {
+    TcpState.ESTABLISHED,
+    TcpState.FIN_WAIT_1,
+    TcpState.FIN_WAIT_2,
+}
+
+SEND_STATES = {
+    TcpState.ESTABLISHED,
+    TcpState.CLOSE_WAIT,
+    TcpState.FIN_WAIT_1,
+    TcpState.CLOSING,
+    TcpState.LAST_ACK,
+}
+
+
+class ConnectionReset(ConnectionError):
+    """The peer reset the connection (or it was aborted locally)."""
+
+
+class TcpConnection:
+    """One TCP endpoint (a TCB plus its engines)."""
+
+    MAX_RETRANSMITS = 12
+    SYN_MAX_RETRANSMITS = 6
+
+    def __init__(
+        self,
+        layer: "TcpLayer",  # noqa: F821 - forward ref, avoids import cycle
+        local_ip: Ipv4Address,
+        local_port: int,
+        remote_ip: Ipv4Address,
+        remote_port: int,
+        mss: int = 1460,
+        send_buffer_size: int = 65536,
+        recv_buffer_size: int = 65536,
+        initial_rto: float = 1.0,
+        min_rto: float = 0.2,
+        msl: float = 5.0,
+        delayed_ack_time: float = 0.2,
+        failover: bool = False,
+    ):
+        self.layer = layer
+        self.sim = layer.sim
+        self.tracer = layer.tracer
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.failover = failover
+        self.state = TcpState.CLOSED
+        self.mss_config = mss
+        self.mss = mss  # effective, lowered by the peer's MSS option
+        self.msl = msl
+        self.delayed_ack_time = delayed_ack_time
+
+        self.iss = 0
+        self.irs = 0
+        self.snd_una = 0
+        self.snd_max = 0  # highest seq_end ever sent
+        self.snd_wnd = 0
+        self.send_buffer = SendBuffer(send_buffer_size)
+        self.recv_buffer: Optional[ReceiveBuffer] = None
+        self.recv_buffer_size = recv_buffer_size
+
+        self.rto = RtoEstimator(initial_rto=initial_rto, min_rto=min_rto)
+        self.cc = CongestionControl(mss)
+
+        # FIN bookkeeping (our side).
+        self._fin_pending = False  # application closed the send side
+        self._fin_seq: Optional[int] = None
+        self._fin_in_flight = False
+        self._fin_acked = False
+        # FIN bookkeeping (their side).
+        self.fin_received = False
+
+        self._rtx_timer = None
+        self._delack_timer = None
+        self._persist_timer = None
+        self._time_wait_timer = None
+        self._persist_backoff = 1
+        self._rtx_count = 0
+        self._rtt_probe: Optional[Tuple[int, float]] = None
+        self._total_written = 0
+        self._segs_since_ack = 0
+
+        self.established_event = Event(self.sim, name=f"{self}.established")
+        # terminated: the four-way handshake finished (TIME_WAIT counts);
+        # closed: the TCB is destroyed (after 2*MSL for the active closer).
+        self.terminated_event = Event(self.sim, name=f"{self}.terminated")
+        self.closed_event = Event(self.sim, name=f"{self}.closed")
+        self._readable_waiters: List[Event] = []
+        self._writable_waiters: List[Event] = []
+        self.reset_received = False
+
+        # Statistics.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.retransmissions = 0
+
+    # ------------------------------------------------------------------
+    # identification helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def key(self) -> Tuple[Ipv4Address, int, Ipv4Address, int]:
+        return (self.local_ip, self.local_port, self.remote_ip, self.remote_port)
+
+    @property
+    def snd_nxt(self) -> int:
+        """Next sequence number a pure ACK should carry (highest sent)."""
+        return self.snd_max
+
+    @property
+    def rcv_nxt(self) -> int:
+        if self.recv_buffer is None:
+            return 0
+        return self.recv_buffer.rcv_nxt
+
+    def __repr__(self) -> str:
+        return (
+            f"Tcp[{self.local_ip}:{self.local_port}->"
+            f"{self.remote_ip}:{self.remote_port} {self.state.value}]"
+        )
+
+    # ------------------------------------------------------------------
+    # opening
+    # ------------------------------------------------------------------
+
+    def open_active(self) -> None:
+        """Client side: send SYN."""
+        self.iss = self.layer.choose_iss()
+        self.snd_una = self.iss
+        self.snd_max = self.iss
+        self.state = TcpState.SYN_SENT
+        self._send_syn(with_ack=False)
+        self._start_rtx_timer()
+
+    def open_passive(self, syn: TcpSegment) -> None:
+        """Server side: accept SYN, answer SYN-ACK."""
+        self.iss = self.layer.choose_iss()
+        self.snd_una = self.iss
+        self.snd_max = self.iss
+        self.irs = syn.seq
+        self.recv_buffer = ReceiveBuffer(
+            seq_add(self.irs, 1), capacity=self.recv_buffer_size
+        )
+        if syn.mss_option is not None:
+            self.mss = min(self.mss_config, syn.mss_option)
+            self.cc.mss = self.mss
+        self.snd_wnd = syn.window
+        self.state = TcpState.SYN_RCVD
+        self._send_syn(with_ack=True)
+        self._start_rtx_timer()
+
+    def _send_syn(self, with_ack: bool) -> None:
+        flags = FLAG_SYN | (FLAG_ACK if with_ack else 0)
+        segment = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.iss,
+            ack=self.rcv_nxt if with_ack else 0,
+            flags=flags,
+            window=self.recv_buffer.window if self.recv_buffer else self.recv_buffer_size_clamped(),
+            mss_option=self.mss_config,
+        )
+        self.snd_max = seq_max(self.snd_max, segment.seq_end)
+        self._transmit(segment)
+
+    def recv_buffer_size_clamped(self) -> int:
+        return min(0xFFFF, self.recv_buffer_size)
+
+    # ------------------------------------------------------------------
+    # application interface
+    # ------------------------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        """Accept bytes into the send buffer; returns the count accepted."""
+        if self.reset_received:
+            raise ConnectionReset(f"{self}: connection reset")
+        if self._fin_pending or self.state in (
+            TcpState.FIN_WAIT_1,
+            TcpState.FIN_WAIT_2,
+            TcpState.CLOSING,
+            TcpState.LAST_ACK,
+            TcpState.TIME_WAIT,
+            TcpState.CLOSED,
+        ):
+            raise ConnectionError(f"{self}: send side already closed")
+        accepted = self.send_buffer.write(data)
+        self._total_written += accepted
+        if accepted and self.state in SEND_STATES:
+            self._output()
+        return accepted
+
+    def read(self, max_bytes: int) -> bytes:
+        """Non-blocking read; empty bytes means no data available now."""
+        if self.recv_buffer is None:
+            return b""
+        data = self.recv_buffer.read(max_bytes)
+        return data
+
+    @property
+    def eof(self) -> bool:
+        """True once the peer's FIN was consumed and all data read."""
+        return (
+            self.fin_received
+            and self.recv_buffer is not None
+            and self.recv_buffer.readable_bytes == 0
+        )
+
+    def close(self) -> None:
+        """Close the send direction (half-close); receive stays open."""
+        if self._fin_pending or self.state == TcpState.CLOSED:
+            return
+        self._fin_pending = True
+        if self.state in SEND_STATES or self.state in (
+            TcpState.SYN_RCVD,
+        ):
+            self._maybe_send_fin()
+
+    def abort(self) -> None:
+        """Send RST and destroy the connection."""
+        if self.state not in (TcpState.CLOSED,):
+            rst = TcpSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=self.snd_max,
+                ack=self.rcv_nxt,
+                flags=FLAG_RST | FLAG_ACK,
+                window=0,
+            )
+            self._transmit(rst)
+        self._destroy(error=ConnectionReset(f"{self}: aborted locally"))
+
+    def wait_readable(self) -> Event:
+        """Event that fires when data/EOF/reset is available."""
+        event = Event(self.sim, name=f"{self}.readable")
+        if self._readable_now():
+            event.succeed()
+        else:
+            self._readable_waiters.append(event)
+        return event
+
+    def wait_writable(self) -> Event:
+        """Event that fires when the send buffer has space (or on error)."""
+        event = Event(self.sim, name=f"{self}.writable")
+        if self.send_buffer.free_space > 0 or self.reset_received:
+            event.succeed()
+        else:
+            self._writable_waiters.append(event)
+        return event
+
+    def _readable_now(self) -> bool:
+        return (
+            (self.recv_buffer is not None and self.recv_buffer.readable_bytes > 0)
+            or self.fin_received
+            or self.reset_received
+        )
+
+    def _wake_readers(self) -> None:
+        if not self._readable_now():
+            return
+        waiters, self._readable_waiters = self._readable_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    def _wake_writers(self) -> None:
+        if self.send_buffer.free_space <= 0 and not self.reset_received:
+            return
+        waiters, self._writable_waiters = self._writable_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    # ------------------------------------------------------------------
+    # segment transmission engine
+    # ------------------------------------------------------------------
+
+    def _transmit(self, segment: TcpSegment) -> None:
+        self.segments_sent += 1
+        self.layer.send_segment(segment, self.local_ip, self.remote_ip)
+
+    def _data_seq(self, buffer_offset: int) -> int:
+        """Sequence number of the send-buffer byte at ``buffer_offset``."""
+        return seq_add(self.snd_una, buffer_offset)
+
+    def _in_flight_seq_space(self) -> int:
+        flight = self.send_buffer.in_flight
+        if self._fin_in_flight:
+            flight += 1
+        return flight
+
+    def _output(self) -> None:
+        """Transmit as much buffered data as windows allow."""
+        if self.state not in SEND_STATES:
+            return
+        usable = self.cc.window(self.snd_wnd) - self._in_flight_seq_space()
+        sent_any = False
+        while self.send_buffer.unsent_bytes > 0 and usable > 0:
+            chunk = min(self.mss, self.send_buffer.unsent_bytes, usable)
+            payload = self.send_buffer.peek_unsent(chunk)
+            seq = self._data_seq(self.send_buffer.next_offset)
+            flags = FLAG_ACK
+            last_of_buffer = chunk == self.send_buffer.unsent_bytes
+            if last_of_buffer:
+                flags |= FLAG_PSH
+            fin_now = (
+                last_of_buffer
+                and self._fin_pending
+                and not self._fin_in_flight
+                and usable > chunk
+            )
+            if fin_now:
+                flags |= FLAG_FIN
+            segment = TcpSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=seq,
+                ack=self.rcv_nxt,
+                flags=flags,
+                window=self.recv_buffer.window if self.recv_buffer else 0,
+                payload=payload,
+            )
+            first_transmission = seq_ge(seq, self.snd_max)
+            self.send_buffer.mark_sent(chunk)
+            if fin_now:
+                self._register_fin_sent()
+            self.bytes_sent += chunk
+            self.snd_max = seq_max(self.snd_max, segment.seq_end)
+            if first_transmission and self._rtt_probe is None:
+                self._rtt_probe = (segment.seq_end, self.sim.now)
+            self._transmit(segment)
+            self._ack_was_piggybacked()
+            usable -= chunk + (1 if fin_now else 0)
+            sent_any = True
+        if (
+            self.send_buffer.unsent_bytes == 0
+            and self._fin_pending
+            and not self._fin_in_flight
+            and self.state in SEND_STATES
+        ):
+            self._send_fin_only()
+            sent_any = True
+        if sent_any:
+            self._start_rtx_timer()
+        if (
+            self.snd_wnd == 0
+            and self.cc.window(1) > 0
+            and (self.send_buffer.unsent_bytes > 0 or
+                 (self._fin_pending and not self._fin_in_flight))
+            and self._persist_timer is None
+        ):
+            self._start_persist_timer()
+
+    def _register_fin_sent(self) -> None:
+        self._fin_in_flight = True
+        if self._fin_seq is None:
+            self._fin_seq = self._data_seq(len(self.send_buffer))
+        if self.state == TcpState.ESTABLISHED:
+            self.state = TcpState.FIN_WAIT_1
+        elif self.state == TcpState.CLOSE_WAIT:
+            self.state = TcpState.LAST_ACK
+
+    def _maybe_send_fin(self) -> None:
+        if self.send_buffer.unsent_bytes == 0 and not self._fin_in_flight:
+            if self.state in SEND_STATES or self.state == TcpState.SYN_RCVD:
+                if self.state == TcpState.SYN_RCVD:
+                    # FIN allowed once the handshake completes; defer.
+                    return
+                self._send_fin_only()
+                self._start_rtx_timer()
+        else:
+            self._output()
+
+    def _send_fin_only(self) -> None:
+        seq = self._data_seq(len(self.send_buffer))
+        segment = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq,
+            ack=self.rcv_nxt,
+            flags=FLAG_FIN | FLAG_ACK,
+            window=self.recv_buffer.window if self.recv_buffer else 0,
+        )
+        self._register_fin_sent()
+        self.snd_max = seq_max(self.snd_max, segment.seq_end)
+        self._transmit(segment)
+        self._ack_was_piggybacked()
+
+    def _send_ack_now(self) -> None:
+        if self.recv_buffer is None:
+            return
+        segment = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.snd_max,
+            ack=self.rcv_nxt,
+            flags=FLAG_ACK,
+            window=self.recv_buffer.window,
+        )
+        self._transmit(segment)
+        self._ack_was_piggybacked()
+
+    def _ack_was_piggybacked(self) -> None:
+        self._segs_since_ack = 0
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
+    def _schedule_ack(self) -> None:
+        """Delayed-ACK policy: every second segment, else after a timer."""
+        self._segs_since_ack += 1
+        if self._segs_since_ack >= 2:
+            self._send_ack_now()
+            return
+        if self._delack_timer is None:
+            self._delack_timer = self.sim.schedule(
+                self.delayed_ack_time, self._delack_fired
+            )
+
+    def _delack_fired(self) -> None:
+        self._delack_timer = None
+        if self.state != TcpState.CLOSED:
+            self._send_ack_now()
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+
+    def _start_rtx_timer(self) -> None:
+        if self._rtx_timer is not None:
+            return
+        self._rtx_timer = self.sim.schedule(self.rto.rto, self._rtx_fired)
+
+    def _restart_rtx_timer(self) -> None:
+        if self._rtx_timer is not None:
+            self._rtx_timer.cancel()
+            self._rtx_timer = None
+        if self._needs_rtx_timer():
+            self._start_rtx_timer()
+
+    def _needs_rtx_timer(self) -> bool:
+        if self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            return True
+        return self._in_flight_seq_space() > 0
+
+    def _rtx_fired(self) -> None:
+        self._rtx_timer = None
+        if self.state == TcpState.CLOSED:
+            return
+        if not self._needs_rtx_timer():
+            return
+        self._rtx_count += 1
+        limit = (
+            self.SYN_MAX_RETRANSMITS
+            if self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD)
+            else self.MAX_RETRANSMITS
+        )
+        if self._rtx_count > limit:
+            self.tracer.emit(self.sim.now, "tcp.give_up", self.layer.node_name,
+                             conn=str(self))
+            self._destroy(error=ConnectionError(f"{self}: too many retransmissions"))
+            return
+        self.retransmissions += 1
+        self.rto.on_timeout()
+        self._rtt_probe = None  # Karn's rule
+        self.tracer.emit(
+            self.sim.now, "tcp.rtx", self.layer.node_name,
+            conn=str(self), state=self.state.value, count=self._rtx_count,
+        )
+        if self.state == TcpState.SYN_SENT:
+            self._send_syn(with_ack=False)
+        elif self.state == TcpState.SYN_RCVD:
+            self._send_syn(with_ack=True)
+        else:
+            self.cc.on_timeout(self.send_buffer.in_flight)
+            self._fin_in_flight = False
+            self.send_buffer.rewind()
+            self._output()
+            if self._in_flight_seq_space() == 0 and self._fin_pending:
+                # FIN-only retransmission when there is no data left.
+                self._maybe_send_fin()
+        self._start_rtx_timer()
+
+    def _start_persist_timer(self) -> None:
+        interval = min(60.0, self.rto.rto * self._persist_backoff)
+        self._persist_timer = self.sim.schedule(interval, self._persist_fired)
+
+    def _persist_fired(self) -> None:
+        self._persist_timer = None
+        if self.state not in SEND_STATES or self.snd_wnd > 0:
+            self._persist_backoff = 1
+            return
+        self._persist_backoff = min(self._persist_backoff * 2, 16)
+        probe = self.send_buffer.peek_at(self.send_buffer.next_offset, 1)
+        if probe:
+            segment = TcpSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=self._data_seq(self.send_buffer.next_offset),
+                ack=self.rcv_nxt,
+                flags=FLAG_ACK,
+                window=self.recv_buffer.window if self.recv_buffer else 0,
+                payload=probe,
+            )
+            self.tracer.emit(self.sim.now, "tcp.zwp", self.layer.node_name, conn=str(self))
+            # The probe byte occupies sequence space: record it so the
+            # receiver's ACK of the probe is acceptable and carries the
+            # reopened window back to us.
+            self.snd_max = seq_max(self.snd_max, segment.seq_end)
+            self._transmit(segment)
+        self._start_persist_timer()
+
+    def _cancel_all_timers(self) -> None:
+        for timer_name in ("_rtx_timer", "_delack_timer", "_persist_timer", "_time_wait_timer"):
+            timer = getattr(self, timer_name)
+            if timer is not None:
+                timer.cancel()
+                setattr(self, timer_name, None)
+
+    # ------------------------------------------------------------------
+    # segment arrival
+    # ------------------------------------------------------------------
+
+    def segment_arrived(self, segment: TcpSegment, src_ip: Ipv4Address) -> None:
+        self.segments_received += 1
+        if not segment.checksum_ok(src_ip, self.local_ip):
+            self.tracer.emit(
+                self.sim.now, "tcp.bad_checksum", self.layer.node_name,
+                conn=str(self), seg=repr(segment),
+            )
+            return
+        if segment.rst:
+            self._handle_rst(segment)
+            return
+        handler = {
+            TcpState.SYN_SENT: self._arrival_syn_sent,
+            TcpState.SYN_RCVD: self._arrival_syn_rcvd,
+            TcpState.TIME_WAIT: self._arrival_time_wait,
+        }.get(self.state, self._arrival_synchronized)
+        handler(segment)
+
+    def _handle_rst(self, segment: TcpSegment) -> None:
+        if self.state == TcpState.SYN_SENT:
+            acceptable = segment.has_ack and segment.ack == seq_add(self.iss, 1)
+        else:
+            window = self.recv_buffer.window if self.recv_buffer else 0
+            acceptable = segment.seq == self.rcv_nxt or (
+                window > 0 and seq_between(self.rcv_nxt, segment.seq, seq_add(self.rcv_nxt, window))
+            )
+        if acceptable:
+            self.tracer.emit(
+                self.sim.now, "tcp.rst_received", self.layer.node_name, conn=str(self)
+            )
+            self._destroy(error=ConnectionReset(f"{self}: reset by peer"))
+
+    def _arrival_syn_sent(self, segment: TcpSegment) -> None:
+        if not (segment.syn and segment.has_ack):
+            return
+        if segment.ack != seq_add(self.iss, 1):
+            return
+        self.irs = segment.seq
+        self.recv_buffer = ReceiveBuffer(
+            seq_add(self.irs, 1), capacity=self.recv_buffer_size
+        )
+        if segment.mss_option is not None:
+            self.mss = min(self.mss_config, segment.mss_option)
+            self.cc.mss = self.mss
+        self.snd_una = seq_add(self.iss, 1)
+        self.snd_max = seq_max(self.snd_max, self.snd_una)
+        self.snd_wnd = segment.window
+        self.state = TcpState.ESTABLISHED
+        self._rtx_count = 0
+        self._restart_rtx_timer()
+        self._send_ack_now()
+        if not self.established_event.triggered:
+            self.established_event.succeed(self)
+        self._output()
+
+    def _arrival_syn_rcvd(self, segment: TcpSegment) -> None:
+        if segment.syn and segment.seq == self.irs:
+            # Duplicate SYN: our SYN-ACK was lost; resend it.
+            self._send_syn(with_ack=True)
+            return
+        if not segment.has_ack:
+            return
+        if segment.ack != seq_add(self.iss, 1):
+            return
+        self.snd_una = seq_add(self.iss, 1)
+        self.snd_max = seq_max(self.snd_max, self.snd_una)
+        self.snd_wnd = segment.window
+        self.state = TcpState.ESTABLISHED
+        self._rtx_count = 0
+        self._restart_rtx_timer()
+        if not self.established_event.triggered:
+            self.established_event.succeed(self)
+        self.layer.connection_established(self)
+        # The handshake ACK may carry data and/or FIN; fall through.
+        if segment.payload or segment.fin:
+            self._arrival_synchronized(segment)
+        else:
+            self._output()
+        if self._fin_pending and not self._fin_in_flight:
+            self._maybe_send_fin()
+
+    def _arrival_time_wait(self, segment: TcpSegment) -> None:
+        # A retransmitted FIN means our last ACK was lost: re-ACK, restart 2MSL.
+        if segment.fin:
+            self._send_ack_now()
+            if self._time_wait_timer is not None:
+                self._time_wait_timer.cancel()
+            self._time_wait_timer = self.sim.schedule(2 * self.msl, self._time_wait_expired)
+
+    def _arrival_synchronized(self, segment: TcpSegment) -> None:
+        if segment.syn:
+            # Stale SYN in a synchronized state: re-ACK our current state.
+            self._send_ack_now()
+            return
+        if segment.has_ack:
+            self._process_ack(segment)
+        if segment.payload:
+            self._process_data(segment)
+        if segment.fin:
+            self._process_fin(segment)
+
+    def _process_ack(self, segment: TcpSegment) -> None:
+        ack = segment.ack
+        if seq_gt(ack, self.snd_max):
+            # Acknowledges data we never sent: ignore (send an ACK per RFC).
+            self._send_ack_now()
+            return
+        if seq_between(self.snd_una, ack, self.snd_max):
+            delta = seq_sub(ack, self.snd_una)
+            fin_covered = (
+                self._fin_in_flight
+                and self._fin_seq is not None
+                and seq_gt(ack, self._fin_seq)
+            )
+            data_acked = delta - 1 if fin_covered else delta
+            data_acked = min(data_acked, len(self.send_buffer))
+            if data_acked > 0:
+                self.send_buffer.ack_bytes(data_acked)
+            self.snd_una = ack
+            self._rtx_count = 0
+            if fin_covered and not self._fin_acked:
+                self._fin_acked = True
+                self._on_our_fin_acked()
+            if self._rtt_probe is not None and seq_ge(ack, self._rtt_probe[0]):
+                self.rto.add_sample(self.sim.now - self._rtt_probe[1])
+                self._rtt_probe = None
+            self.cc.on_new_ack(max(data_acked, 1))
+            self.snd_wnd = segment.window
+            if self.snd_wnd > 0:
+                self._persist_backoff = 1
+            self._restart_rtx_timer()
+            self._wake_writers()
+            self._output()
+        elif ack == self.snd_una:
+            old_wnd = self.snd_wnd
+            self.snd_wnd = segment.window
+            if (
+                not segment.payload
+                and segment.window == old_wnd
+                and self._in_flight_seq_space() > 0
+            ):
+                if self.cc.on_duplicate_ack(self.send_buffer.in_flight):
+                    self._fast_retransmit()
+            elif self.snd_wnd > old_wnd:
+                self._output()
+        else:
+            # Old acknowledgment: just refresh the window.
+            self.snd_wnd = segment.window
+
+    def _fast_retransmit(self) -> None:
+        payload = self.send_buffer.peek_at(0, self.mss)
+        if not payload and not self._fin_in_flight:
+            return
+        self.retransmissions += 1
+        self._rtt_probe = None
+        self.tracer.emit(
+            self.sim.now, "tcp.fast_rtx", self.layer.node_name, conn=str(self)
+        )
+        if payload:
+            flags = FLAG_ACK | FLAG_PSH
+            fin_too = (
+                self._fin_in_flight
+                and self._fin_seq is not None
+                and len(payload) == len(self.send_buffer)
+            )
+            if fin_too:
+                flags |= FLAG_FIN
+            segment = TcpSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=self.snd_una,
+                ack=self.rcv_nxt,
+                flags=flags,
+                window=self.recv_buffer.window if self.recv_buffer else 0,
+                payload=payload,
+            )
+        else:
+            segment = TcpSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=self.snd_una,
+                ack=self.rcv_nxt,
+                flags=FLAG_FIN | FLAG_ACK,
+                window=self.recv_buffer.window if self.recv_buffer else 0,
+            )
+        self._transmit(segment)
+        self._ack_was_piggybacked()
+
+    def _process_data(self, segment: TcpSegment) -> None:
+        if self.state not in DATA_STATES:
+            # e.g. data after we saw FIN: just re-ACK.
+            self._send_ack_now()
+            return
+        advanced = self.recv_buffer.receive(segment.seq, segment.payload)
+        if advanced > 0:
+            self.bytes_received += advanced
+            self._wake_readers()
+            self._schedule_ack()
+        else:
+            # Duplicate or out-of-order: immediate ACK helps fast retransmit.
+            self._send_ack_now()
+
+    def _process_fin(self, segment: TcpSegment) -> None:
+        fin_seq = seq_add(segment.seq, len(segment.payload))
+        if fin_seq != self.rcv_nxt:
+            return  # out of order; the FIN will be retransmitted
+        if self.fin_received:
+            self._send_ack_now()
+            return
+        self.fin_received = True
+        self.recv_buffer.advance_past_fin()
+        self._send_ack_now()
+        self._wake_readers()
+        if self.state == TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+        elif self.state == TcpState.FIN_WAIT_1:
+            # Our FIN not yet acked (else we'd be in FIN_WAIT_2).
+            self.state = TcpState.CLOSING
+        elif self.state == TcpState.FIN_WAIT_2:
+            self._enter_time_wait()
+
+    def _on_our_fin_acked(self) -> None:
+        if self.state == TcpState.FIN_WAIT_1:
+            self.state = TcpState.FIN_WAIT_2
+        elif self.state == TcpState.CLOSING:
+            self._enter_time_wait()
+        elif self.state == TcpState.LAST_ACK:
+            self._destroy(error=None)
+
+    def _enter_time_wait(self) -> None:
+        self.state = TcpState.TIME_WAIT
+        self._cancel_all_timers()
+        if not self.terminated_event.triggered:
+            self.terminated_event.succeed()
+        self._time_wait_timer = self.sim.schedule(2 * self.msl, self._time_wait_expired)
+
+    def _time_wait_expired(self) -> None:
+        self._time_wait_timer = None
+        self._destroy(error=None)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+
+    def _destroy(self, error: Optional[BaseException]) -> None:
+        if self.state == TcpState.CLOSED and self.closed_event.triggered:
+            return
+        self.state = TcpState.CLOSED
+        self._cancel_all_timers()
+        if error is not None:
+            self.reset_received = True
+            if not self.established_event.triggered:
+                self.established_event.fail(error)
+        for event in self._readable_waiters + self._writable_waiters:
+            if not event.triggered:
+                event.succeed()
+        self._readable_waiters = []
+        self._writable_waiters = []
+        if not self.terminated_event.triggered:
+            self.terminated_event.succeed()
+        if not self.closed_event.triggered:
+            self.closed_event.succeed()
+        self.layer.deregister(self)
+
+    # ------------------------------------------------------------------
+    # failover support
+    # ------------------------------------------------------------------
+
+    def rebind_local_ip(self, new_ip: Ipv4Address) -> None:
+        """Re-home this TCB onto a new local address (IP takeover, §5).
+
+        The paper's kernel achieves the same effect with bridge address
+        translation; re-keying the TCB is the equivalent observable
+        behaviour for a simulated stack (documented in DESIGN.md).
+        """
+        self.local_ip = new_ip

@@ -1,0 +1,259 @@
+"""Per-host TCP layer: demultiplexing, listeners, connection table.
+
+A TCP connection is identified by the 4-tuple (local IP, local port,
+remote IP, remote port) — the paper relies on that same 4-tuple to key
+bridge state (§7.1).  Ephemeral ports are allocated from a deterministic
+counter: actively-replicated applications on the primary and secondary
+therefore allocate *identical* port numbers, which §7.2 (server-initiated
+establishment) silently requires.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.addresses import Ipv4Address
+from repro.sim.engine import Simulator
+from repro.sim.process import Queue
+from repro.sim.trace import Tracer
+from repro.tcp.connection import TcpConnection, TcpState
+from repro.tcp.segment import FLAG_ACK, FLAG_RST, TcpSegment
+
+ConnKey = Tuple[Ipv4Address, int, Ipv4Address, int]
+
+EPHEMERAL_PORT_START = 32768
+EPHEMERAL_PORT_END = 61000
+
+
+class Listener:
+    """A passive (listening) endpoint with an accept queue."""
+
+    def __init__(self, layer: "TcpLayer", port: int, backlog: int = 16, failover: bool = False):
+        self.layer = layer
+        self.port = port
+        self.backlog = backlog
+        self.failover = failover
+        self.accept_queue: Queue = Queue(layer.sim, name=f"accept:{port}")
+        self.pending = 0  # connections in SYN_RCVD
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+        self.layer.close_listener(self.port)
+
+
+class TcpLayer:
+    """All TCP endpoints of one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_name: str,
+        local_ips: Callable[[], List[Ipv4Address]],
+        transmit: Callable[[TcpSegment, Ipv4Address, Ipv4Address], None],
+        tracer: Optional[Tracer] = None,
+        rng: Optional[random.Random] = None,
+        conn_defaults: Optional[dict] = None,
+    ):
+        self.sim = sim
+        self.node_name = node_name
+        self.local_ips = local_ips
+        self._transmit = transmit
+        self.tracer = tracer or Tracer(record=False)
+        self.rng = rng or random.Random(0)
+        self.conn_defaults = conn_defaults or {}
+        self.connections: Dict[ConnKey, TcpConnection] = {}
+        self.listeners: Dict[int, Listener] = {}
+        self._next_ephemeral = EPHEMERAL_PORT_START
+        self.rsts_sent = 0
+
+    # ------------------------------------------------------------------
+    # configuration and identity
+    # ------------------------------------------------------------------
+
+    def choose_iss(self) -> int:
+        """Initial send sequence.  Random per connection, per host — the
+        bridge's Δseq absorbs the difference between the replicas."""
+        return self.rng.randrange(1 << 32)
+
+    def allocate_ephemeral_port(self) -> int:
+        """Deterministic ephemeral allocation (see module docstring)."""
+        for _ in range(EPHEMERAL_PORT_END - EPHEMERAL_PORT_START):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral >= EPHEMERAL_PORT_END:
+                self._next_ephemeral = EPHEMERAL_PORT_START
+            if not self._port_in_use(port):
+                return port
+        raise RuntimeError(f"{self.node_name}: ephemeral ports exhausted")
+
+    def _port_in_use(self, port: int) -> bool:
+        if port in self.listeners:
+            return True
+        return any(key[1] == port for key in self.connections)
+
+    # ------------------------------------------------------------------
+    # opening endpoints
+    # ------------------------------------------------------------------
+
+    def listen(self, port: int, backlog: int = 16, failover: bool = False) -> Listener:
+        if port in self.listeners:
+            raise OSError(f"{self.node_name}: port {port} already listening")
+        listener = Listener(self, port, backlog=backlog, failover=failover)
+        self.listeners[port] = listener
+        return listener
+
+    def close_listener(self, port: int) -> None:
+        self.listeners.pop(port, None)
+
+    def connect(
+        self,
+        remote_ip: Ipv4Address,
+        remote_port: int,
+        local_ip: Optional[Ipv4Address] = None,
+        local_port: Optional[int] = None,
+        failover: bool = False,
+        **options,
+    ) -> TcpConnection:
+        """Open an active connection (SYN is sent immediately)."""
+        if local_ip is None:
+            ips = self.local_ips()
+            if not ips:
+                raise OSError(f"{self.node_name}: no local IP")
+            local_ip = ips[0]
+        if local_port is None:
+            local_port = self.allocate_ephemeral_port()
+        key = (local_ip, local_port, remote_ip, remote_port)
+        if key in self.connections:
+            raise OSError(f"{self.node_name}: connection {key} already exists")
+        kwargs = dict(self.conn_defaults)
+        kwargs.update(options)
+        conn = TcpConnection(
+            self, local_ip, local_port, remote_ip, remote_port,
+            failover=failover, **kwargs,
+        )
+        self.connections[key] = conn
+        conn.open_active()
+        return conn
+
+    # ------------------------------------------------------------------
+    # segment demultiplexing
+    # ------------------------------------------------------------------
+
+    def receive_segment(
+        self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address
+    ) -> None:
+        key = (dst_ip, segment.dst_port, src_ip, segment.src_port)
+        conn = self.connections.get(key)
+        if conn is not None:
+            conn.segment_arrived(segment, src_ip)
+            return
+        if segment.syn and not segment.has_ack:
+            listener = self.listeners.get(segment.dst_port)
+            if listener is not None and not listener.closed:
+                if listener.pending >= listener.backlog:
+                    return  # silently drop: client will retry
+                self._accept_syn(listener, segment, src_ip, dst_ip)
+                return
+        if not segment.rst:
+            self._send_rst_for(segment, src_ip, dst_ip)
+
+    def _accept_syn(
+        self,
+        listener: Listener,
+        segment: TcpSegment,
+        src_ip: Ipv4Address,
+        dst_ip: Ipv4Address,
+    ) -> None:
+        if not segment.checksum_ok(src_ip, dst_ip):
+            self.tracer.emit(
+                self.sim.now, "tcp.bad_checksum", self.node_name, seg=repr(segment)
+            )
+            return
+        kwargs = dict(self.conn_defaults)
+        conn = TcpConnection(
+            self,
+            dst_ip,
+            segment.dst_port,
+            src_ip,
+            segment.src_port,
+            failover=listener.failover,
+            **kwargs,
+        )
+        conn._listener = listener
+        listener.pending += 1
+        self.connections[conn.key] = conn
+        conn.open_passive(segment)
+
+    def connection_established(self, conn: TcpConnection) -> None:
+        """Callback from a SYN_RCVD connection completing the handshake."""
+        listener = getattr(conn, "_listener", None)
+        if listener is not None:
+            listener.pending = max(0, listener.pending - 1)
+            if not listener.closed:
+                listener.accept_queue.put(conn)
+
+    def _send_rst_for(
+        self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address
+    ) -> None:
+        """RFC 793 reset generation for segments with no matching endpoint."""
+        self.rsts_sent += 1
+        if segment.has_ack:
+            rst = TcpSegment(
+                src_port=segment.dst_port,
+                dst_port=segment.src_port,
+                seq=segment.ack,
+                ack=0,
+                flags=FLAG_RST,
+                window=0,
+            )
+        else:
+            rst = TcpSegment(
+                src_port=segment.dst_port,
+                dst_port=segment.src_port,
+                seq=0,
+                ack=segment.seq_end,
+                flags=FLAG_RST | FLAG_ACK,
+                window=0,
+            )
+        self.tracer.emit(
+            self.sim.now, "tcp.rst_sent", self.node_name,
+            to=f"{src_ip}:{segment.src_port}",
+        )
+        self.send_segment(rst, dst_ip, src_ip)
+
+    # ------------------------------------------------------------------
+    # transmission and bookkeeping
+    # ------------------------------------------------------------------
+
+    def send_segment(
+        self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address
+    ) -> None:
+        """Seal (checksum) and hand the segment to the host datapath."""
+        sealed = segment.sealed(src_ip, dst_ip)
+        self.tracer.emit(
+            self.sim.now, "tcp.tx", self.node_name,
+            seg=repr(sealed), dst=str(dst_ip),
+        )
+        self._transmit(sealed, src_ip, dst_ip)
+
+    def deregister(self, conn: TcpConnection) -> None:
+        existing = self.connections.get(conn.key)
+        if existing is conn:
+            del self.connections[conn.key]
+
+    def rebind_local_ip(self, old_ip: Ipv4Address, new_ip: Ipv4Address) -> None:
+        """Re-home every TCB from ``old_ip`` to ``new_ip`` (IP takeover)."""
+        moving = [
+            conn for key, conn in list(self.connections.items()) if key[0] == old_ip
+        ]
+        for conn in moving:
+            del self.connections[conn.key]
+            conn.rebind_local_ip(new_ip)
+            self.connections[conn.key] = conn
+
+    def established_count(self) -> int:
+        return sum(
+            1 for c in self.connections.values() if c.state == TcpState.ESTABLISHED
+        )

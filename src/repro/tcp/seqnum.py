@@ -1,0 +1,65 @@
+"""Modular 32-bit TCP sequence-number arithmetic.
+
+Sequence numbers live in Z/2^32 and comparisons are defined relative to a
+window of less than 2^31 (RFC 793 §3.3).  The failover bridge does all of
+its matching and Δseq adjustment in this arithmetic, so wraparound has to
+be exact — the property tests in ``tests/tcp/test_seqnum.py`` exercise it.
+"""
+
+from __future__ import annotations
+
+SEQ_MOD = 1 << 32
+_HALF = 1 << 31
+
+
+def seq_add(a: int, b: int) -> int:
+    """a + b (mod 2^32)."""
+    return (a + b) % SEQ_MOD
+
+
+def seq_sub(a: int, b: int) -> int:
+    """a - b (mod 2^32); the distance going forward from b to a."""
+    return (a - b) % SEQ_MOD
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Signed difference a - b interpreted in (-2^31, 2^31]."""
+    d = (a - b) % SEQ_MOD
+    return d - SEQ_MOD if d >= _HALF else d
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """a strictly precedes b."""
+    return seq_diff(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    return seq_diff(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_diff(a, b) > 0
+
+
+def seq_ge(a: int, b: int) -> bool:
+    return seq_diff(a, b) >= 0
+
+
+def seq_max(a: int, b: int) -> int:
+    """The later of two nearby sequence numbers."""
+    return a if seq_ge(a, b) else b
+
+
+def seq_min(a: int, b: int) -> int:
+    """The earlier of two nearby sequence numbers."""
+    return a if seq_le(a, b) else b
+
+
+def seq_between(left: int, x: int, right: int) -> bool:
+    """left < x <= right in modular order (RFC 793 acceptable-ACK test)."""
+    return seq_lt(left, x) and seq_le(x, right)
+
+
+def seq_in_window(start: int, x: int, length: int) -> bool:
+    """start <= x < start + length in modular order."""
+    return seq_sub(x, start) < length

@@ -1,0 +1,57 @@
+"""Tests for the echo application."""
+
+from repro.apps.echo import echo_once, echo_server
+from tests.util import SERVER_IP, TwoHostLan, ReplicatedLan, run_all
+
+
+def test_echo_roundtrip_unreplicated():
+    lan = TwoHostLan()
+    lan.server.spawn(echo_server(lan.server, 7), "echo")
+
+    def client():
+        reply = yield from echo_once(lan.client, SERVER_IP, 7, b"ping")
+        return reply
+
+    (reply,) = run_all(lan.sim, [client()])
+    assert reply == b"echo:ping"
+
+
+def test_echo_concurrent_connections():
+    lan = TwoHostLan()
+    lan.server.spawn(echo_server(lan.server, 7), "echo")
+
+    def client(tag):
+        reply = yield from echo_once(lan.client, SERVER_IP, 7, tag)
+        return reply
+
+    replies = run_all(lan.sim, [client(b"one"), client(b"two"), client(b"three")])
+    assert replies == [b"echo:one", b"echo:two", b"echo:three"]
+
+
+def test_echo_replicated_transparent():
+    lan = ReplicatedLan(failover_ports=(7,))
+    lan.pair.run_app(lambda host: echo_server(host, 7), "echo")
+
+    def client():
+        reply = yield from echo_once(lan.client, lan.server_ip, 7, b"hello")
+        return reply
+
+    (reply,) = run_all(lan.sim, [client()], until=10.0)
+    assert reply == b"echo:hello"
+    assert lan.pair.primary_bridge.mismatches == 0
+
+
+def test_echo_max_connections_limit():
+    lan = TwoHostLan()
+    lan.server.spawn(echo_server(lan.server, 7, max_connections=1), "echo")
+
+    def client():
+        reply = yield from echo_once(lan.client, SERVER_IP, 7, b"only")
+        return reply
+
+    (reply,) = run_all(lan.sim, [client()])
+    assert reply == b"echo:only"
+    # The listener is closed afterwards; further SYNs get RST.
+    conn = lan.client.tcp.connect(SERVER_IP, 7)
+    lan.run(until=lan.sim.now + 2.0)
+    assert conn.reset_received

@@ -1,0 +1,165 @@
+"""Tests for the FTP application (protocol, transfers, replication)."""
+
+import pytest
+
+from repro.apps.bulk import pattern_bytes
+from repro.apps.ftp import FileStore, FtpClient, ftp_server
+from repro.apps.ftp.protocol import (
+    format_port_command,
+    parse_command,
+    parse_port_argument,
+)
+from repro.net.addresses import Ipv4Address
+from tests.util import SERVER_IP, TwoHostLan, ReplicatedLan, run_all
+
+
+def test_port_command_roundtrip():
+    ip = Ipv4Address("10.1.2.3")
+    command = format_port_command(ip, 40001)
+    verb, argument = parse_command(command.encode())
+    assert verb == "PORT"
+    parsed_ip, parsed_port = parse_port_argument(argument)
+    assert parsed_ip == ip and parsed_port == 40001
+
+
+def test_parse_port_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_port_argument("1,2,3")
+    with pytest.raises(ValueError):
+        parse_port_argument("1,2,3,4,5,999")
+
+
+def test_parse_command_case_insensitive():
+    verb, argument = parse_command(b"retr File.txt\r\n")
+    assert verb == "RETR"
+    assert argument == "File.txt"
+
+
+def test_file_store_listing():
+    store = FileStore({"b.txt": b"12", "a.txt": b"1"})
+    assert store.listing() == "a.txt 1\r\nb.txt 2\r\n"
+
+
+def _ftp_pair(lan, files):
+    lan.server.spawn(ftp_server(lan.server, FileStore(files)), "ftp")
+
+
+def test_get_roundtrip():
+    lan = TwoHostLan()
+    content = pattern_bytes(30_000, salt=1)
+    _ftp_pair(lan, {"data.bin": content})
+
+    def client():
+        ftp = FtpClient(lan.client, SERVER_IP)
+        yield from ftp.connect_and_login()
+        data, elapsed = yield from ftp.get("data.bin")
+        yield from ftp.quit()
+        return data, elapsed
+
+    ((data, elapsed),) = run_all(lan.sim, [client()], until=60.0)
+    assert data == content
+    assert elapsed > 0
+
+
+def test_put_then_get_back():
+    lan = TwoHostLan()
+    _ftp_pair(lan, {})
+    content = pattern_bytes(8_000, salt=2)
+
+    def client():
+        ftp = FtpClient(lan.client, SERVER_IP)
+        yield from ftp.connect_and_login()
+        yield from ftp.put("up.bin", content)
+        data, _ = yield from ftp.get("up.bin")
+        yield from ftp.quit()
+        return data
+
+    (data,) = run_all(lan.sim, [client()], until=60.0)
+    assert data == content
+
+
+def test_get_missing_file_550():
+    from repro.apps.ftp.client import FtpError
+
+    lan = TwoHostLan()
+    _ftp_pair(lan, {})
+
+    def client():
+        ftp = FtpClient(lan.client, SERVER_IP)
+        yield from ftp.connect_and_login()
+        try:
+            yield from ftp.get("missing.bin")
+            return "ok"
+        except FtpError as exc:
+            return str(exc)
+
+    (outcome,) = run_all(lan.sim, [client()], until=60.0)
+    assert "550" in outcome
+
+
+def test_listing_over_data_connection():
+    lan = TwoHostLan()
+    _ftp_pair(lan, {"x.bin": b"123", "y.bin": b"4567"})
+
+    def client():
+        ftp = FtpClient(lan.client, SERVER_IP)
+        yield from ftp.connect_and_login()
+        listing = yield from ftp.listing()
+        yield from ftp.quit()
+        return listing
+
+    (listing,) = run_all(lan.sim, [client()], until=60.0)
+    assert "x.bin 3" in listing and "y.bin 4" in listing
+
+
+def test_commands_out_of_order_rejected():
+    """RETR without PORT (or before login) must yield 503."""
+    from repro.tcp.socket_api import SimSocket
+
+    lan = TwoHostLan()
+    _ftp_pair(lan, {"f": b"x"})
+
+    def client():
+        sock = SimSocket.connect(lan.client, SERVER_IP, 21)
+        yield from sock.wait_connected()
+        banner = yield from sock.recv_line()
+        yield from sock.send_all(b"RETR f\r\n")
+        reply = yield from sock.recv_line()
+        yield from sock.send_all(b"QUIT\r\n")
+        yield from sock.recv_line()
+        yield from sock.close_and_wait()
+        return reply
+
+    (reply,) = run_all(lan.sim, [client()], until=30.0)
+    assert reply.startswith(b"503")
+
+
+def test_replicated_ftp_get_and_put():
+    """Full replicated FTP on the LAN: both directions, both replicas
+    consistent (the put must land in both stores)."""
+    from repro.apps.ftp.protocol import FTP_CONTROL_PORT, FTP_DATA_PORT
+
+    lan = ReplicatedLan(failover_ports=(FTP_CONTROL_PORT, FTP_DATA_PORT))
+    content = pattern_bytes(20_000, salt=5)
+    stores = {}
+
+    def server_app(host):
+        store = FileStore({"seed.bin": content})
+        stores[host.name] = store
+        return ftp_server(host, store)
+
+    lan.pair.run_app(server_app, "ftp")
+
+    def client():
+        ftp = FtpClient(lan.client, lan.server_ip)
+        yield from ftp.connect_and_login()
+        data, _ = yield from ftp.get("seed.bin")
+        yield from ftp.put("new.bin", content[:5000])
+        yield from ftp.quit()
+        return data
+
+    (data,) = run_all(lan.sim, [client()], until=120.0)
+    assert data == content
+    assert stores["primary"].get("new.bin") == content[:5000]
+    assert stores["secondary"].get("new.bin") == content[:5000]
+    assert lan.pair.primary_bridge.mismatches == 0

@@ -1,0 +1,56 @@
+"""Tests for the request/reply (Fig. 4) workload."""
+
+from repro.apps import request_reply
+from repro.sim.process import spawn
+from tests.util import SERVER_IP, TwoHostLan, ReplicatedLan, run_all
+
+
+def test_single_exchange():
+    lan = TwoHostLan()
+    lan.server.spawn(request_reply.reply_server(lan.server, 80), "srv")
+    results = {}
+
+    def client():
+        yield from request_reply.request_once(lan.client, SERVER_IP, 80, 5000, results)
+
+    run_all(lan.sim, [client()])
+    assert results["intact"]
+    assert results["t_reply_done"] > results["t_request"]
+
+
+def test_multiple_exchanges_on_one_connection():
+    from repro.tcp.socket_api import SimSocket
+
+    lan = TwoHostLan()
+    lan.server.spawn(request_reply.reply_server(lan.server, 80), "srv")
+
+    def client():
+        sock = SimSocket.connect(lan.client, SERVER_IP, 80)
+        yield from sock.wait_connected()
+        sizes = []
+        for size in (100, 5000, 64):
+            results = {}
+            yield from request_reply.request_on_socket(sock, size, results)
+            sizes.append(results["intact"])
+        import struct
+        yield from sock.send_all(struct.pack(">I", 0))
+        yield from sock.close_and_wait()
+        return sizes
+
+    (oks,) = run_all(lan.sim, [client()])
+    assert oks == [True, True, True]
+
+
+def test_replicated_request_reply():
+    lan = ReplicatedLan(failover_ports=(80,))
+    lan.pair.run_app(lambda host: request_reply.reply_server(host, 80))
+    results = {}
+
+    def client():
+        yield from request_reply.request_once(
+            lan.client, lan.server_ip, 80, 20_000, results
+        )
+
+    run_all(lan.sim, [client()], until=30.0)
+    assert results["intact"]
+    assert lan.pair.primary_bridge.segments_merged >= 1

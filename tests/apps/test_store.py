@@ -1,0 +1,79 @@
+"""Tests for the deterministic on-line store."""
+
+from repro.apps.store import Store, shopping_session, store_server
+from tests.util import SERVER_IP, TwoHostLan, ReplicatedLan, run_all
+
+
+def test_store_browse_and_buy():
+    store = Store()
+    assert store.browse("anvil") == "ITEM anvil 1999 12"
+    assert store.buy("anvil", 2) == "SOLD anvil 2 3998"
+    assert store.browse("anvil") == "ITEM anvil 1999 10"
+
+
+def test_store_out_of_stock():
+    store = Store()
+    assert store.buy("rocket-skates", 99) == "OUT rocket-skates"
+
+
+def test_store_unknown_item():
+    store = Store()
+    assert store.browse("nothing") == "NOITEM nothing"
+    assert store.buy("nothing", 1) == "NOITEM nothing"
+
+
+def test_store_protocol_errors():
+    store = Store()
+    assert store.handle("") == "ERR empty"
+    assert store.handle("FROB x") == "ERR bad-request FROB x"
+    assert store.handle("BUY anvil notanumber") == "ERR bad-request BUY anvil notanumber"
+    assert store.handle("QUIT") is None
+
+
+def test_store_is_deterministic():
+    script = ["BROWSE anvil", "BUY anvil 1", "BUY tnt-crate 2"]
+    a = Store()
+    b = Store()
+    assert [a.handle(s) for s in script] == [b.handle(s) for s in script]
+
+
+def test_store_over_network():
+    lan = TwoHostLan()
+    lan.server.spawn(store_server(lan.server, 8080), "store")
+    results = {}
+
+    def client():
+        yield from shopping_session(
+            lan.client, SERVER_IP, 8080,
+            ["BROWSE anvil", "BUY anvil 3", "QUIT"],
+            results,
+        )
+
+    run_all(lan.sim, [client()])
+    assert results["replies"] == [
+        "ITEM anvil 1999 12",
+        "SOLD anvil 3 5997",
+        "BYE",
+    ]
+
+
+def test_store_replicated_sessions_sequential():
+    lan = ReplicatedLan(failover_ports=(8080,))
+    lan.pair.run_app(lambda host: store_server(host, 8080))
+    first, second = {}, {}
+
+    def client():
+        yield from shopping_session(
+            lan.client, lan.server_ip, 8080,
+            ["BUY tnt-crate 2", "QUIT"], first,
+        )
+        yield from shopping_session(
+            lan.client, lan.server_ip, 8080,
+            ["BROWSE tnt-crate", "QUIT"], second,
+        )
+
+    run_all(lan.sim, [client()], until=30.0)
+    assert first["replies"][0] == "SOLD tnt-crate 2 9998"
+    # State persisted across connections on both replicas identically.
+    assert second["replies"][0] == "ITEM tnt-crate 4999 40"
+    assert lan.pair.primary_bridge.mismatches == 0

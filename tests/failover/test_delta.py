@@ -1,0 +1,52 @@
+"""Unit and property tests for the Δseq offset."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.failover.delta import SeqOffset
+from repro.tcp.seqnum import SEQ_MOD, seq_add
+
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+
+
+def test_delta_definition():
+    offset = SeqOffset(seq_p_init=1000, seq_s_init=400)
+    assert offset.delta == 600
+    assert offset.p_to_s(1000) == 400
+    assert offset.s_to_p(400) == 1000
+
+
+def test_delta_wraps_when_secondary_larger():
+    offset = SeqOffset(seq_p_init=10, seq_s_init=20)
+    assert offset.delta == SEQ_MOD - 10
+    assert offset.p_to_s(10) == 20
+    assert offset.s_to_p(20) == 10
+
+
+def test_identity_offset():
+    offset = SeqOffset.identity()
+    assert offset.delta == 0
+    assert offset.p_to_s(123) == 123
+
+
+@given(seqs, seqs, seqs)
+def test_roundtrip_property(p_init, s_init, seq):
+    offset = SeqOffset(p_init, s_init)
+    assert offset.s_to_p(offset.p_to_s(seq)) == seq
+    assert offset.p_to_s(offset.s_to_p(seq)) == seq
+
+
+@given(seqs, seqs, seqs, st.integers(min_value=0, max_value=1 << 16))
+def test_mapping_preserves_distances(p_init, s_init, seq, advance):
+    """Relative stream positions are invariant under the mapping."""
+    offset = SeqOffset(p_init, s_init)
+    a = offset.p_to_s(seq)
+    b = offset.p_to_s(seq_add(seq, advance))
+    assert (b - a) % SEQ_MOD == advance
+
+
+@given(seqs, seqs)
+def test_initial_points_map_to_each_other(p_init, s_init):
+    offset = SeqOffset(p_init, s_init)
+    assert offset.p_to_s(p_init) == s_init
+    assert offset.s_to_p(s_init) == p_init

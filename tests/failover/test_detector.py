@@ -1,0 +1,86 @@
+"""Unit tests for the heartbeat fault detector."""
+
+import pytest
+
+from repro.failover.detector import FaultDetector
+from tests.util import PRIMARY_IP, SECONDARY_IP, TwoHostLan
+
+
+def build(interval=0.01, timeout=0.05):
+    lan = TwoHostLan()
+    fired = {"a": 0, "b": 0}
+    det_a = FaultDetector(
+        lan.client, SERVER_IP_a(lan), on_failure=lambda: fired.__setitem__("a", fired["a"] + 1),
+        interval=interval, timeout=timeout,
+    )
+    det_b = FaultDetector(
+        lan.server, CLIENT_IP_a(lan), on_failure=lambda: fired.__setitem__("b", fired["b"] + 1),
+        interval=interval, timeout=timeout,
+    )
+    return lan, det_a, det_b, fired
+
+
+def SERVER_IP_a(lan):
+    return lan.server.ip.primary_address()
+
+
+def CLIENT_IP_a(lan):
+    return lan.client.ip.primary_address()
+
+
+def test_no_false_positive_while_both_alive():
+    lan, det_a, det_b, fired = build()
+    det_a.start()
+    det_b.start()
+    lan.run(until=2.0)
+    assert fired == {"a": 0, "b": 0}
+    assert det_a.heartbeats_received > 100
+
+
+def test_detects_peer_crash_within_bound():
+    lan, det_a, det_b, fired = build(interval=0.01, timeout=0.05)
+    det_a.start()
+    det_b.start()
+    lan.sim.schedule(1.0, lan.server.crash)
+    lan.run(until=3.0)
+    assert fired["a"] == 1
+    assert fired["b"] == 0
+    failure = lan.tracer.select(category="detector.failure")[0]
+    # Detection latency within [timeout, timeout + 2*interval + slack].
+    assert 1.0 + 0.05 <= failure.time <= 1.0 + 0.05 + 0.03
+
+
+def test_fires_exactly_once():
+    lan, det_a, det_b, fired = build()
+    det_a.start()
+    det_b.start()
+    lan.sim.schedule(0.5, lan.server.crash)
+    lan.run(until=5.0)
+    assert fired["a"] == 1
+
+
+def test_crashed_host_stops_sending_heartbeats():
+    lan, det_a, det_b, fired = build()
+    det_a.start()
+    det_b.start()
+    lan.sim.schedule(0.5, lan.client.crash)
+    lan.run(until=2.0)
+    sent_before = det_a.heartbeats_sent
+    lan.run(until=3.0)
+    assert det_a.heartbeats_sent == sent_before
+
+
+def test_start_is_idempotent():
+    lan, det_a, det_b, fired = build()
+    det_a.start()
+    det_a.start()
+    lan.run(until=0.5)
+    # One sender loop, not two: roughly one heartbeat per interval.
+    assert det_a.heartbeats_sent <= 0.5 / det_a.interval + 2
+
+
+def test_timeout_must_exceed_interval():
+    lan = TwoHostLan()
+    with pytest.raises(ValueError):
+        FaultDetector(lan.client, SERVER_IP_a(lan), on_failure=lambda: None,
+                      interval=0.05, timeout=0.01)

@@ -1,0 +1,168 @@
+"""Failure of the secondary server (§6): flush, direct mode, Δseq forever."""
+
+from repro.apps import bulk
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+from tests.util import ReplicatedLan, run_all
+
+PORT = 80
+
+
+def pull_through_secondary_crash(lan, size, crash_at, until=120.0):
+    lan.start_detectors()
+
+    def app(host):
+        return bulk.source_server(host, PORT, size)
+
+    lan.pair.run_app(app)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"PULL")
+        data = yield from sock.recv_exactly(size)
+        yield from sock.close_and_wait()
+        return data
+
+    lan.sim.schedule(crash_at, lan.pair.crash_secondary)
+    (data,) = run_all(lan.sim, [client()], until=until)
+    return data
+
+
+def test_stream_intact_across_secondary_crash():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    size = 500_000
+    data = pull_through_secondary_crash(lan, size, crash_at=0.050)
+    assert data == bulk.pattern_bytes(size)
+
+
+def test_primary_queue_flushed_on_secondary_failure():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    size = 400_000
+    data = pull_through_secondary_crash(lan, size, crash_at=0.040)
+    assert data == bulk.pattern_bytes(size)
+    assert lan.tracer.count("bridge.p.flushed") >= 1
+    assert lan.pair.primary_bridge.secondary_down
+
+
+def test_delta_subtraction_continues_after_secondary_failure():
+    """§6: the client stays synchronised to S-space numbers forever, so
+    the bytes it reads must remain exactly the application stream."""
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    size = 300_000
+    data = pull_through_secondary_crash(lan, size, crash_at=0.030)
+    assert data == bulk.pattern_bytes(size)
+    # All bridge connections are in direct mode with a live delta.
+    for bc in lan.pair.primary_bridge.connections.values():
+        assert bc.direct
+        assert bc.delta is not None
+
+
+def test_no_rst_reaches_client_on_secondary_crash():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    size = 200_000
+    data = pull_through_secondary_crash(lan, size, crash_at=0.040)
+    assert data == bulk.pattern_bytes(size)
+    assert lan.tracer.select(category="tcp.rst_received", node="client") == []
+
+
+def test_client_upload_survives_secondary_crash():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.start_detectors()
+    received = {}
+
+    def sink_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            data = bytearray()
+            while True:
+                chunk = yield from sock.recv(65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            received[host.name] = bytes(data)
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.pair.run_app(sink_app)
+    blob = bulk.pattern_bytes(400_000)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        yield from sock.wait_connected()
+        yield from sock.send_all(blob)
+        yield from sock.close_and_wait()
+
+    lan.sim.schedule(0.050, lan.pair.crash_secondary)
+    run_all(lan.sim, [client()], until=120.0)
+    assert received.get("primary") == blob
+
+
+def test_secondary_crash_before_establishment():
+    """S dies before the merged SYN: P proceeds alone with Δseq = 0."""
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.start_detectors()
+
+    def server_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            data = yield from sock.recv_exactly(4)
+            yield from sock.send_all(b"ok:" + data)
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.pair.run_app(server_app)
+    lan.sim.schedule(10e-6, lan.pair.crash_secondary)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, initial_rto=0.2)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"ping")
+        reply = yield from sock.recv_exactly(7)
+        yield from sock.close_and_wait()
+        return reply
+
+    (reply,) = run_all(lan.sim, [client()], until=60.0)
+    assert reply == b"ok:ping"
+
+
+def test_new_connections_work_after_secondary_removed():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.start_detectors()
+
+    def server_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            while True:
+                sock = yield from listening.accept()
+                host.spawn(handle(sock), "h")
+        return app()
+
+    def handle(sock):
+        data = yield from sock.recv_exactly(1)
+        yield from sock.send_all(data * 2)
+        yield from sock.close_and_wait()
+
+    lan.pair.run_app(server_app)
+    lan.sim.schedule(0.010, lan.pair.crash_secondary)
+
+    def client():
+        # First connection while both replicas are alive.
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"a")
+        first = yield from sock.recv_exactly(2)
+        yield from sock.close_and_wait()
+        yield 0.2  # crash + detection happen here
+        # Second connection after the secondary is gone.
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"b")
+        second = yield from sock.recv_exactly(2)
+        yield from sock.close_and_wait()
+        return first, second
+
+    ((first, second),) = run_all(lan.sim, [client()], until=60.0)
+    assert first == b"aa"
+    assert second == b"bb"

@@ -1,0 +1,62 @@
+"""Unit tests for ACK/window merging."""
+
+from repro.failover.merge import AckWindowMerge
+from repro.tcp.seqnum import SEQ_MOD
+
+
+def test_merged_ack_is_minimum():
+    merge = AckWindowMerge()
+    merge.update_from_primary(1000, 100)
+    merge.update_from_secondary(800, 200)
+    assert merge.merged_ack() == 800
+    assert merge.merged_window() == 100
+
+
+def test_merged_ack_requires_both():
+    merge = AckWindowMerge()
+    merge.update_from_primary(1000, 100)
+    assert merge.merged_ack() is None
+    assert not merge.complete
+
+
+def test_min_ack_across_wraparound():
+    merge = AckWindowMerge()
+    merge.update_from_primary(SEQ_MOD - 10, 100)
+    merge.update_from_secondary(5, 100)  # after the wrap: later
+    assert merge.merged_ack() == SEQ_MOD - 10
+
+
+def test_should_send_empty_ack_only_on_advance():
+    merge = AckWindowMerge()
+    merge.update_from_primary(100, 50)
+    merge.update_from_secondary(100, 50)
+    assert merge.should_send_empty_ack()
+    merge.note_sent(100)
+    assert not merge.should_send_empty_ack()
+    merge.update_from_secondary(150, 50)
+    assert not merge.should_send_empty_ack()  # min is still 100
+    merge.update_from_primary(120, 50)
+    assert merge.should_send_empty_ack()  # min advanced to 120
+
+
+def test_none_ack_update_keeps_previous():
+    merge = AckWindowMerge()
+    merge.update_from_primary(100, 10)
+    merge.update_from_primary(None, 99)  # window-only update
+    assert merge.ack_p == 100
+    assert merge.win_p == 99
+
+
+def test_ablation_disables_min_ack():
+    merge = AckWindowMerge(use_min_ack=False)
+    merge.update_from_primary(1000, 100)
+    assert merge.merged_ack() == 1000  # no waiting for the secondary
+    merge.update_from_secondary(800, 60)
+    assert merge.merged_ack() == 1000
+
+
+def test_ablation_disables_min_window():
+    merge = AckWindowMerge(use_min_window=False)
+    merge.update_from_primary(1, 500)
+    merge.update_from_secondary(1, 100)
+    assert merge.merged_window() == 500

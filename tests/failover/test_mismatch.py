@@ -1,0 +1,120 @@
+"""Determinism violations: the bridge must detect diverging replicas.
+
+The paper assumes deterministic applications (§1); our bridge verifies the
+byte streams match and flags divergence instead of silently corrupting the
+client's view.
+"""
+
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+from tests.util import ReplicatedLan, run_all
+
+PORT = 80
+
+
+def nondeterministic_app(host):
+    """Each replica replies with its own host name — divergent payloads."""
+
+    def app():
+        listening = ListeningSocket.listen(host, PORT)
+        sock = yield from listening.accept()
+        yield from sock.recv_exactly(4)
+        yield from sock.send_all(host.name.ljust(16).encode())
+        yield from sock.close_and_wait()
+
+    return app()
+
+
+def length_divergent_app(host):
+    """Replies differ in length, not just content."""
+
+    def app():
+        listening = ListeningSocket.listen(host, PORT)
+        sock = yield from listening.accept()
+        yield from sock.recv_exactly(4)
+        reply = b"Y" * (100 if host.name == "primary" else 220)
+        yield from sock.send_all(reply)
+        yield from sock.close_and_wait()
+
+    return app()
+
+
+def run_client(lan, expect_bytes=0):
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"ask!")
+        received = bytearray()
+        deadline_chunks = 50
+        while deadline_chunks:
+            deadline_chunks -= 1
+            try:
+                data = yield from sock.recv(4096)
+            except ConnectionError:
+                break
+            if not data:
+                break
+            received.extend(data)
+        return bytes(received)
+
+    process = None
+    from repro.sim.process import spawn
+
+    process = spawn(lan.sim, client(), "mismatch-client")
+    lan.run(until=10.0)
+    return process
+
+
+def test_content_divergence_detected():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.pair.run_app(nondeterministic_app)
+    run_client(lan)
+    assert lan.pair.primary_bridge.mismatches >= 1
+    assert lan.tracer.count("bridge.p.mismatch") >= 1
+
+
+def test_divergent_connection_is_quarantined():
+    """After a mismatch the bridge stops emitting for that connection —
+    no corrupted bytes ever reach the client."""
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.pair.run_app(nondeterministic_app)
+    process = run_client(lan)
+    bcs = list(lan.pair.primary_bridge.connections.values())
+    assert any(bc.broken for bc in bcs)
+    # The client never received payload from the diverged reply.
+    if process.done_event.triggered and process.done_event.ok:
+        assert process.result == b""
+
+
+def test_length_divergence_detected_at_fin():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.pair.run_app(length_divergent_app)
+    run_client(lan)
+    # Either the payload comparison or the FIN-position comparison trips.
+    assert lan.pair.primary_bridge.mismatches >= 1
+
+
+def test_deterministic_app_never_trips_detector():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+
+    def det_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            data = yield from sock.recv_exactly(4)
+            yield from sock.send_all(b"same-reply-" + data)
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.pair.run_app(det_app)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"ask!")
+        data = yield from sock.recv_exactly(15)
+        yield from sock.close_and_wait()
+        return data
+
+    (data,) = run_all(lan.sim, [client()], until=10.0)
+    assert data == b"same-reply-ask!"
+    assert lan.pair.primary_bridge.mismatches == 0

@@ -1,0 +1,42 @@
+"""Unit tests for failover-connection designation (§7)."""
+
+import pytest
+
+from repro.failover.options import FailoverConfig
+
+
+def test_port_designation():
+    config = FailoverConfig([80, 443])
+    assert config.is_failover_port(80)
+    assert not config.is_failover_port(22)
+    assert config.covers(443)
+
+
+def test_socket_option_overrides():
+    config = FailoverConfig()
+    assert not config.covers(1234)
+    assert config.covers(1234, conn_flag=True)
+
+
+def test_add_remove():
+    config = FailoverConfig()
+    config.add_port(21)
+    assert config.covers(21)
+    config.remove_port(21)
+    assert not config.covers(21)
+
+
+def test_bad_port_rejected():
+    config = FailoverConfig()
+    with pytest.raises(ValueError):
+        config.add_port(0)
+    with pytest.raises(ValueError):
+        config.add_port(70000)
+
+
+def test_copy_is_independent():
+    config = FailoverConfig([80])
+    clone = config.copy()
+    clone.add_port(81)
+    assert not config.is_failover_port(81)
+    assert clone.is_failover_port(80)

@@ -1,0 +1,137 @@
+"""Unit-level tests of primary-bridge behaviours not covered end-to-end."""
+
+from repro.apps.echo import echo_server
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+from tests.util import ReplicatedLan, run_all
+
+PORT = 80
+
+
+def test_empty_ack_synthesis_on_one_way_traffic():
+    """§3.4: a client that only *sends* still gets its data acknowledged
+    through synthesised empty segments (the deadlock-prevention rule)."""
+    lan = ReplicatedLan(failover_ports=(PORT,))
+
+    def mute_sink(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            while True:
+                data = yield from sock.recv(65536)
+                if not data:
+                    break
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.pair.run_app(mute_sink)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"z" * 200_000)  # exceeds every window
+        yield from sock.close_and_wait()
+
+    run_all(lan.sim, [client()], until=60.0)
+    # The servers sent no payload at all, so progress REQUIRED empty ACKs.
+    assert lan.pair.primary_bridge.empty_acks_sent > 10
+    assert lan.pair.primary_bridge.segments_merged == 0
+
+
+def test_merged_window_never_exceeds_slower_replica():
+    """Every emitted segment's window is min(win_P, win_S)."""
+    lan = ReplicatedLan(failover_ports=(PORT,), record_traces=True)
+    lan.secondary.tcp.conn_defaults["recv_buffer_size"] = 4096
+
+    def sink(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            yield 0.2  # let windows diverge: S's small buffer fills
+            while True:
+                data = yield from sock.recv(65536)
+                if not data:
+                    break
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.pair.run_app(sink)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        conn = sock.conn
+        yield from sock.send_all(b"w" * 50_000)
+        yield from sock.close_and_wait()
+        return conn
+
+    (conn,) = run_all(lan.sim, [client()], until=60.0)
+    # The client's view of the send window can never exceed the secondary's
+    # tiny buffer capacity once it filled.
+    assert conn.snd_wnd <= 4096
+
+
+def test_bridge_counts_merged_segments():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.pair.run_app(lambda host: echo_server(host, PORT))
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        for _ in range(5):
+            yield from sock.send_all(b"ping")
+            yield from sock.recv_exactly(9)
+        yield from sock.close_and_wait()
+
+    run_all(lan.sim, [client()], until=30.0)
+    assert lan.pair.primary_bridge.segments_merged >= 5
+    assert lan.pair.primary_bridge.mismatches == 0
+
+
+def test_bridge_state_keyed_per_connection():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.pair.run_app(lambda host: echo_server(host, PORT))
+
+    def one(tag):
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(tag)
+        yield from sock.recv_exactly(5 + len(tag))
+        return sock
+
+    def client():
+        socks = []
+        for tag in (b"a", b"b", b"c"):
+            sock = yield from one(tag)
+            socks.append(sock)
+        # Three live connections → three bridge states.
+        count = len(lan.pair.primary_bridge.connections)
+        for sock in socks:
+            yield from sock.close_and_wait()
+        return count
+
+    (count,) = run_all(lan.sim, [client()], until=30.0)
+    assert count == 3
+    lan.run(until=lan.sim.now + 20.0)
+    assert lan.pair.primary_bridge.connections == {}
+
+
+def test_deltas_differ_per_connection():
+    """Each connection gets its own Δseq (ISS is per-connection random)."""
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.pair.run_app(lambda host: echo_server(host, PORT))
+    deltas = []
+
+    def client():
+        socks = []
+        for _ in range(3):
+            sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+            yield from sock.wait_connected()
+            socks.append(sock)
+        for bc in lan.pair.primary_bridge.connections.values():
+            deltas.append(bc.delta.delta)
+        for sock in socks:
+            yield from sock.close_and_wait()
+
+    run_all(lan.sim, [client()], until=30.0)
+    assert len(deltas) == 3
+    assert len(set(deltas)) == 3

@@ -1,0 +1,196 @@
+"""Property-based end-to-end invariants (DESIGN.md §5).
+
+Hypothesis drives randomized crash instants, stream sizes and loss
+patterns through the full stack; the invariants must hold in every case:
+
+1. stream integrity across failover;
+2. transparency (no client-visible RST);
+3. the bridge never acknowledges a byte the secondary lacks.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import bulk
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+from tests.util import ReplicatedLan, run_all
+
+PORT = 80
+
+FAST = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@FAST
+@given(
+    size=st.integers(min_value=1, max_value=150_000),
+    crash_ms=st.integers(min_value=1, max_value=80),
+    seed=st.integers(min_value=0, max_value=1000),
+    crash=st.sampled_from(["primary", "secondary", "none"]),
+)
+def test_download_integrity_any_crash_instant(size, crash_ms, seed, crash):
+    lan = ReplicatedLan(failover_ports=(PORT,), seed=seed)
+    lan.start_detectors()
+    lan.pair.run_app(lambda host: bulk.source_server(host, PORT, size))
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"PULL")
+        data = yield from sock.recv_exactly(size)
+        yield from sock.close_and_wait()
+        return data
+
+    if crash == "primary":
+        lan.sim.schedule(crash_ms / 1000.0, lan.pair.crash_primary)
+    elif crash == "secondary":
+        lan.sim.schedule(crash_ms / 1000.0, lan.pair.crash_secondary)
+    (data,) = run_all(lan.sim, [client()], until=120.0)
+    assert data == bulk.pattern_bytes(size)
+    assert lan.tracer.select(category="tcp.rst_received", node="client") == []
+    assert lan.pair.primary_bridge.mismatches == 0
+
+
+@FAST
+@given(
+    size=st.integers(min_value=1, max_value=120_000),
+    crash_ms=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_upload_integrity_primary_crash(size, crash_ms, seed):
+    """Requirement 2 of §2 as a property: whatever was acknowledged to the
+    client must be present at the surviving secondary, so the full upload
+    must complete exactly."""
+    lan = ReplicatedLan(failover_ports=(PORT,), seed=seed)
+    lan.start_detectors()
+    received = {}
+
+    def sink_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            data = bytearray()
+            while True:
+                chunk = yield from sock.recv(65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            received[host.name] = bytes(data)
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.pair.run_app(sink_app)
+    blob = bulk.pattern_bytes(size)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        yield from sock.wait_connected()
+        yield from sock.send_all(blob)
+        yield from sock.close_and_wait()
+
+    lan.sim.schedule(crash_ms / 1000.0, lan.pair.crash_primary)
+    run_all(lan.sim, [client()], until=120.0)
+    assert received.get("secondary") == blob
+
+
+@FAST
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drops=st.lists(st.integers(min_value=0, max_value=40), max_size=5),
+)
+def test_integrity_under_snoop_loss(seed, drops):
+    """Random snoop losses at the secondary must never corrupt the stream
+    nor let the bridge acknowledge data the secondary is missing."""
+    lan = ReplicatedLan(failover_ports=(PORT,), seed=seed)
+    drop_set = set(drops)
+    state = {"index": 0}
+
+    def hook(frame):
+        from repro.net.packet import Ipv4Datagram
+
+        payload = frame.payload
+        if not isinstance(payload, Ipv4Datagram):
+            return False
+        seg = getattr(payload, "payload", None)
+        if seg is None or not seg.payload:
+            return False
+        index = state["index"]
+        state["index"] += 1
+        return index in drop_set
+
+    lan.secondary.nic.rx_drop_hook = hook
+    received = {}
+
+    def sink_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            data = bytearray()
+            while True:
+                chunk = yield from sock.recv(65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            received[host.name] = bytes(data)
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.pair.run_app(sink_app)
+    blob = bulk.pattern_bytes(80_000)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        yield from sock.wait_connected()
+        yield from sock.send_all(blob)
+        yield from sock.close_and_wait()
+
+    run_all(lan.sim, [client()], until=120.0)
+    assert received.get("primary") == blob
+    assert received.get("secondary") == blob
+
+
+@FAST
+@given(
+    script=st.lists(
+        st.tuples(
+            st.sampled_from(["BROWSE", "BUY"]),
+            st.sampled_from(["anvil", "rocket-skates", "tnt-crate", "nothing"]),
+            st.integers(min_value=1, max_value=3),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    crash_ms=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_store_replies_identical_to_unreplicated_reference(script, crash_ms, seed):
+    """The replicated store (with a crash!) answers exactly like a plain
+    single-server store would — full linearizable transparency."""
+    from repro.apps.store import Store, shopping_session, store_server
+
+    commands = [
+        f"{verb} {sku}" if verb == "BROWSE" else f"{verb} {sku} {qty}"
+        for verb, sku, qty in script
+    ] + ["QUIT"]
+
+    # Reference: run the commands against a plain in-process store.
+    reference_store = Store()
+    expected = []
+    for command in commands:
+        reply = reference_store.handle(command)
+        expected.append("BYE" if reply is None else reply)
+
+    lan = ReplicatedLan(failover_ports=(8080,), seed=seed)
+    lan.start_detectors()
+    lan.pair.run_app(lambda host: store_server(host, 8080))
+    results = {}
+
+    def client():
+        yield from shopping_session(lan.client, lan.server_ip, 8080, commands, results)
+
+    lan.sim.schedule(crash_ms / 1000.0, lan.pair.crash_primary)
+    run_all(lan.sim, [client()], until=60.0)
+    assert results["replies"] == expected

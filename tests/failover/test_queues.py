@@ -1,0 +1,166 @@
+"""Unit and property tests for the output queues and payload matching.
+
+Includes a direct reproduction of the paper's Figure 2 walkthrough.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.failover.queues import OutputQueue, PayloadMismatch, match_prefix
+from repro.tcp.seqnum import SEQ_MOD
+
+
+def test_figure_2_walkthrough():
+    """Fig. 2: P enqueues bytes 51-54 (Δseq=30 → 21-24); S sends 23-26;
+    matching emits 23-24 and leaves 25-26 in the secondary queue."""
+    p_queue = OutputQueue(21, "P")
+    s_queue = OutputQueue(21, "S")
+    # Earlier bytes 21-22 were already matched; simulate by popping.
+    p_queue.enqueue(21, b"AB")  # 21, 22
+    s_queue.enqueue(21, b"AB")
+    match_prefix(p_queue, s_queue)
+    # P's segment carried payload bytes (seq 51-54, adjusted to 21-24);
+    # of those, 23-24 remain unmatched.
+    p_queue.enqueue(23, b"cd")  # bytes 23, 24
+    # S's segment carries bytes 23-26.
+    s_queue.enqueue(23, b"cdef")
+    matched = match_prefix(p_queue, s_queue)
+    assert matched == (23, b"cd")
+    assert len(p_queue) == 0
+    assert len(s_queue) == 2  # bytes 25-26 remain
+    assert s_queue.base_seq == 25
+
+
+def test_enqueue_contiguous():
+    q = OutputQueue(100)
+    assert q.enqueue(100, b"abc") == 3
+    assert q.enqueue(103, b"de") == 2
+    assert q.frontier == 105
+    assert bytes(q.data) == b"abcde"
+
+
+def test_enqueue_duplicate_discarded():
+    q = OutputQueue(100)
+    q.enqueue(100, b"abc")
+    assert q.enqueue(100, b"abc") == 0
+    assert q.duplicates_discarded == 3
+
+
+def test_enqueue_partial_overlap():
+    q = OutputQueue(100)
+    q.enqueue(100, b"abc")
+    assert q.enqueue(101, b"bcDE") == 2
+    assert bytes(q.data) == b"abcDE"
+
+
+def test_enqueue_overlap_mismatch_detected():
+    q = OutputQueue(100)
+    q.enqueue(100, b"abc")
+    with pytest.raises(PayloadMismatch):
+        q.enqueue(101, b"XY")
+
+
+def test_enqueue_gap_buffers_until_hole_filled():
+    """§4 case 4: a chunk beyond the frontier waits for the retransmission."""
+    q = OutputQueue(100)
+    assert q.enqueue(105, b"fg") == 0
+    assert len(q) == 0
+    assert q.gaps_buffered == 1
+    # The retransmission fills the hole; both pieces become contiguous.
+    assert q.enqueue(100, b"abcde") == 7
+    assert bytes(q.data) == b"abcdefg"
+    assert q.frontier == 107
+
+
+def test_pop_advances_base():
+    q = OutputQueue(10)
+    q.enqueue(10, b"abcdef")
+    assert q.pop(4) == b"abcd"
+    assert q.base_seq == 14
+    assert len(q) == 2
+
+
+def test_pop_too_much_rejected():
+    q = OutputQueue(10)
+    q.enqueue(10, b"ab")
+    with pytest.raises(ValueError):
+        q.pop(3)
+
+
+def test_drain_returns_everything():
+    q = OutputQueue(5)
+    q.enqueue(5, b"xyz")
+    seq, data = q.drain()
+    assert (seq, data) == (5, b"xyz")
+    assert len(q) == 0
+    assert q.frontier == 8
+
+
+def test_match_empty_queues():
+    assert match_prefix(OutputQueue(1), OutputQueue(1)) is None
+
+
+def test_match_detects_content_divergence():
+    p = OutputQueue(0)
+    s = OutputQueue(0)
+    p.enqueue(0, b"same-then-DIFFERENT")
+    s.enqueue(0, b"same-then-different")
+    with pytest.raises(PayloadMismatch):
+        match_prefix(p, s)
+
+
+def test_enqueue_across_wraparound():
+    start = SEQ_MOD - 2
+    q = OutputQueue(start)
+    q.enqueue(start, b"abcd")
+    assert q.frontier == 2
+    assert q.pop(4) == b"abcd"
+    assert q.base_seq == 2
+
+
+@given(st.data())
+def test_interleaved_segmentations_match_property(data):
+    """Two different segmentations of the same stream, interleaved in any
+    order, always match out the full stream with no residue."""
+    stream = data.draw(st.binary(min_size=1, max_size=400))
+
+    def cut(stream, raw_cuts):
+        bounds = sorted({0, len(stream), *[c % (len(stream) + 1) for c in raw_cuts]})
+        return [
+            (bounds[i], stream[bounds[i] : bounds[i + 1]])
+            for i in range(len(bounds) - 1)
+            if bounds[i] < bounds[i + 1]
+        ]
+
+    p_segments = cut(stream, data.draw(st.lists(st.integers(0, 1 << 30), max_size=6)))
+    s_segments = cut(stream, data.draw(st.lists(st.integers(0, 1 << 30), max_size=6)))
+
+    p_queue = OutputQueue(0, "P")
+    s_queue = OutputQueue(0, "S")
+    emitted = bytearray()
+    pi = si = 0
+    order = data.draw(
+        st.lists(st.booleans(), min_size=len(p_segments) + len(s_segments),
+                 max_size=len(p_segments) + len(s_segments))
+    )
+    for take_p in order:
+        if take_p and pi < len(p_segments):
+            seq, payload = p_segments[pi]
+            pi += 1
+            p_queue.enqueue(seq, payload)
+        elif si < len(s_segments):
+            seq, payload = s_segments[si]
+            si += 1
+            s_queue.enqueue(seq, payload)
+        elif pi < len(p_segments):
+            seq, payload = p_segments[pi]
+            pi += 1
+            p_queue.enqueue(seq, payload)
+        while True:
+            matched = match_prefix(p_queue, s_queue)
+            if matched is None:
+                break
+            emitted.extend(matched[1])
+    assert bytes(emitted) == stream
+    assert len(p_queue) == 0 and len(s_queue) == 0

@@ -1,0 +1,121 @@
+"""Unit tests for the secondary bridge's address translation (§3.1)."""
+
+from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
+from repro.tcp.segment import FLAG_ACK, FLAG_SYN, TcpSegment
+from tests.util import CLIENT_IP, PRIMARY_IP, SECONDARY_IP, ReplicatedLan
+
+
+def client_segment(dst_port=80, payload=b"", flags=FLAG_SYN, seq=100, ack=0):
+    seg = TcpSegment(
+        src_port=40000, dst_port=dst_port, seq=seq, ack=ack, flags=flags,
+        window=1000, payload=payload, mss_option=1460 if flags & FLAG_SYN else None,
+    ).sealed(CLIENT_IP, PRIMARY_IP)
+    return Ipv4Datagram(src=CLIENT_IP, dst=PRIMARY_IP, protocol=IPPROTO_TCP, payload=seg)
+
+
+def test_promiscuous_mode_enabled_on_install():
+    lan = ReplicatedLan()
+    assert lan.secondary.nic.promiscuous
+
+
+def test_snooped_failover_datagram_translated_up():
+    lan = ReplicatedLan(failover_ports=(80,))
+    bridge = lan.pair.secondary_bridge
+    out = bridge.datagram_from_ip(client_segment())
+    assert out is not None
+    assert out.dst == SECONDARY_IP
+    assert out.payload.checksum_ok(CLIENT_IP, SECONDARY_IP)
+    assert bridge.segments_translated_in == 1
+
+
+def test_snooped_non_failover_port_dropped():
+    lan = ReplicatedLan(failover_ports=(80,))
+    bridge = lan.pair.secondary_bridge
+    assert bridge.datagram_from_ip(client_segment(dst_port=22)) is None
+
+
+def test_datagram_owned_by_secondary_passes_untouched():
+    lan = ReplicatedLan()
+    bridge = lan.pair.secondary_bridge
+    seg = TcpSegment(
+        src_port=1, dst_port=2, seq=0, ack=0, flags=FLAG_ACK, window=0,
+    ).sealed(CLIENT_IP, SECONDARY_IP)
+    dgram = Ipv4Datagram(src=CLIENT_IP, dst=SECONDARY_IP, protocol=IPPROTO_TCP, payload=seg)
+    assert bridge.datagram_from_ip(dgram) is dgram
+
+
+def test_snooped_primary_emission_to_client_dropped():
+    """Frames from P to C snooped by S must not loop anywhere."""
+    lan = ReplicatedLan()
+    bridge = lan.pair.secondary_bridge
+    seg = TcpSegment(
+        src_port=80, dst_port=40000, seq=0, ack=0, flags=FLAG_ACK, window=0,
+    ).sealed(PRIMARY_IP, CLIENT_IP)
+    dgram = Ipv4Datagram(src=PRIMARY_IP, dst=CLIENT_IP, protocol=IPPROTO_TCP, payload=seg)
+    assert bridge.datagram_from_ip(dgram) is None
+
+
+def test_outgoing_client_bound_segment_diverted_with_option():
+    lan = ReplicatedLan(failover_ports=(80,), record_traces=True)
+    bridge = lan.pair.secondary_bridge
+    seg = TcpSegment(
+        src_port=80, dst_port=40000, seq=7, ack=101, flags=FLAG_ACK,
+        window=500, payload=b"reply",
+    ).sealed(SECONDARY_IP, CLIENT_IP)
+    handled = bridge.segment_from_tcp(seg, SECONDARY_IP, CLIENT_IP)
+    assert handled
+    assert bridge.segments_diverted_out == 1
+    lan.run(until=0.01)
+    # (Afterwards the primary synthesises a late ACK for this orphan
+    # segment, whose RST response is itself diverted — so the counter may
+    # grow; only the first divert is under test here.)
+    assert bridge.segments_diverted_out >= 1
+
+
+def test_outgoing_non_failover_segment_passes():
+    lan = ReplicatedLan(failover_ports=(80,))
+    bridge = lan.pair.secondary_bridge
+    seg = TcpSegment(
+        src_port=9999, dst_port=40000, seq=7, ack=0, flags=FLAG_ACK, window=0,
+    ).sealed(SECONDARY_IP, CLIENT_IP)
+    assert not bridge.segment_from_tcp(seg, SECONDARY_IP, CLIENT_IP)
+
+
+def test_holding_buffers_segments_until_complete():
+    lan = ReplicatedLan(failover_ports=(80,))
+    bridge = lan.pair.secondary_bridge
+    bridge.prepare_failover()
+    assert not lan.secondary.nic.promiscuous
+    seg = TcpSegment(
+        src_port=80, dst_port=40000, seq=7, ack=0, flags=FLAG_ACK, window=0,
+        payload=b"held",
+    ).sealed(SECONDARY_IP, CLIENT_IP)
+    assert bridge.segment_from_tcp(seg, SECONDARY_IP, CLIENT_IP)
+    assert len(bridge._held) == 1
+    lan.secondary.eth_interface.add_address(PRIMARY_IP)
+    bridge.complete_failover(PRIMARY_IP)
+    assert bridge._held == []
+    assert not bridge.active
+
+
+def test_inactive_bridge_is_transparent():
+    lan = ReplicatedLan(failover_ports=(80,))
+    bridge = lan.pair.secondary_bridge
+    bridge.prepare_failover()
+    bridge.complete_failover(SECONDARY_IP)
+    dgram = client_segment()
+    assert bridge.datagram_from_ip(dgram) is dgram
+    seg = dgram.payload
+    assert not bridge.segment_from_tcp(seg, SECONDARY_IP, CLIENT_IP)
+
+
+def test_translation_only_for_tcp():
+    from repro.net.packet import IPPROTO_HEARTBEAT, HeartbeatPayload
+
+    lan = ReplicatedLan()
+    bridge = lan.pair.secondary_bridge
+    dgram = Ipv4Datagram(
+        src=CLIENT_IP, dst=PRIMARY_IP, protocol=IPPROTO_HEARTBEAT,
+        payload=HeartbeatPayload("x", 1),
+    )
+    assert bridge.datagram_from_ip(dgram) is None  # snooped non-TCP: drop

@@ -1,0 +1,83 @@
+"""End-to-end 32-bit wraparound: ISS pinned just below 2^32.
+
+Sequence numbers cross zero mid-stream, on both replicas, with a failover
+in the middle — invariant 6 of DESIGN.md at system scale.
+"""
+
+from repro.apps import bulk
+from repro.tcp.seqnum import SEQ_MOD
+from repro.tcp.socket_api import SimSocket
+from tests.util import ReplicatedLan, run_all
+
+PORT = 80
+
+
+def pin_iss(host, iss):
+    host.tcp.choose_iss = lambda: iss
+
+
+def test_stream_crosses_sequence_zero_on_all_parties():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    size = 120_000
+    # Every ISS sits ~30 KB below the wrap point, so the stream crosses it.
+    pin_iss(lan.client, SEQ_MOD - 30_000)
+    pin_iss(lan.primary, SEQ_MOD - 20_000)
+    pin_iss(lan.secondary, SEQ_MOD - 10_000)
+    lan.pair.run_app(lambda host: bulk.source_server(host, PORT, size))
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"PULL")
+        data = yield from sock.recv_exactly(size)
+        yield from sock.close_and_wait()
+        return data
+
+    (data,) = run_all(lan.sim, [client()], until=60.0)
+    assert data == bulk.pattern_bytes(size)
+    assert lan.pair.primary_bridge.mismatches == 0
+
+
+def test_failover_mid_wraparound():
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan.start_detectors()
+    size = 200_000
+    pin_iss(lan.client, SEQ_MOD - 5_000)
+    pin_iss(lan.primary, SEQ_MOD - 60_000)
+    pin_iss(lan.secondary, SEQ_MOD - 90_000)
+    lan.pair.run_app(lambda host: bulk.source_server(host, PORT, size))
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"PULL")
+        data = yield from sock.recv_exactly(size)
+        yield from sock.close_and_wait()
+        return data
+
+    lan.sim.schedule(0.040, lan.pair.crash_primary)
+    (data,) = run_all(lan.sim, [client()], until=120.0)
+    assert data == bulk.pattern_bytes(size)
+
+
+def test_delta_wraps_when_secondary_iss_larger():
+    """Δseq itself wraps (P's ISS numerically below S's)."""
+    lan = ReplicatedLan(failover_ports=(PORT,))
+    size = 50_000
+    pin_iss(lan.primary, 1_000)
+    pin_iss(lan.secondary, SEQ_MOD - 1_000)
+    lan.pair.run_app(lambda host: bulk.source_server(host, PORT, size))
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"PULL")
+        data = yield from sock.recv_exactly(size)
+        yield from sock.close_and_wait()
+        return data
+
+    (data,) = run_all(lan.sim, [client()], until=60.0)
+    assert data == bulk.pattern_bytes(size)
+    bc_deltas = [bc.delta.delta for bc in lan.pair.primary_bridge.connections.values()]
+    # Δseq = 1000 - (2^32 - 1000) mod 2^32 = 2000.
+    assert all(d == 2000 for d in bc_deltas) or bc_deltas == []

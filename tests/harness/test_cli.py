@@ -1,0 +1,32 @@
+"""Smoke tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.harness import cli
+
+
+def test_setup_command_prints_table(capsys):
+    assert cli.main(["setup", "--quick", "--trials", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out
+    assert "standard" in out and "failover" in out
+
+
+def test_fig5_command_with_small_stream(capsys):
+    assert cli.main(["fig5", "--bytes", "1500000"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 5" in out
+    assert "7834 / 8708" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["definitely-not-an-experiment"])
+
+
+def test_chain_depth_runner_monotone():
+    from repro.harness.experiments import measure_chain_depth
+
+    one = measure_chain_depth(1, total_bytes=800_000)
+    two = measure_chain_depth(2, total_bytes=800_000)
+    assert one > two > 0

@@ -1,0 +1,46 @@
+"""Tests for experiment statistics."""
+
+import pytest
+
+from repro.harness.metrics import rate_kb_s, summarize
+
+
+def test_summarize_basic():
+    stats = summarize([3.0, 1.0, 2.0])
+    assert stats.count == 3
+    assert stats.median == 2.0
+    assert stats.minimum == 1.0
+    assert stats.maximum == 3.0
+    assert abs(stats.mean - 2.0) < 1e-12
+
+
+def test_summarize_single_sample():
+    stats = summarize([7.0])
+    assert stats.median == stats.minimum == stats.maximum == 7.0
+
+
+def test_summarize_even_count_median_interpolates():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats.median == 2.5
+
+
+def test_p90():
+    stats = summarize(list(range(1, 12)))  # 1..11
+    assert stats.p90 == 10.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_scaled():
+    stats = summarize([1.0, 2.0, 3.0]).scaled(1e6)
+    assert stats.median == 2e6
+
+
+def test_rate_kb_s():
+    assert rate_kb_s(1024 * 100, 1.0) == 100.0
+    assert rate_kb_s(1024, 0.5) == 2.0
+    with pytest.raises(ValueError):
+        rate_kb_s(100, 0.0)

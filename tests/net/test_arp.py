@@ -1,0 +1,122 @@
+"""Unit tests for ARP: resolution, gratuitous updates, takeover timing."""
+
+from repro.net.addresses import Ipv4Address
+from repro.net.host import Host
+from repro.net.ethernet import EthernetSegment
+from repro.sim.engine import Simulator
+from tests.util import mac
+
+
+def build(n=3, gratuitous_delays=None):
+    sim = Simulator()
+    segment = EthernetSegment(sim, collision_prob=0.0)
+    hosts = []
+    for i in range(n):
+        delay = (gratuitous_delays or {}).get(i, 0.0)
+        host = Host(sim, f"h{i}", mac(i + 1), gratuitous_apply_delay=delay)
+        host.attach_ethernet(segment, Ipv4Address(f"10.0.0.{i + 1}"))
+        hosts.append(host)
+    return sim, segment, hosts
+
+
+def test_resolution_round_trip():
+    sim, segment, hosts = build()
+    results = []
+    event = hosts[0].eth_interface.arp.resolve(Ipv4Address("10.0.0.2"))
+    event.add_waiter(lambda e: results.append(e.value))
+    sim.run()
+    assert results == [hosts[1].nic.mac]
+
+
+def test_resolution_caches():
+    sim, segment, hosts = build()
+    arp = hosts[0].eth_interface.arp
+    arp.resolve(Ipv4Address("10.0.0.2"))
+    sim.run()
+    # Second resolve is answered from the cache without new requests.
+    before = hosts[0].nic.frames_sent
+    event = arp.resolve(Ipv4Address("10.0.0.2"))
+    sim.run()
+    assert event.triggered
+    assert hosts[0].nic.frames_sent == before
+
+
+def test_request_primes_responders_cache():
+    sim, segment, hosts = build()
+    hosts[0].eth_interface.arp.resolve(Ipv4Address("10.0.0.2"))
+    sim.run()
+    # The responder learned the asker's mapping opportunistically.
+    assert hosts[1].eth_interface.arp.cache[Ipv4Address("10.0.0.1")] == hosts[0].nic.mac
+
+
+def test_unanswered_resolution_fails_after_retries():
+    sim, segment, hosts = build()
+    failures = []
+    event = hosts[0].eth_interface.arp.resolve(Ipv4Address("10.0.0.99"))
+
+    def on_done(e):
+        try:
+            e.value
+        except Exception as exc:
+            failures.append(exc)
+
+    event.add_waiter(on_done)
+    sim.run(until=60.0)
+    assert len(failures) == 1
+
+
+def test_prime_warms_cache():
+    sim, segment, hosts = build()
+    hosts[0].eth_interface.arp.prime(Ipv4Address("10.0.0.3"), hosts[2].nic.mac)
+    event = hosts[0].eth_interface.arp.resolve(Ipv4Address("10.0.0.3"))
+    assert event.triggered
+    assert event.value == hosts[2].nic.mac
+
+
+def test_gratuitous_arp_updates_other_caches():
+    sim, segment, hosts = build()
+    takeover_ip = Ipv4Address("10.0.0.2")
+    hosts[0].eth_interface.arp.prime(takeover_ip, hosts[1].nic.mac)
+    # Host 2 claims host 1's address.
+    hosts[2].eth_interface.add_address(takeover_ip)
+    hosts[2].eth_interface.arp.announce(takeover_ip)
+    sim.run()
+    assert hosts[0].eth_interface.arp.cache[takeover_ip] == hosts[2].nic.mac
+
+
+def test_gratuitous_apply_delay_models_paper_T():
+    sim, segment, hosts = build(gratuitous_delays={0: 0.010})
+    takeover_ip = Ipv4Address("10.0.0.2")
+    hosts[0].eth_interface.arp.prime(takeover_ip, hosts[1].nic.mac)
+    hosts[2].eth_interface.arp.announce(takeover_ip)
+    sim.run(until=0.005)
+    # Before T the stale mapping survives.
+    assert hosts[0].eth_interface.arp.cache[takeover_ip] == hosts[1].nic.mac
+    sim.run(until=0.1)
+    assert hosts[0].eth_interface.arp.cache[takeover_ip] == hosts[2].nic.mac
+
+
+def test_takeover_owner_answers_requests():
+    sim, segment, hosts = build()
+    takeover_ip = Ipv4Address("10.0.0.2")
+    hosts[1].crash()
+    hosts[2].eth_interface.add_address(takeover_ip)
+    results = []
+    event = hosts[0].eth_interface.arp.resolve(takeover_ip)
+    event.add_waiter(lambda e: results.append(e.value))
+    sim.run(until=10.0)
+    assert results == [hosts[2].nic.mac]
+
+
+def test_concurrent_resolves_share_one_request():
+    sim, segment, hosts = build()
+    arp = hosts[0].eth_interface.arp
+    e1 = arp.resolve(Ipv4Address("10.0.0.2"))
+    e2 = arp.resolve(Ipv4Address("10.0.0.2"))
+    sim.run()
+    assert e1.value == e2.value == hosts[1].nic.mac
+    # Only one request frame went out (plus the reply).
+    requests = [
+        f for f in range(hosts[0].nic.frames_sent)
+    ]
+    assert hosts[0].nic.frames_sent == 1

@@ -1,0 +1,102 @@
+"""Unit tests for the WAN link model."""
+
+import random
+
+from repro.net.addresses import Ipv4Address
+from repro.net.ip import PointToPointInterface
+from repro.net.packet import IPPROTO_HEARTBEAT, HeartbeatPayload, Ipv4Datagram
+from repro.net.wan import WanLink
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+def build(loss=0.0, cross_load=0.0, bandwidth=1e6, delay=0.010):
+    sim = Simulator()
+    link = WanLink(
+        sim,
+        bandwidth_bps=bandwidth,
+        propagation_delay=delay,
+        loss_prob=loss,
+        cross_load=cross_load,
+        rng=random.Random(3),
+        tracer=Tracer(record=False),
+    )
+    side_a = PointToPointInterface(Ipv4Address("10.1.0.1"), 30)
+    side_b = PointToPointInterface(Ipv4Address("10.1.0.2"), 30)
+    a_inbox, b_inbox = [], []
+    link.connect(side_a, side_b, a_inbox.append, b_inbox.append)
+    return sim, link, side_a, side_b, a_inbox, b_inbox
+
+
+def dgram(size=1000):
+    return Ipv4Datagram(
+        src=Ipv4Address("10.1.0.1"),
+        dst=Ipv4Address("10.1.0.2"),
+        protocol=IPPROTO_HEARTBEAT,
+        payload=HeartbeatPayload("t", 1, wire_size=size - 20),
+    )
+
+
+def test_delivery_both_directions():
+    sim, link, a, b, a_in, b_in = build()
+    a.send_datagram(dgram(), Ipv4Address("10.1.0.2"))
+    b.send_datagram(dgram(), Ipv4Address("10.1.0.1"))
+    sim.run()
+    assert len(b_in) == 1 and len(a_in) == 1
+
+
+def test_latency_is_service_plus_propagation():
+    sim, link, a, b, a_in, b_in = build(bandwidth=1e6, delay=0.010)
+    a.send_datagram(dgram(size=1000), Ipv4Address("10.1.0.2"))
+    sim.run()
+    # 1000 bytes at 1 Mbit/s = 8 ms service + 10 ms propagation.
+    assert abs(sim.now - 0.018) < 1e-9
+
+
+def test_queueing_serializes():
+    sim, link, a, b, a_in, b_in = build(bandwidth=1e6, delay=0.0)
+    for _ in range(3):
+        a.send_datagram(dgram(size=1000), Ipv4Address("10.1.0.2"))
+    sim.run()
+    assert len(b_in) == 3
+    assert abs(sim.now - 3 * 0.008) < 1e-9
+
+
+def test_loss_drops_packets():
+    sim, link, a, b, a_in, b_in = build(loss=1.0)
+    a.send_datagram(dgram(), Ipv4Address("10.1.0.2"))
+    sim.run()
+    assert b_in == []
+    assert link.a_to_b.packets_lost == 1
+
+
+def test_statistical_loss_rate():
+    sim, link, a, b, a_in, b_in = build(loss=0.3)
+    for _ in range(500):
+        a.send_datagram(dgram(size=100), Ipv4Address("10.1.0.2"))
+    sim.run()
+    lost = link.a_to_b.packets_lost
+    assert 90 < lost < 220  # ~150 expected
+
+
+def test_cross_traffic_slows_the_link():
+    sim_fast, *_rest, b_fast = build(cross_load=0.0)
+    for _ in range(100):
+        _rest[1].send_datagram(dgram(size=1000), Ipv4Address("10.1.0.2"))
+    sim_fast.run()
+    fast_time = sim_fast.now
+
+    sim_slow, *_rest2, b_slow = build(cross_load=0.9)
+    for _ in range(100):
+        _rest2[1].send_datagram(dgram(size=1000), Ipv4Address("10.1.0.2"))
+    sim_slow.run()
+    assert sim_slow.now > fast_time
+
+
+def test_tail_drop_on_queue_overflow():
+    sim, link, a, b, a_in, b_in = build(bandwidth=1e5, delay=0.0)
+    for _ in range(200):
+        a.send_datagram(dgram(size=1000), Ipv4Address("10.1.0.2"))
+    sim.run()
+    assert link.a_to_b.packets_lost > 0
+    assert len(b_in) < 200

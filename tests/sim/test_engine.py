@@ -1,0 +1,158 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_orders_by_time():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_bound_leaves_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_to_bound_when_idle():
+    sim = Simulator()
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, 1)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert timer.cancelled and not timer.fired
+
+
+def test_cancel_is_idempotent_and_late_cancel_is_noop():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, 1)
+    sim.run()
+    timer.cancel()  # already fired: no-op
+    assert fired == [1]
+    assert timer.fired
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_call_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(1.0, seen.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["second"]
+    assert sim.now == 2.0
+
+
+def test_zero_delay_event_runs_at_same_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(3.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [3.0]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    box = []
+    sim.schedule(1.0, box.append, 1)
+    sim.schedule(2.0, box.append, 2)
+    sim.schedule(3.0, box.append, 3)
+    assert sim.run_until(lambda: len(box) >= 2, timeout=10.0)
+    assert box == [1, 2]
+
+
+def test_run_until_times_out():
+    sim = Simulator()
+    assert not sim.run_until(lambda: False, timeout=1.0)
+    assert sim.now == 1.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def recurse():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, recurse)
+    sim.run()
+    assert len(errors) == 1

@@ -1,0 +1,227 @@
+"""Unit tests for generator-based processes, events and queues."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Event, Interrupted, Process, Queue, Sleep, spawn
+
+
+def test_process_sleeps_and_returns():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        yield Sleep(2.0)
+        return sim.now
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.result == 3.0
+
+
+def test_process_result_is_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield 0.5
+        return "done"
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.result == "done"
+    assert not p.alive
+
+
+def test_process_crash_propagates_to_result():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        raise ValueError("boom")
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.done_event.triggered
+    with pytest.raises(ValueError):
+        _ = p.result
+
+
+def test_waiting_on_event_receives_value():
+    sim = Simulator()
+    event = Event(sim, "gate")
+
+    def waiter():
+        value = yield event
+        return value
+
+    def firer():
+        yield 2.0
+        event.succeed(42)
+
+    w = spawn(sim, waiter())
+    spawn(sim, firer())
+    sim.run()
+    assert w.result == 42
+
+
+def test_waiting_on_failed_event_raises_in_process():
+    sim = Simulator()
+    event = Event(sim, "gate")
+
+    def waiter():
+        try:
+            yield event
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    w = spawn(sim, waiter())
+    sim.schedule(1.0, lambda: event.fail(RuntimeError("nope")))
+    sim.run()
+    assert w.result == "caught nope"
+
+
+def test_event_triggered_before_wait_still_delivers():
+    sim = Simulator()
+    event = Event(sim, "early")
+    event.succeed("early-value")
+
+    def waiter():
+        value = yield event
+        return value
+
+    w = spawn(sim, waiter())
+    sim.run()
+    assert w.result == "early-value"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = Event(sim)
+    event.succeed(1)
+    with pytest.raises(Exception):
+        event.succeed(2)
+
+
+def test_process_waits_on_child_process():
+    sim = Simulator()
+
+    def child():
+        yield 3.0
+        return "child-result"
+
+    def parent():
+        result = yield spawn(sim, child())
+        return result
+
+    p = spawn(sim, parent())
+    sim.run()
+    assert p.result == "child-result"
+    assert sim.now == 3.0
+
+
+def test_child_crash_propagates_to_parent():
+    sim = Simulator()
+
+    def child():
+        yield 1.0
+        raise KeyError("inner")
+
+    def parent():
+        try:
+            yield spawn(sim, child())
+        except KeyError:
+            return "handled"
+
+    p = spawn(sim, parent())
+    sim.run()
+    assert p.result == "handled"
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+
+    def proc():
+        try:
+            yield 100.0
+        except Interrupted:
+            return "interrupted"
+
+    p = spawn(sim, proc())
+    sim.schedule(1.0, p.interrupt)
+    sim.run()
+    # The interrupt is delivered at the next resumption (the sleep expiry).
+    assert p.result == "interrupted"
+
+
+def test_yielding_garbage_crashes_process():
+    sim = Simulator()
+
+    def proc():
+        yield object()
+
+    p = spawn(sim, proc())
+    sim.run()
+    with pytest.raises(Exception):
+        _ = p.result
+
+
+def test_queue_fifo_order():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put(1)
+    queue.put(2)
+
+    def consumer():
+        a = yield queue.get()
+        b = yield queue.get()
+        return (a, b)
+
+    p = spawn(sim, consumer())
+    sim.run()
+    assert p.result == (1, 2)
+
+
+def test_queue_blocks_until_item_arrives():
+    sim = Simulator()
+    queue = Queue(sim)
+
+    def consumer():
+        item = yield queue.get()
+        return (item, sim.now)
+
+    p = spawn(sim, consumer())
+    sim.schedule(5.0, queue.put, "late")
+    sim.run()
+    assert p.result == ("late", 5.0)
+
+
+def test_queue_multiple_getters_served_in_order():
+    sim = Simulator()
+    queue = Queue(sim)
+    results = []
+
+    def consumer(tag):
+        item = yield queue.get()
+        results.append((tag, item))
+
+    spawn(sim, consumer("first"))
+    spawn(sim, consumer("second"))
+    sim.schedule(1.0, queue.put, "x")
+    sim.schedule(2.0, queue.put, "y")
+    sim.run()
+    assert results == [("first", "x"), ("second", "y")]
+
+
+def test_queue_len_and_peek():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put("a")
+    queue.put("b")
+    assert len(queue) == 2
+    assert queue.peek_all() == ["a", "b"]
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        Process(sim, lambda: None)  # not a generator

@@ -1,0 +1,35 @@
+"""Unit tests for seeded RNG streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_same_stream_object():
+    registry = RngRegistry(1)
+    assert registry.stream("a") is registry.stream("a")
+
+
+def test_streams_are_deterministic_across_registries():
+    a = RngRegistry(7).stream("ethernet")
+    b = RngRegistry(7).stream("ethernet")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_differ():
+    registry = RngRegistry(7)
+    a = registry.stream("one")
+    b = registry.stream("two")
+    assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x")
+    b = RngRegistry(2).stream("x")
+    assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+
+def test_fork_is_deterministic_and_independent():
+    base = RngRegistry(9)
+    fork_a = base.fork("trial-1")
+    fork_b = RngRegistry(9).fork("trial-1")
+    assert fork_a.master_seed == fork_b.master_seed
+    assert fork_a.master_seed != base.master_seed

@@ -1,0 +1,61 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def test_emit_records_in_order():
+    tracer = Tracer()
+    tracer.emit(1.0, "a.b", "n1", k=1)
+    tracer.emit(2.0, "a.c", "n2", k=2)
+    assert [r.category for r in tracer.records] == ["a.b", "a.c"]
+
+
+def test_count_works_even_when_not_recording():
+    tracer = Tracer(record=False)
+    tracer.emit(1.0, "x", "n")
+    tracer.emit(2.0, "x", "n")
+    assert tracer.count("x") == 2
+    assert tracer.records == []
+
+
+def test_select_by_category_prefix():
+    tracer = Tracer()
+    tracer.emit(1.0, "tcp.tx", "a")
+    tracer.emit(2.0, "tcp.rtx", "a")
+    tracer.emit(3.0, "eth.rx", "a")
+    assert len(tracer.select(category="tcp.")) == 2
+
+
+def test_select_by_node_and_predicate():
+    tracer = Tracer()
+    tracer.emit(1.0, "c", "n1", size=10)
+    tracer.emit(2.0, "c", "n2", size=20)
+    tracer.emit(3.0, "c", "n2", size=5)
+    picked = tracer.select(node="n2", predicate=lambda r: r.detail["size"] > 6)
+    assert len(picked) == 1
+    assert picked[0].detail["size"] == 20
+
+
+def test_subscription_receives_records():
+    tracer = Tracer(record=False)
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.emit(1.0, "c", "n")
+    assert len(seen) == 1
+    assert isinstance(seen[0], TraceRecord)
+
+
+def test_clear_resets_everything():
+    tracer = Tracer()
+    tracer.emit(1.0, "c", "n")
+    tracer.clear()
+    assert tracer.records == []
+    assert tracer.count("c") == 0
+
+
+def test_dump_filters_categories():
+    tracer = Tracer()
+    tracer.emit(1.0, "tcp.tx", "a", seq=1)
+    tracer.emit(2.0, "eth.rx", "a")
+    dump = tracer.dump(categories=["tcp."])
+    assert "tcp.tx" in dump and "eth.rx" not in dump

@@ -1,0 +1,149 @@
+"""Termination edge cases: simultaneous close, TIME_WAIT re-ACK, CLOSING."""
+
+from repro.net.packet import Ipv4Datagram
+from repro.tcp.connection import TcpState
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+from tests.util import SERVER_IP, TwoHostLan, run_all
+
+
+def test_simultaneous_close_both_sides():
+    """Both endpoints close at the same instant → CLOSING → TIME_WAIT."""
+    lan = TwoHostLan()
+    lan.client.tcp.conn_defaults["msl"] = 0.2
+    lan.server.tcp.conn_defaults["msl"] = 0.2
+
+    conns = {}
+
+    def server():
+        listening = ListeningSocket.listen(lan.server, 80)
+        sock = yield from listening.accept()
+        conns["server"] = sock.conn
+        yield 0.01
+        yield from sock.close_and_wait()
+
+    def client():
+        sock = SimSocket.connect(lan.client, SERVER_IP, 80)
+        yield from sock.wait_connected()
+        conns["client"] = sock.conn
+        yield 0.0102  # closes virtually simultaneously with the server
+        yield from sock.close_and_wait()
+
+    run_all(lan.sim, [server(), client()], until=30.0)
+    lan.run(until=lan.sim.now + 2.0)  # 2*MSL passes
+    assert conns["client"].state == TcpState.CLOSED
+    assert conns["server"].state == TcpState.CLOSED
+    assert lan.client.tcp.connections == {}
+    assert lan.server.tcp.connections == {}
+
+
+def test_time_wait_reacks_retransmitted_fin():
+    """The active closer in TIME_WAIT must re-ACK a retransmitted FIN."""
+    lan = TwoHostLan()
+    lan.client.tcp.conn_defaults["msl"] = 1.0
+    dropped = {"count": 0}
+
+    def drop_final_acks(frame):
+        payload = frame.payload
+        if not isinstance(payload, Ipv4Datagram):
+            return False
+        segment = getattr(payload, "payload", None)
+        if segment is None:
+            return False
+        # Drop the client's ACK of the server FIN (pure ACK, post-FIN).
+        if (
+            segment.has_ack
+            and not segment.payload
+            and not segment.fin
+            and not segment.syn
+            and dropped["count"] < 1
+            and payload.src == lan.client.ip.primary_address()
+            and lan.server.tcp.connections
+            and any(
+                c.state in (TcpState.LAST_ACK,)
+                for c in lan.server.tcp.connections.values()
+            )
+        ):
+            dropped["count"] += 1
+            return True
+        return False
+
+    lan.server.nic.rx_drop_hook = drop_final_acks
+
+    def server():
+        listening = ListeningSocket.listen(lan.server, 80)
+        sock = yield from listening.accept()
+        sock.conn.min_rto = 0.05
+        sock.conn.rto.min_rto = 0.05
+        yield from sock.recv_until_eof()
+        yield from sock.close_and_wait()
+        return sock.conn
+
+    def client():
+        sock = SimSocket.connect(lan.client, SERVER_IP, 80)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"x")
+        yield from sock.close_and_wait()
+        return sock.conn
+
+    server_conn, client_conn = run_all(lan.sim, [server(), client()], until=30.0)
+    lan.run(until=lan.sim.now + 5.0)
+    # The server's FIN retransmission was eventually ACKed out of TIME_WAIT.
+    assert dropped["count"] == 1
+    assert server_conn.state == TcpState.CLOSED
+
+
+def test_abort_during_half_close():
+    lan = TwoHostLan()
+
+    def server():
+        listening = ListeningSocket.listen(lan.server, 80)
+        sock = yield from listening.accept()
+        yield from sock.recv(10)
+        yield 0.01
+        sock.abort()
+        return sock.conn
+
+    def client():
+        sock = SimSocket.connect(lan.client, SERVER_IP, 80)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"data")
+        sock.close()  # FIN_WAIT_1/2
+        yield 0.2
+        return sock.conn
+
+    server_conn, client_conn = run_all(lan.sim, [server(), client()], until=30.0)
+    assert client_conn.reset_received
+    assert client_conn.state == TcpState.CLOSED
+
+
+def test_close_with_unsent_data_flushes_first():
+    """close() after a large write still delivers every byte before FIN."""
+    lan = TwoHostLan()
+    blob = bytes(i & 0xFF for i in range(80_000))
+
+    def server():
+        listening = ListeningSocket.listen(lan.server, 80)
+        sock = yield from listening.accept()
+        data = yield from sock.recv_until_eof()
+        yield from sock.close_and_wait()
+        return data
+
+    def client():
+        sock = SimSocket.connect(lan.client, SERVER_IP, 80)
+        yield from sock.wait_connected()
+        yield from sock.send_all(blob)
+        yield from sock.close_and_wait()  # immediate close after last write
+
+    data, _ = run_all(lan.sim, [server(), client()], until=60.0)
+    assert data == blob
+
+
+def test_double_close_is_harmless():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    conn = lan.client.tcp.connect(SERVER_IP, 80)
+    lan.run(until=0.5)
+    conn.close()
+    conn.close()  # no error, no duplicate FIN state corruption
+    lan.run(until=1.5)
+    assert conn.state in (TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2)

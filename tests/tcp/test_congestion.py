@@ -1,0 +1,74 @@
+"""Unit tests for the Reno-style congestion controller."""
+
+from repro.tcp.congestion import CongestionControl
+
+
+def test_initial_window_two_segments():
+    cc = CongestionControl(mss=1000)
+    assert cc.cwnd == 2000
+    assert cc.in_slow_start
+
+
+def test_slow_start_doubles_per_window():
+    cc = CongestionControl(mss=1000)
+    cc.on_new_ack(1000)
+    cc.on_new_ack(1000)
+    assert cc.cwnd == 4000
+
+
+def test_slow_start_growth_capped_per_ack():
+    cc = CongestionControl(mss=1000)
+    cc.on_new_ack(50_000)  # huge cumulative ACK still adds <= 1 MSS
+    assert cc.cwnd == 3000
+
+
+def test_congestion_avoidance_linear():
+    cc = CongestionControl(mss=1000)
+    cc.ssthresh = 2000  # already past slow start
+    start = cc.cwnd
+    cc.on_new_ack(1000)
+    assert cc.cwnd == start + max(1, 1000 * 1000 // start)
+
+
+def test_window_respects_peer():
+    cc = CongestionControl(mss=1000)
+    assert cc.window(peer_window=500) == 500
+    assert cc.window(peer_window=100_000) == cc.cwnd
+
+
+def test_fast_retransmit_on_third_dup_ack():
+    cc = CongestionControl(mss=1000)
+    cc.cwnd = 10_000
+    assert not cc.on_duplicate_ack(in_flight=10_000)
+    assert not cc.on_duplicate_ack(in_flight=10_000)
+    assert cc.on_duplicate_ack(in_flight=10_000)
+    assert cc.fast_retransmits == 1
+    assert cc.ssthresh == 5000
+    assert cc.cwnd == 5000
+    # A fourth duplicate does not fire again.
+    assert not cc.on_duplicate_ack(in_flight=10_000)
+
+
+def test_ssthresh_floor_two_mss():
+    cc = CongestionControl(mss=1000)
+    for _ in range(3):
+        cc.on_duplicate_ack(in_flight=1000)
+    assert cc.ssthresh == 2000
+
+
+def test_timeout_collapses_to_one_mss():
+    cc = CongestionControl(mss=1000)
+    cc.cwnd = 20_000
+    cc.on_timeout(in_flight=20_000)
+    assert cc.cwnd == 1000
+    assert cc.ssthresh == 10_000
+    assert cc.timeouts == 1
+    assert cc.in_slow_start
+
+
+def test_new_ack_resets_dup_counter():
+    cc = CongestionControl(mss=1000)
+    cc.on_duplicate_ack(in_flight=5000)
+    cc.on_duplicate_ack(in_flight=5000)
+    cc.on_new_ack(1000)
+    assert cc.dup_acks == 0

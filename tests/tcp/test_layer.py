@@ -1,0 +1,114 @@
+"""Unit tests for the TCP layer: demux, listeners, ports, RST generation."""
+
+import pytest
+
+from repro.net.addresses import Ipv4Address
+from repro.tcp.layer import EPHEMERAL_PORT_START
+from repro.tcp.segment import FLAG_SYN, TcpSegment
+from tests.util import CLIENT_IP, SERVER_IP, TwoHostLan
+
+
+def test_listen_rejects_duplicate_port():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    with pytest.raises(OSError):
+        lan.server.tcp.listen(80)
+
+
+def test_close_listener_frees_port():
+    lan = TwoHostLan()
+    listener = lan.server.tcp.listen(80)
+    listener.close()
+    lan.server.tcp.listen(80)  # no error
+
+
+def test_ephemeral_ports_are_sequential_and_deterministic():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    c1 = lan.client.tcp.connect(SERVER_IP, 80)
+    c2 = lan.client.tcp.connect(SERVER_IP, 80)
+    assert c1.local_port == EPHEMERAL_PORT_START
+    assert c2.local_port == EPHEMERAL_PORT_START + 1
+
+
+def test_two_hosts_allocate_identical_ephemeral_sequences():
+    """The determinism §7.2 relies on for replica port agreement."""
+    lan = TwoHostLan()
+    a = [lan.client.tcp.allocate_ephemeral_port() for _ in range(5)]
+    b = [lan.server.tcp.allocate_ephemeral_port() for _ in range(5)]
+    assert a == b
+
+
+def test_duplicate_connect_same_tuple_rejected():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    lan.client.tcp.connect(SERVER_IP, 80, local_port=5555)
+    with pytest.raises(OSError):
+        lan.client.tcp.connect(SERVER_IP, 80, local_port=5555)
+
+
+def test_backlog_limits_pending_connections():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80, backlog=1)
+    # Stop the server answering SYNs quickly by crashing... instead flood
+    # SYNs in one instant: only backlog=1 pending is admitted at a time.
+    for _ in range(3):
+        lan.client.tcp.connect(SERVER_IP, 80)
+    lan.run(until=0.0005)
+    pending = [c for c in lan.server.tcp.connections.values()]
+    assert len(pending) <= 2  # 1 pending + possibly 1 just established
+
+
+def test_rst_sent_for_unknown_segment():
+    lan = TwoHostLan()
+    segment = TcpSegment(
+        src_port=1111, dst_port=2222, seq=5, ack=0, flags=FLAG_SYN,
+        window=100, mss_option=1460,
+    ).sealed(CLIENT_IP, SERVER_IP)
+    lan.client.send_ip(segment, CLIENT_IP, SERVER_IP)
+    lan.run(until=1.0)
+    assert lan.server.tcp.rsts_sent == 1
+    assert lan.tracer.count("tcp.rst_sent") == 1
+
+
+def test_no_rst_for_rst():
+    from repro.tcp.segment import FLAG_RST
+
+    lan = TwoHostLan()
+    segment = TcpSegment(
+        src_port=1, dst_port=2, seq=5, ack=0, flags=FLAG_RST, window=0,
+    ).sealed(CLIENT_IP, SERVER_IP)
+    lan.client.send_ip(segment, CLIENT_IP, SERVER_IP)
+    lan.run(until=1.0)
+    assert lan.server.tcp.rsts_sent == 0
+
+
+def test_syn_with_bad_checksum_ignored():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    segment = TcpSegment(
+        src_port=1111, dst_port=80, seq=5, ack=0, flags=FLAG_SYN,
+        window=100, checksum=0xBEEF,
+    )
+    lan.client.send_ip(segment, CLIENT_IP, SERVER_IP)
+    lan.run(until=1.0)
+    assert lan.server.tcp.connections == {}
+    assert lan.tracer.count("tcp.bad_checksum") == 1
+
+
+def test_iss_random_per_connection():
+    lan = TwoHostLan()
+    values = {lan.client.tcp.choose_iss() for _ in range(10)}
+    assert len(values) == 10
+
+
+def test_rebind_local_ip_moves_connections():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    conn = lan.client.tcp.connect(SERVER_IP, 80)
+    lan.run(until=1.0)
+    new_ip = Ipv4Address("10.0.0.50")
+    lan.client.eth_interface.add_address(new_ip)
+    lan.client.tcp.rebind_local_ip(CLIENT_IP, new_ip)
+    assert conn.local_ip == new_ip
+    assert conn.key in lan.client.tcp.connections

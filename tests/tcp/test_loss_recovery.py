@@ -1,0 +1,165 @@
+"""Loss-recovery tests: retransmission, fast retransmit, dup-ACK handling.
+
+These exercise the plain TCP machinery that §4 of the paper leans on; the
+failover-specific loss cases live in tests/failover/test_loss_cases.py.
+"""
+
+from repro.net.packet import Ipv4Datagram
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+from tests.util import SERVER_IP, TwoHostLan, run_all
+
+
+def data_frame_dropper(lan, which_host, drop_indices):
+    """Drop the n-th TCP *data* frame arriving at ``which_host``."""
+    state = {"index": 0}
+    remaining = set(drop_indices)
+
+    def hook(frame):
+        payload = frame.payload
+        if not isinstance(payload, Ipv4Datagram):
+            return False
+        segment = getattr(payload, "payload", None)
+        if not getattr(segment, "payload", b""):
+            return False
+        index = state["index"]
+        state["index"] += 1
+        return index in remaining
+
+    which_host.nic.rx_drop_hook = hook
+    return state
+
+
+def transfer(lan, blob, client_opts=None, until=120.0):
+    def server():
+        listening = ListeningSocket.listen(lan.server, 80)
+        sock = yield from listening.accept()
+        data = yield from sock.recv_until_eof()
+        yield from sock.close_and_wait()
+        return data
+
+    def client():
+        sock = SimSocket.connect(lan.client, SERVER_IP, 80, **(client_opts or {}))
+        yield from sock.wait_connected()
+        yield from sock.send_all(blob)
+        yield from sock.close_and_wait()
+        return sock
+
+    data, sock = run_all(lan.sim, [server(), client()], until=until)
+    return data, sock.conn
+
+
+def test_single_drop_recovered_by_retransmission():
+    lan = TwoHostLan()
+    blob = bytes(i & 0xFF for i in range(50_000))
+    data_frame_dropper(lan, lan.server, {5})
+    data, conn = transfer(lan, blob, client_opts={"min_rto": 0.05})
+    assert data == blob
+    assert conn.retransmissions >= 1
+
+
+def test_burst_drop_recovered():
+    lan = TwoHostLan()
+    blob = bytes((i * 7) & 0xFF for i in range(80_000))
+    data_frame_dropper(lan, lan.server, set(range(10, 16)))
+    data, conn = transfer(lan, blob, client_opts={"min_rto": 0.05})
+    assert data == blob
+
+
+def test_fast_retransmit_fires_on_dup_acks():
+    lan = TwoHostLan()
+    blob = bytes(i & 0xFF for i in range(120_000))
+    # Drop a mid-stream segment, once the congestion window is wide
+    # enough that at least three later segments generate duplicate ACKs.
+    data_frame_dropper(lan, lan.server, {30})
+    data, conn = transfer(lan, blob, client_opts={"min_rto": 1.0})
+    assert data == blob
+    # With a 1s floor RTO, recovery this fast requires fast retransmit.
+    assert conn.cc.fast_retransmits >= 1
+    assert lan.tracer.count("tcp.fast_rtx") >= 1
+
+
+def test_lost_ack_is_harmless():
+    """Dropping pure ACKs delays nothing permanently (cumulative ACKs)."""
+    lan = TwoHostLan()
+    blob = bytes(i & 0xFF for i in range(30_000))
+    state = {"index": 0}
+
+    def drop_some_acks(frame):
+        payload = frame.payload
+        if not isinstance(payload, Ipv4Datagram):
+            return False
+        segment = getattr(payload, "payload", None)
+        if segment is None or getattr(segment, "payload", b""):
+            return False
+        state["index"] += 1
+        return state["index"] % 3 == 0  # drop every third pure ACK
+
+    lan.client.nic.rx_drop_hook = drop_some_acks
+    data, conn = transfer(lan, blob, client_opts={"min_rto": 0.05})
+    assert data == blob
+
+
+def test_lost_fin_retransmitted():
+    lan = TwoHostLan()
+    blob = b"short"
+    dropped = {"fin": False}
+
+    def drop_first_fin(frame):
+        payload = frame.payload
+        if not isinstance(payload, Ipv4Datagram):
+            return False
+        segment = getattr(payload, "payload", None)
+        if segment is not None and segment.fin and not dropped["fin"]:
+            dropped["fin"] = True
+            return True
+        return False
+
+    lan.server.nic.rx_drop_hook = drop_first_fin
+    data, conn = transfer(lan, blob, client_opts={"min_rto": 0.05})
+    assert data == blob
+    assert dropped["fin"]
+
+
+def test_lost_syn_ack_recovered():
+    lan = TwoHostLan()
+    dropped = {"done": False}
+
+    def drop_first_syn_ack(frame):
+        payload = frame.payload
+        if not isinstance(payload, Ipv4Datagram):
+            return False
+        segment = getattr(payload, "payload", None)
+        if (
+            segment is not None
+            and segment.syn
+            and segment.has_ack
+            and not dropped["done"]
+        ):
+            dropped["done"] = True
+            return True
+        return False
+
+    lan.client.nic.rx_drop_hook = drop_first_syn_ack
+    blob = b"after-retry"
+    data, conn = transfer(lan, blob, client_opts={"initial_rto": 0.1})
+    assert data == blob
+    assert dropped["done"]
+
+
+def test_heavy_random_loss_stream_integrity():
+    """10% random loss in both directions: slow but exact."""
+    import random
+
+    lan = TwoHostLan()
+    rng = random.Random(4)
+
+    def loss(prob):
+        def hook(frame):
+            return rng.random() < prob
+        return hook
+
+    lan.server.nic.rx_drop_hook = loss(0.10)
+    lan.client.nic.rx_drop_hook = loss(0.10)
+    blob = bytes((i * 13) & 0xFF for i in range(40_000))
+    data, conn = transfer(lan, blob, client_opts={"min_rto": 0.05}, until=300.0)
+    assert data == blob

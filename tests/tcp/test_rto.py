@@ -1,0 +1,72 @@
+"""Unit tests for RTT estimation and RTO backoff."""
+
+import pytest
+
+from repro.tcp.rto import RtoEstimator
+
+
+def test_initial_rto():
+    assert RtoEstimator(initial_rto=1.0).rto == 1.0
+
+
+def test_first_sample_sets_srtt():
+    est = RtoEstimator(min_rto=0.0)
+    est.add_sample(0.1)
+    assert est.srtt == 0.1
+    assert est.rttvar == 0.05
+    assert abs(est.rto - (0.1 + 4 * 0.05)) < 1e-12
+
+
+def test_smoothing_converges():
+    est = RtoEstimator(min_rto=0.0)
+    for _ in range(200):
+        est.add_sample(0.05)
+    assert abs(est.srtt - 0.05) < 1e-3
+    assert est.rttvar < 1e-3
+
+
+def test_min_rto_floor():
+    est = RtoEstimator(min_rto=0.2)
+    for _ in range(50):
+        est.add_sample(0.001)
+    assert est.rto == 0.2
+
+
+def test_max_rto_ceiling():
+    est = RtoEstimator(max_rto=60.0)
+    est.add_sample(100.0)
+    assert est.rto == 60.0
+
+
+def test_backoff_doubles_and_caps():
+    est = RtoEstimator(initial_rto=1.0, max_rto=60.0)
+    est.on_timeout()
+    assert est.rto == 2.0
+    est.on_timeout()
+    assert est.rto == 4.0
+    for _ in range(20):
+        est.on_timeout()
+    assert est.rto == 60.0
+    assert est.backoff == 64
+
+
+def test_sample_resets_backoff():
+    est = RtoEstimator(initial_rto=1.0, min_rto=0.2)
+    est.on_timeout()
+    est.on_timeout()
+    est.add_sample(0.05)
+    assert est.backoff == 1
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        RtoEstimator().add_sample(-0.1)
+
+
+def test_variance_tracks_jitter():
+    stable = RtoEstimator(min_rto=0.0)
+    jittery = RtoEstimator(min_rto=0.0)
+    for i in range(100):
+        stable.add_sample(0.1)
+        jittery.add_sample(0.05 if i % 2 else 0.15)
+    assert jittery.rto > stable.rto

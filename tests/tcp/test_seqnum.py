@@ -1,0 +1,96 @@
+"""Property tests for 32-bit sequence arithmetic (invariant 6 of DESIGN.md)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tcp.seqnum import (
+    SEQ_MOD,
+    seq_add,
+    seq_between,
+    seq_diff,
+    seq_ge,
+    seq_gt,
+    seq_in_window,
+    seq_le,
+    seq_lt,
+    seq_max,
+    seq_min,
+    seq_sub,
+)
+
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+small = st.integers(min_value=0, max_value=(1 << 30))
+
+
+def test_wraparound_addition():
+    assert seq_add(SEQ_MOD - 1, 1) == 0
+    assert seq_add(SEQ_MOD - 1, 2) == 1
+
+
+def test_wraparound_subtraction():
+    assert seq_sub(0, 1) == SEQ_MOD - 1
+    assert seq_sub(5, 10) == SEQ_MOD - 5
+
+
+def test_comparisons_across_wrap():
+    near_top = SEQ_MOD - 10
+    assert seq_lt(near_top, 5)  # 5 is "after" the wrap
+    assert seq_gt(5, near_top)
+    assert seq_le(near_top, near_top)
+    assert seq_ge(5, 5)
+
+
+def test_between_across_wrap():
+    left = SEQ_MOD - 100
+    assert seq_between(left, SEQ_MOD - 50, 100)
+    assert seq_between(left, 50, 100)
+    assert not seq_between(left, 200, 100)
+
+
+def test_in_window_across_wrap():
+    start = SEQ_MOD - 5
+    assert seq_in_window(start, SEQ_MOD - 1, 10)
+    assert seq_in_window(start, 3, 10)
+    assert not seq_in_window(start, 6, 10)
+
+
+@given(seqs, small)
+def test_add_then_sub_roundtrip(a, delta):
+    assert seq_sub(seq_add(a, delta), a) == delta % SEQ_MOD
+
+
+@given(seqs, st.integers(min_value=1, max_value=(1 << 31) - 1))
+def test_add_positive_is_greater(a, delta):
+    assert seq_gt(seq_add(a, delta), a)
+    assert seq_lt(a, seq_add(a, delta))
+
+
+@given(seqs)
+def test_reflexivity(a):
+    assert seq_le(a, a) and seq_ge(a, a)
+    assert not seq_lt(a, a) and not seq_gt(a, a)
+    assert seq_diff(a, a) == 0
+
+
+@given(seqs, seqs)
+def test_trichotomy(a, b):
+    relations = [seq_lt(a, b), seq_gt(a, b), a == b]
+    # Exactly one holds unless the distance is exactly 2^31 (antipodal),
+    # where RFC 793 comparison is ambiguous; seq_diff maps it to +2^31.
+    if seq_sub(a, b) == 1 << 31:
+        assert seq_gt(a, b) and seq_lt(a, b) is False or True
+    else:
+        assert sum(relations) == 1
+
+
+@given(seqs, seqs)
+def test_min_max_are_consistent(a, b):
+    low, high = seq_min(a, b), seq_max(a, b)
+    assert {low, high} == {a, b}
+    assert seq_le(low, high)
+
+
+@given(seqs, st.integers(min_value=0, max_value=1 << 16), st.integers(min_value=0, max_value=1 << 16))
+def test_window_membership_matches_offsets(start, offset, length):
+    x = seq_add(start, offset)
+    assert seq_in_window(start, x, length) == (offset < length)

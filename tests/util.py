@@ -1,0 +1,128 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.failover.replicated import ReplicatedServerPair
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.ethernet import EthernetSegment
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, spawn
+from repro.sim.trace import Tracer
+
+CLIENT_IP = Ipv4Address("10.0.0.1")
+SERVER_IP = Ipv4Address("10.0.0.2")
+PRIMARY_IP = Ipv4Address("10.0.0.2")
+SECONDARY_IP = Ipv4Address("10.0.0.3")
+
+
+def mac(index: int) -> MacAddress:
+    return MacAddress(0x0200_0000_0000 + index)
+
+
+class TwoHostLan:
+    """Client and a single server on a fast, collision-free segment."""
+
+    def __init__(self, seed: int = 0, record_traces: bool = True, **host_kwargs):
+        self.sim = Simulator()
+        self.tracer = Tracer(record=record_traces)
+        self.segment = EthernetSegment(
+            self.sim, collision_prob=0.0, tracer=self.tracer
+        )
+        self.client = Host(self.sim, "client", mac(1), tracer=self.tracer, **host_kwargs)
+        self.server = Host(self.sim, "server", mac(2), tracer=self.tracer, **host_kwargs)
+        self.client.attach_ethernet(self.segment, CLIENT_IP)
+        self.server.attach_ethernet(self.segment, SERVER_IP)
+        self.warm_arp()
+
+    def warm_arp(self) -> None:
+        self.client.eth_interface.arp.prime(SERVER_IP, self.server.nic.mac)
+        self.server.eth_interface.arp.prime(CLIENT_IP, self.client.nic.mac)
+
+    def run(self, until: float = 30.0) -> None:
+        self.sim.run(until=until)
+
+
+class ReplicatedLan:
+    """Client + replicated primary/secondary pair, warm ARP, no collisions."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        failover_ports: Tuple[int, ...] = (80,),
+        record_traces: bool = True,
+        detector_interval: float = 0.005,
+        detector_timeout: float = 0.020,
+        client_arp_delay: float = 300e-6,
+        **pair_kwargs,
+    ):
+        self.sim = Simulator()
+        self.tracer = Tracer(record=record_traces)
+        self.segment = EthernetSegment(self.sim, collision_prob=0.0, tracer=self.tracer)
+        self.client = Host(
+            self.sim, "client", mac(1), tracer=self.tracer,
+            gratuitous_apply_delay=client_arp_delay,
+        )
+        self.primary = Host(self.sim, "primary", mac(2), tracer=self.tracer)
+        self.secondary = Host(self.sim, "secondary", mac(3), tracer=self.tracer)
+        self.client.attach_ethernet(self.segment, CLIENT_IP)
+        self.primary.attach_ethernet(self.segment, PRIMARY_IP)
+        self.secondary.attach_ethernet(self.segment, SECONDARY_IP)
+        for host in (self.client, self.primary, self.secondary):
+            for other in (self.client, self.primary, self.secondary):
+                if host is not other:
+                    host.eth_interface.arp.prime(
+                        other.ip.primary_address(), other.nic.mac
+                    )
+        self.pair = ReplicatedServerPair(
+            self.primary,
+            self.secondary,
+            failover_ports=failover_ports,
+            detector_interval=detector_interval,
+            detector_timeout=detector_timeout,
+            **pair_kwargs,
+        )
+        self.server_ip = self.pair.service_ip
+
+    def start_detectors(self) -> None:
+        self.pair.start_detectors()
+
+    def run(self, until: float = 30.0) -> None:
+        self.sim.run(until=until)
+
+
+def run_process(
+    sim: Simulator, generator: Generator, until: float = 30.0, settle: float = 0.25
+):
+    """Spawn a process, run until it finishes (or the budget expires).
+
+    ``settle`` simulated seconds are run after completion so that
+    in-flight segments, detector firings and takeovers triggered near the
+    end have landed before the test inspects state.
+    """
+    process = spawn(sim, generator, "test-proc")
+    sim.run_until(lambda: process.done_event.triggered, timeout=until)
+    if not process.done_event.triggered:
+        raise AssertionError("process did not finish within the time budget")
+    sim.run(until=sim.now + settle)
+    return process.result
+
+
+def run_all(
+    sim: Simulator,
+    generators: List[Generator],
+    until: float = 30.0,
+    settle: float = 0.25,
+) -> list:
+    """Spawn processes and run until all finish (stops early on success)."""
+    processes = [spawn(sim, g, f"test-proc-{i}") for i, g in enumerate(generators)]
+    sim.run_until(
+        lambda: all(p.done_event.triggered for p in processes), timeout=until
+    )
+    for process in processes:
+        if not process.done_event.triggered:
+            raise AssertionError(f"{process.name} did not finish")
+    sim.run(until=sim.now + settle)
+    return [process.result for process in processes]
