@@ -49,6 +49,18 @@ from repro.tcp.seqnum import seq_add, seq_gt, seq_lt, seq_max, seq_sub
 BridgeKey = Tuple[Ipv4Address, int, int]  # (peer ip, peer port, local port)
 
 
+def _is_pure_dup_ack(segment: TcpSegment, last_ack: Optional[int]) -> bool:
+    """A payload-less, flag-less ACK repeating the replica's last level."""
+    return (
+        not segment.payload
+        and not segment.syn
+        and not segment.fin
+        and segment.has_ack
+        and last_ack is not None
+        and segment.ack == last_ack
+    )
+
+
 @dataclass
 class BridgeConnection:
     """Per-connection bridge state on the primary (one per 4-tuple)."""
@@ -74,6 +86,13 @@ class BridgeConnection:
     our_fin_acked: bool = False
     direct: bool = False  # §6 mode after secondary failure
     broken: bool = False  # replica divergence detected
+    # Duplicate-ACK forwarding: pure ACKs repeating each replica's level
+    # since the last peer-facing emission.  A TCP only repeats a pure ACK
+    # when provoked by a segment arrival, so min(dup_p, dup_s) > 0 means
+    # the peer is retransmitting (it missed our ACK) or probing — the
+    # merged dup-ACK must go out even though the merged ACK did not move.
+    dup_p: int = 0
+    dup_s: int = 0
 
     @property
     def key(self) -> BridgeKey:
@@ -197,6 +216,8 @@ class PrimaryBridge(BridgeBase):
             self._trace("bridge.p.early_drop", seq=segment.seq)
             return
         s_seq = bc.delta.p_to_s(segment.seq)
+        if _is_pure_dup_ack(segment, bc.merge.ack_p):
+            bc.dup_p += 1
         bc.merge.update_from_primary(
             segment.ack if segment.has_ack else None, segment.window
         )
@@ -267,6 +288,8 @@ class PrimaryBridge(BridgeBase):
         if bc.delta is None:
             self._trace("bridge.p.early_drop_s", seq=segment.seq)
             return
+        if _is_pure_dup_ack(segment, bc.merge.ack_s):
+            bc.dup_s += 1
         bc.merge.update_from_secondary(
             segment.ack if segment.has_ack else None, segment.window
         )
@@ -448,8 +471,19 @@ class PrimaryBridge(BridgeBase):
         self._trace("bridge.p.emit_fin", seq=segment.seq)
 
     def _maybe_empty_ack(self, bc: BridgeConnection) -> None:
-        if bc.sent_hwm is None or not bc.merge.should_send_empty_ack():
+        if bc.sent_hwm is None:
             return
+        if bc.merge.should_send_empty_ack():
+            self._send_empty_ack(bc)
+            return
+        # The merged ACK did not advance, but if *both* replicas repeated
+        # their pure ACK since our last emission the peer is provably
+        # resending (lost ACK, lost segment awaiting fast retransmit, or
+        # a zero-window probe) and must hear the duplicate.
+        if min(bc.dup_p, bc.dup_s) > 0 and bc.merge.merged_ack() is not None:
+            self._send_empty_ack(bc, duplicate=True)
+
+    def _send_empty_ack(self, bc: BridgeConnection, duplicate: bool = False) -> None:
         ack = bc.merge.merged_ack()
         segment = TcpSegment(
             src_port=bc.local_port,
@@ -462,12 +496,16 @@ class PrimaryBridge(BridgeBase):
         self._emit(bc, segment)
         bc.merge.note_sent(ack)
         self.empty_acks_sent += 1
-        self._trace("bridge.p.empty_ack", ack=ack)
+        self._trace("bridge.p.empty_ack", ack=ack, dup=duplicate)
 
     def _emit(self, bc: BridgeConnection, segment: TcpSegment) -> None:
         # Constructing the outgoing segment costs CPU (mbuf surgery plus
         # the incremental checksum update); emission order is preserved
         # because the host CPU is a FIFO.
+        if segment.has_ack:
+            # Any ACK-bearing emission answers the replicas' outstanding
+            # duplicate ACKs; the next forwarded dup needs a fresh pair.
+            bc.dup_p = bc.dup_s = 0
         sealed = segment.sealed(bc.local_ip, bc.peer_ip)
         self.host.cpu.run(
             self.emit_cost, self._send_datagram, sealed, bc.local_ip, bc.peer_ip
@@ -559,6 +597,29 @@ class PrimaryBridge(BridgeBase):
             self._emit_fin(bc)
             bc.fin_sent = True
             bc.sent_hwm = seq_add(bc.fin_p, 1)
+        # While the secondary was dying, every emission was capped at its
+        # frozen ack_s; the peer may still be waiting for bytes P long
+        # since acknowledged.  Re-announce P's true cumulative ACK once,
+        # or the peer retransmits into a connection P has already closed.
+        if (
+            bc.merge.ack_p is not None
+            and bc.sent_hwm is not None
+            and (
+                bc.merge.last_sent_ack is None
+                or seq_gt(bc.merge.ack_p, bc.merge.last_sent_ack)
+            )
+        ):
+            catch_up = TcpSegment(
+                src_port=bc.local_port,
+                dst_port=bc.peer_port,
+                seq=bc.sent_hwm,
+                ack=bc.merge.ack_p,
+                flags=FLAG_ACK,
+                window=bc.merge.win_p,
+            )
+            self._emit(bc, catch_up)
+            bc.merge.note_sent(bc.merge.ack_p)
+            self._trace("bridge.p.direct_catchup_ack", ack=bc.merge.ack_p)
         self._trace("bridge.p.flushed", bytes=len(data))
 
     def _direct_emit_syn(self, bc: BridgeConnection) -> None:

@@ -5,6 +5,16 @@ One function per paper table/figure lives in
 thin wrappers that print the same rows/series the paper reports.
 """
 
+from repro.harness.chaos import (
+    CellSpec,
+    ChaosResult,
+    host_fault_matrix,
+    lifecycle_matrix,
+    run_cell,
+    run_matrix,
+)
+from repro.harness.chaos import summarize as summarize_chaos
+from repro.harness.invariants import InvariantChecker, Violation
 from repro.harness.metrics import Stats, rate_kb_s, summarize
 from repro.harness.topology import (
     CLIENT_PROFILE,
@@ -18,13 +28,22 @@ from repro.harness.topology import (
 
 __all__ = [
     "CLIENT_PROFILE",
+    "CellSpec",
+    "ChaosResult",
+    "InvariantChecker",
     "LanTestbed",
     "ROUTER_ARP_DELAY",
     "SERVER_PROFILE",
     "Stats",
+    "Violation",
     "WanTestbed",
     "build_lan",
     "build_wan",
+    "host_fault_matrix",
+    "lifecycle_matrix",
     "rate_kb_s",
+    "run_cell",
+    "run_matrix",
     "summarize",
+    "summarize_chaos",
 ]

@@ -1,0 +1,447 @@
+"""Chaos matrix: fault type × connection-lifecycle point × seed.
+
+The paper claims the failover is transparent *no matter when* the fault
+happens.  This harness turns that claim into a sweep: a grid of
+**lifecycle points** (moments in a connection's life, addressed as "the
+n-th packet matching P" or "t = fraction of the clean transfer") crossed
+with **fault types** (drop / duplicate / reorder / delay / corrupt for
+packets; crash / crash+restart / partition for hosts), each cell run
+under the :class:`~repro.harness.invariants.InvariantChecker` with all
+randomness keyed off the cell's seed.
+
+A failing cell is reproducible bit-for-bit: its :class:`ChaosResult`
+carries the master seed, the rule descriptions and every fault firing —
+re-running :func:`run_cell` with the same :class:`CellSpec` replays the
+identical event sequence (see ``tests/sim/test_rng_isolation.py``).
+
+The workload is a bulk transfer through the replicated pair, upload
+(client → servers) by default because the acked-byte-lost invariant
+lives on that path; ``direction="download"`` exercises the reverse.
+The client's ISS is pinned just below the 2³²-wraparound so every cell
+also crosses sequence-number wrap within its first few kilobytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.bulk import pattern_bytes
+from repro.harness.invariants import InvariantChecker, Violation
+from repro.net.faults import (
+    Corrupt,
+    Delay,
+    Drop,
+    Duplicate,
+    FaultContext,
+    Reorder,
+    all_predicates,
+    covers_byte,
+    from_ip,
+    is_fin,
+    is_syn,
+    is_syn_ack,
+    to_ip,
+)
+from repro.sim.process import spawn
+from repro.tcp.seqnum import seq_add
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+
+# Client ISS pinned so payload byte ~4k crosses the 32-bit wrap: the
+# chaos matrix stresses wraparound arithmetic in every single cell.
+CLIENT_ISS = 0xFFFF_F000
+STREAM_START = (CLIENT_ISS + 1) % (1 << 32)
+
+DEFAULT_SIZE = 120_000
+PORT = 80
+
+
+# ----------------------------------------------------------------------
+# cell addressing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the matrix; hashable, printable, re-runnable."""
+
+    point: str
+    fault: str
+    seed: int = 1
+    direction: str = "upload"  # or "download"
+    size: int = DEFAULT_SIZE
+
+    def __str__(self) -> str:
+        return (
+            f"{self.point}/{self.fault}"
+            f" seed={self.seed} {self.direction} size={self.size}"
+        )
+
+
+@dataclass
+class ChaosResult:
+    """Everything a failing cell needs to be diagnosed and replayed."""
+
+    spec: CellSpec
+    violations: List[Violation] = field(default_factory=list)
+    recipe: str = ""
+    fires: int = 0
+    failed_over: bool = False
+    acked: int = 0
+    delivered: int = 0
+    finished: bool = False
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        lines = [
+            f"[{status}] {self.spec}: fires={self.fires}"
+            f" failed_over={self.failed_over} acked={self.acked}"
+            f" delivered={self.delivered} t={self.duration:.3f}"
+        ]
+        lines += [f"  {v}" for v in self.violations]
+        if not self.ok and self.recipe:
+            lines.append("  recipe:")
+            lines += [f"    {line}" for line in self.recipe.splitlines()]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# lifecycle points
+# ----------------------------------------------------------------------
+#
+# A packet point resolves to FaultRule kwargs once the topology is known
+# (predicates need the client/service IPs).  ``tap`` selects which tap
+# the rule scopes to — the shared medium by default, the secondary's
+# receive path for snoop-loss points.
+
+
+def _client_data(env) -> Callable[[FaultContext], bool]:
+    def pred(ctx: FaultContext) -> bool:
+        return (
+            ctx.segment is not None
+            and len(ctx.segment.payload) > 0
+            and ctx.src_ip == env["client_ip"]
+        )
+
+    return pred
+
+
+def _client_empty_ack(env) -> Callable[[FaultContext], bool]:
+    def pred(ctx: FaultContext) -> bool:
+        seg = ctx.segment
+        return (
+            seg is not None
+            and not seg.payload
+            and seg.has_ack
+            and not seg.syn
+            and not seg.fin
+            and ctx.src_ip == env["client_ip"]
+        )
+
+    return pred
+
+
+def _service_empty_ack(env) -> Callable[[FaultContext], bool]:
+    def pred(ctx: FaultContext) -> bool:
+        seg = ctx.segment
+        return (
+            seg is not None
+            and not seg.payload
+            and seg.has_ack
+            and not seg.syn
+            and not seg.fin
+            and ctx.dst_ip == env["client_ip"]
+        )
+
+    return pred
+
+
+def _covering(env, offset: int) -> Callable[[FaultContext], bool]:
+    if env["direction"] == "upload":
+        return all_predicates(
+            covers_byte(STREAM_START, offset), from_ip(env["client_ip"])
+        )
+    return all_predicates(
+        lambda ctx: ctx.segment is not None and len(ctx.segment.payload) > 0,
+        to_ip(env["client_ip"]),
+    )
+
+
+def _point(selector, nth: int = 0, tap: str = "lan"):
+    return {"selector": selector, "nth": nth, "tap": tap}
+
+
+PACKET_POINTS: Dict[str, dict] = {
+    # -- establishment ---------------------------------------------------
+    "syn": _point(lambda env: is_syn),
+    "syn-ack": _point(lambda env: is_syn_ack),
+    "handshake-ack": _point(_client_empty_ack),
+    # -- transfer, by segment count -------------------------------------
+    "data-0": _point(_client_data, nth=0),
+    "data-3": _point(_client_data, nth=3),
+    "data-8": _point(_client_data, nth=8),
+    "data-15": _point(_client_data, nth=15),
+    "data-25": _point(_client_data, nth=25),
+    "data-40": _point(_client_data, nth=40),
+    "data-60": _point(_client_data, nth=60),
+    "data-78": _point(_client_data, nth=78),
+    # -- transfer, by byte position (crosses the 2^32 wrap at ~4k) ------
+    "byte-wrap": _point(lambda env: _covering(env, 4_000)),
+    "byte-mid": _point(lambda env: _covering(env, env["size"] // 2)),
+    "byte-tail": _point(lambda env: _covering(env, env["size"] - 1_000)),
+    # -- the reverse (ACK) path ------------------------------------------
+    "ack-0": _point(_service_empty_ack, nth=0),
+    "ack-5": _point(_service_empty_ack, nth=5),
+    "ack-20": _point(_service_empty_ack, nth=20),
+    "client-ack-2": _point(_client_empty_ack, nth=2),
+    # -- teardown --------------------------------------------------------
+    "client-fin": _point(lambda env: all_predicates(is_fin, from_ip(env["client_ip"]))),
+    "service-fin": _point(lambda env: all_predicates(is_fin, to_ip(env["client_ip"]))),
+    # -- the secondary's snoop path (promiscuous receive) ----------------
+    "snoop-data-5": _point(_client_data, nth=5, tap="nic:secondary"),
+    "snoop-data-30": _point(_client_data, nth=30, tap="nic:secondary"),
+}
+
+PACKET_FAULTS: Dict[str, Callable[[], object]] = {
+    "drop": Drop,
+    "duplicate": lambda: Duplicate(copies=3, gap=80e-6),
+    "reorder": lambda: Reorder(slots=2, hold_timeout=0.040),
+    "delay": lambda: Delay(0.060, jitter=0.020),
+    "corrupt": Corrupt,
+}
+
+# Host-lifecycle points: fractions of the measured clean-run duration.
+CRASH_FRACTIONS: Dict[str, float] = {
+    "pre-handshake": 0.0,
+    "early": 0.08,
+    "ramp": 0.2,
+    "first-third": 0.35,
+    "midpoint": 0.5,
+    "two-thirds": 0.65,
+    "late": 0.8,
+    "teardown": 0.95,
+}
+
+HOST_FAULTS = ("crash-primary", "crash-primary-restart", "crash-secondary", "partition")
+
+
+def lifecycle_matrix(
+    seeds=(1,),
+    faults=tuple(PACKET_FAULTS),
+    points=tuple(PACKET_POINTS),
+    direction: str = "upload",
+    size: int = DEFAULT_SIZE,
+) -> List[CellSpec]:
+    """The packet-fault grid: every lifecycle point × fault × seed."""
+    return [
+        CellSpec(point=p, fault=f, seed=s, direction=direction, size=size)
+        for p in points
+        for f in faults
+        for s in seeds
+    ]
+
+
+def host_fault_matrix(
+    seeds=(1,),
+    faults=HOST_FAULTS,
+    fractions=tuple(CRASH_FRACTIONS),
+    size: int = DEFAULT_SIZE,
+) -> List[CellSpec]:
+    """The host-fault grid: crash/restart/partition × lifetime fraction."""
+    return [
+        CellSpec(point=p, fault=f, seed=s, size=size)
+        for p in fractions
+        for f in faults
+        for s in seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+def _measure_clean_duration(spec: CellSpec) -> float:
+    """Clean-run transfer time for this seed/size — anchors crash times."""
+    result = run_cell(
+        CellSpec("none", "none", seed=spec.seed,
+                 direction=spec.direction, size=spec.size)
+    )
+    return result.duration
+
+
+def run_cell(spec: CellSpec, until: float = 90.0) -> ChaosResult:
+    """Run one chaos cell end-to-end and check every invariant."""
+    # Imported here: repro.harness must stay importable without the test
+    # tree, but the builders live in tests/util (they wire test IPs).
+    from tests.util import CLIENT_IP, ChaosLan
+
+    lan = ChaosLan(seed=spec.seed, failover_ports=(PORT,))
+    lan.client.tcp.choose_iss = lambda: CLIENT_ISS
+    lan.start_detectors()
+    blob = pattern_bytes(spec.size)
+    env = {
+        "client_ip": CLIENT_IP,
+        "service_ip": lan.server_ip,
+        "size": spec.size,
+        "direction": spec.direction,
+    }
+    result = ChaosResult(spec=spec)
+
+    # -- wire the fault --------------------------------------------------
+    if spec.fault in PACKET_FAULTS:
+        point = PACKET_POINTS[spec.point]
+        lan.plane.rule(
+            f"{spec.point}/{spec.fault}",
+            PACKET_FAULTS[spec.fault](),
+            point=point["tap"],
+            match=point["selector"](env),
+            nth=point["nth"],
+        )
+    elif spec.fault in HOST_FAULTS:
+        t_clean = _measure_clean_duration(spec)
+        when = max(1e-4, CRASH_FRACTIONS[spec.point] * t_clean)
+        if spec.fault == "crash-primary":
+            lan.plane.crash_at(lan.primary, when)
+        elif spec.fault == "crash-primary-restart":
+            lan.plane.crash_at(lan.primary, when)
+            lan.plane.restart_at(lan.primary, when + 0.100)
+        elif spec.fault == "crash-secondary":
+            lan.plane.crash_at(lan.secondary, when)
+        elif spec.fault == "partition":
+            # Client ↔ service only.  Partitioning the replicas from each
+            # other would violate the paper's fail-stop model (both
+            # detectors would fire and both replicas would own a_p).
+            lan.plane.partition(
+                "lan", between=(CLIENT_IP, lan.server_ip),
+                start=when, duration=0.080,
+            )
+    elif spec.fault != "none":
+        raise ValueError(f"unknown fault {spec.fault!r}")
+
+    # -- workload --------------------------------------------------------
+    # Receive buffers are registered up front and grown chunk-by-chunk so
+    # a cell that stalls mid-transfer still reports how far each side got.
+    received: Dict[str, bytearray] = {}
+    client_state: Dict[str, object] = {}
+
+    if spec.direction == "upload":
+
+        def server_app(host):
+            def app():
+                listening = ListeningSocket.listen(host, PORT)
+                sock = yield from listening.accept()
+                data = received.setdefault(host.name, bytearray())
+                while True:
+                    chunk = yield from sock.recv(65536)
+                    if not chunk:
+                        break
+                    data.extend(chunk)
+                yield from sock.close_and_wait()
+            return app()
+
+        def client():
+            sock = SimSocket.connect(
+                lan.client, lan.server_ip, PORT, min_rto=0.05
+            )
+            client_state["sock"] = sock
+            yield from sock.wait_connected()
+            yield from sock.send_all(blob)
+            yield from sock.close_and_wait()
+
+    else:  # download
+
+        def server_app(host):
+            def app():
+                listening = ListeningSocket.listen(host, PORT)
+                sock = yield from listening.accept()
+                request = yield from sock.recv_exactly(4)
+                assert request == b"PULL", request
+                yield from sock.send_all(blob)
+                yield from sock.close_and_wait()
+            return app()
+
+        def client():
+            sock = SimSocket.connect(
+                lan.client, lan.server_ip, PORT, min_rto=0.05
+            )
+            client_state["sock"] = sock
+            yield from sock.wait_connected()
+            yield from sock.send_all(b"PULL")
+            data = received.setdefault("client", bytearray())
+            while len(data) < len(blob):
+                chunk = yield from sock.recv(65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            yield from sock.close_and_wait()
+
+    lan.pair.run_app(server_app)
+    process = spawn(lan.sim, client(), "chaos-client")
+    lan.sim.run_until(lambda: process.done_event.triggered, timeout=until)
+    result.finished = process.done_event.triggered
+    result.duration = lan.sim.now
+    lan.sim.run(until=lan.sim.now + 0.3)  # let in-flight events settle
+
+    # -- invariants ------------------------------------------------------
+    checker: InvariantChecker = lan.checker
+    if not result.finished:
+        checker.violations.append(Violation(
+            lan.sim.now, "liveness",
+            f"client did not finish within {until}s of simulated time",
+        ))
+    result.failed_over = lan.pair.failed_over
+
+    if spec.direction == "upload":
+        surviving = "secondary" if result.failed_over else "primary"
+        delivered = bytes(received.get(surviving, b""))
+        checker.check_stream_prefix(surviving, blob, delivered, now=lan.sim.now)
+        other = "primary" if surviving == "secondary" else "secondary"
+        if other in received and spec.fault != "crash-secondary":
+            checker.check_stream_prefix(
+                other, blob, bytes(received[other]), now=lan.sim.now
+            )
+        sock = client_state.get("sock")
+        acked_seq = sock.conn.snd_una if sock is not None else None
+        result.acked = checker.check_acked_bytes_delivered(
+            blob, acked_seq, STREAM_START, len(delivered), now=lan.sim.now
+        )
+        result.delivered = len(delivered)
+        if result.finished and len(delivered) != spec.size:
+            checker.violations.append(Violation(
+                lan.sim.now, "completeness",
+                f"transfer finished but {surviving} delivered"
+                f" {len(delivered)}/{spec.size} bytes",
+            ))
+    else:
+        data = bytes(received.get("client", b""))
+        checker.check_stream_prefix("client", blob, data, now=lan.sim.now)
+        result.delivered = len(data)
+        if result.finished and len(data) != spec.size:
+            checker.violations.append(Violation(
+                lan.sim.now, "completeness",
+                f"download finished but client got {len(data)}/{spec.size}",
+            ))
+
+    lan.finish_checks()
+    result.violations = checker.violations
+    result.fires = len(lan.plane.fires)
+    result.recipe = lan.plane.recipe()
+    return result
+
+
+def run_matrix(specs: List[CellSpec], until: float = 90.0) -> List[ChaosResult]:
+    """Run many cells; returns every result (callers assert on failures)."""
+    return [run_cell(spec, until=until) for spec in specs]
+
+
+def summarize(results: List[ChaosResult]) -> str:
+    failed = [r for r in results if not r.ok]
+    lines = [f"{len(results) - len(failed)}/{len(results)} cells passed"]
+    lines += [r.describe() for r in failed]
+    return "\n".join(lines)

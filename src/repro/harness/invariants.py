@@ -1,0 +1,215 @@
+"""End-to-end invariant checker for failover runs (paper §2).
+
+The paper's §2 states the three requirements a transparent failover must
+uphold; this module turns them into machine-checked invariants that the
+chaos matrix (:mod:`repro.harness.chaos`) asserts on **every** cell:
+
+**Per-emission invariants** (checked live on each segment the primary
+bridge sends to the peer, via :meth:`InvariantChecker.attach_primary_bridge`):
+
+1. *never-ack-unreplicated* — the bridge never acknowledges a peer byte
+   the secondary has not also acknowledged (ACK = min(ack_P, ack_S));
+   violating this is exactly how an ablated bridge loses data on failover.
+2. *min-window merge* — the advertised window is min(win_P, win_S), so
+   the peer never sends more than the slower replica can buffer.
+3. *contiguous emission* — payload is emitted in order: a data segment
+   never starts beyond the high-water mark already sent (retransmissions
+   start below it, fresh data exactly at it).  A gap here would manifest
+   as client-visible reordering invented by the bridge itself.
+
+**End-of-run invariants** (checked once the simulation quiesces):
+
+4. *exactly-once in-order delivery* — the bytes an application actually
+   received are a **prefix** of the expected stream: no duplication, no
+   reordering, no corruption surviving the checksums.
+5. *no acked byte lost* — every payload byte the client's TCP saw
+   acknowledged is present in the surviving server application's data.
+   This is requirement 2 of §2 and the heart of the failover guarantee.
+6. *no client reset* — the unreplicated peer never observes a RST; the
+   failover is invisible (requirement 1 of §2).
+7. *replica agreement* — the bridge detected no payload mismatch between
+   the replicas' output streams.
+
+Violations are collected, not raised, so one run reports all of them;
+``assert_ok()`` raises with the full report (including the fault-plane
+reproduction recipe when one is attached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.tcp.seqnum import seq_le, seq_max, seq_sub
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach."""
+
+    time: float
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:.6f}] {self.invariant}: {self.detail}"
+
+
+class InvariantChecker:
+    """Collects paper-§2 invariant violations across one simulated run."""
+
+    def __init__(self, tracer=None):
+        self.tracer = tracer
+        self.violations: List[Violation] = []
+        self.bridges: list = []
+        self.emissions = 0
+        # Highest ACK the primary bridge ever emitted toward the peer
+        # (peer sequence space), for the acked-byte accounting of runs
+        # that end before failover.
+        self.max_ack_emitted: Optional[int] = None
+
+    # -- live per-emission checks -----------------------------------------
+
+    def attach_primary_bridge(self, bridge) -> None:
+        """Wrap ``bridge._emit`` so every outgoing segment is validated."""
+        self.bridges.append(bridge)
+        original_emit = bridge._emit
+
+        def checked_emit(bc, segment):
+            self._check_emission(bridge, bc, segment)
+            original_emit(bc, segment)
+
+        bridge._emit = checked_emit
+
+    def _check_emission(self, bridge, bc, segment) -> None:
+        self.emissions += 1
+        now = bridge.host.sim.now
+        if segment.rst:
+            return  # aborts carry the originating TCP's values verbatim
+        if segment.has_ack:
+            self.max_ack_emitted = (
+                segment.ack
+                if self.max_ack_emitted is None
+                else seq_max(self.max_ack_emitted, segment.ack)
+            )
+        if bc.direct:
+            return  # §6 mode: P's own values pass through, nothing to merge
+        if (
+            segment.has_ack
+            and bridge.ack_merging
+            and bc.merge.ack_s is not None
+            and not seq_le(segment.ack, bc.merge.ack_s)
+        ):
+            self.violations.append(Violation(
+                now, "never-ack-unreplicated",
+                f"emitted ack={segment.ack} beyond secondary's"
+                f" ack_s={bc.merge.ack_s} (ack_p={bc.merge.ack_p})",
+            ))
+        if bridge.window_merging and segment.window != bc.merge.merged_window():
+            self.violations.append(Violation(
+                now, "min-window-merge",
+                f"emitted window={segment.window}, expected"
+                f" min(win_p={bc.merge.win_p}, win_s={bc.merge.win_s})",
+            ))
+        if (
+            segment.payload
+            and bc.sent_hwm is not None
+            and not seq_le(segment.seq, bc.sent_hwm)
+        ):
+            self.violations.append(Violation(
+                now, "contiguous-emission",
+                f"data seq={segment.seq} starts beyond sent_hwm={bc.sent_hwm}",
+            ))
+
+    # -- end-of-run checks -------------------------------------------------
+
+    def check_stream_prefix(self, name: str, expected: bytes, actual: bytes,
+                            now: float = 0.0) -> None:
+        """Invariant 4: ``actual`` must be a prefix of ``expected``."""
+        if len(actual) > len(expected):
+            self.violations.append(Violation(
+                now, "exactly-once",
+                f"{name}: received {len(actual)} bytes,"
+                f" more than the {len(expected)} ever sent",
+            ))
+            return
+        if actual != expected[: len(actual)]:
+            first_bad = next(
+                i for i, (a, b) in enumerate(zip(actual, expected)) if a != b
+            )
+            self.violations.append(Violation(
+                now, "in-order-prefix",
+                f"{name}: byte {first_bad} differs"
+                f" (got {actual[first_bad]:#x},"
+                f" expected {expected[first_bad]:#x})",
+            ))
+
+    def check_acked_bytes_delivered(
+        self,
+        blob: bytes,
+        client_acked_seq: Optional[int],
+        stream_start: int,
+        delivered: int,
+        now: float = 0.0,
+    ) -> int:
+        """Invariant 5: acked client payload survives the failover.
+
+        ``client_acked_seq`` is the client connection's ``snd_una`` (or the
+        bridge's max emitted ACK), ``stream_start`` the sequence number of
+        payload byte 0 (ISS+1), ``delivered`` how many payload bytes the
+        surviving server application received.  Returns the acked count.
+        """
+        if client_acked_seq is None:
+            return 0
+        # snd_una also covers SYN (+1 before any payload) and FIN (+1 at
+        # the end); clamp to the payload range.
+        acked = max(0, min(seq_sub(client_acked_seq, stream_start), len(blob)))
+        if delivered < acked:
+            self.violations.append(Violation(
+                now, "acked-byte-lost",
+                f"client saw {acked} payload bytes acked but the surviving"
+                f" server delivered only {delivered}",
+            ))
+        return acked
+
+    def check_no_peer_reset(self, node: str = "client") -> None:
+        """Invariant 6: the unreplicated peer never receives a RST."""
+        if self.tracer is None:
+            return
+        for record in self.tracer.select(category="tcp.rst_received", node=node):
+            self.violations.append(Violation(
+                record.time, "peer-reset",
+                f"{node} received a RST: {record.detail}",
+            ))
+
+    def check_replica_agreement(self) -> None:
+        """Invariant 7: no payload mismatch between the replicas."""
+        for bridge in self.bridges:
+            if bridge.mismatches:
+                self.violations.append(Violation(
+                    bridge.host.sim.now, "replica-mismatch",
+                    f"bridge on {bridge.host.name} recorded"
+                    f" {bridge.mismatches} payload mismatch(es)",
+                ))
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        if self.ok:
+            return f"all invariants held over {self.emissions} emissions"
+        lines = [f"{len(self.violations)} invariant violation(s):"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+    def assert_ok(self, recipe: str = "") -> None:
+        """Raise AssertionError with the full report (plus fault recipe)."""
+        if self.ok:
+            return
+        message = self.report()
+        if recipe:
+            message += "\nreproduction recipe:\n" + recipe
+        raise AssertionError(message)

@@ -9,6 +9,15 @@ lossy bandwidth-limited WAN link for the FTP experiment.
 
 from repro.net.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
 from repro.net.ethernet import EthernetSegment
+from repro.net.faults import (
+    Corrupt,
+    Delay,
+    Drop,
+    Duplicate,
+    FaultPlane,
+    FaultRule,
+    Reorder,
+)
 from repro.net.nic import Nic
 from repro.net.packet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame, Ipv4Datagram
 from repro.net.wan import WanLink
@@ -30,15 +39,22 @@ def __getattr__(name: str):
 
 __all__ = [
     "BROADCAST_MAC",
+    "Corrupt",
+    "Delay",
+    "Drop",
+    "Duplicate",
     "ETHERTYPE_ARP",
     "ETHERTYPE_IPV4",
     "EthernetFrame",
     "EthernetSegment",
+    "FaultPlane",
+    "FaultRule",
     "Host",
     "Ipv4Address",
     "Ipv4Datagram",
     "MacAddress",
     "Nic",
+    "Reorder",
     "Router",
     "WanLink",
 ]

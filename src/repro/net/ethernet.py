@@ -19,7 +19,7 @@ CSMA/CD but creates the same macroscopic effect.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.net.packet import EthernetFrame
 from repro.sim.engine import Simulator
@@ -53,6 +53,10 @@ class EthernetSegment:
         self._pending = 0
         self.frames_delivered = 0
         self.collisions = 0
+        # Fault-injection tap (see repro.net.faults.FaultPlane.tap_segment):
+        # called as fault_filter(frame, deliver) once the frame's wire time
+        # is known; returning True means the plane owns delivery.
+        self.fault_filter: Optional[Callable[[EthernetFrame, Callable], bool]] = None
         # 100 Mbit/s constants, scaled if bandwidth differs.
         self._bit_time = 1.0 / bandwidth_bps
         self.interframe_gap = 96 * self._bit_time
@@ -89,15 +93,34 @@ class EthernetSegment:
         tx_time = self.transmission_time(frame)
         self._busy_until = start + tx_time
         self._pending += 1
-        self.sim.call_at(
-            start + tx_time + self.propagation_delay,
-            self._deliver,
-            sender,
-            frame,
-        )
+        deliver_at = start + tx_time + self.propagation_delay
+        if self.fault_filter is not None:
+
+            def deliver(extra_delay: float, copy: EthernetFrame) -> None:
+                self.sim.call_at(
+                    max(self.sim.now, deliver_at + extra_delay),
+                    self._deliver_copy,
+                    copy,
+                )
+
+            if self.fault_filter(frame, deliver):
+                # The plane owns delivery; the medium still frees on time.
+                self.sim.call_at(deliver_at, self._release_medium)
+                return
+        self.sim.call_at(deliver_at, self._deliver, sender, frame)
+
+    def _release_medium(self) -> None:
+        self._pending -= 1
 
     def _deliver(self, sender: "Nic", frame: EthernetFrame) -> None:
-        self._pending -= 1
+        self._release_medium()
+        self._fan_out(frame, exclude=sender)
+
+    def _deliver_copy(self, frame: EthernetFrame) -> None:
+        """Fault-injected delivery: the sender is identified by MAC."""
+        self._fan_out(frame, exclude=None)
+
+    def _fan_out(self, frame: EthernetFrame, exclude: Optional["Nic"]) -> None:
         self.frames_delivered += 1
         self.tracer.emit(
             self.sim.now,
@@ -109,8 +132,9 @@ class EthernetSegment:
         )
         # Bus semantics: every station other than the sender sees the frame.
         for nic in list(self._nics):
-            if nic is not sender:
-                nic.frame_arrived(frame)
+            if nic is exclude or nic.mac == frame.src:
+                continue
+            nic.frame_arrived(frame)
 
     def utilization_window(self) -> float:
         """Seconds of queued transmission still ahead of the current time."""

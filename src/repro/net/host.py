@@ -264,5 +264,23 @@ class Host:
         self.nic.up = False
         self.tracer.emit(self.sim.now, "host.crash", self.name)
 
+    def restart(self) -> None:
+        """Reboot after a crash: the NIC comes back, all TCP state is lost.
+
+        Matches the paper's crash-fault model — a recovering machine holds
+        no connection state and no promiscuous configuration, so a reborn
+        replica stays silent unless something addresses it directly.
+        Applications are not restarted; their processes already died with
+        the crash or will error on their vanished sockets.
+        """
+        for conn in list(self.tcp.connections.values()):
+            conn._cancel_all_timers()
+        self.tcp.connections.clear()
+        self.tcp.listeners.clear()
+        self.nic.promiscuous = False
+        self.alive = True
+        self.nic.up = True
+        self.tracer.emit(self.sim.now, "host.restart", self.name)
+
     def __repr__(self) -> str:
         return f"Host({self.name}, ips={[str(i) for i in self.ip.owned_ips()]})"

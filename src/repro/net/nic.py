@@ -27,6 +27,10 @@ class Nic:
         self._receiver: Optional[Callable[[EthernetFrame], None]] = None
         # Fault-injection hook: return True to drop a received frame.
         self.rx_drop_hook: Optional[Callable[[EthernetFrame], bool]] = None
+        # Richer fault tap (see repro.net.faults.FaultPlane.tap_nic):
+        # return True when the plane consumed the frame (it may re-inject
+        # delayed / duplicated / corrupted copies through frame_arrived).
+        self.rx_fault_filter: Optional[Callable[[EthernetFrame], bool]] = None
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_snooped = 0
@@ -62,6 +66,9 @@ class Nic:
         if not self.up or self._receiver is None:
             return
         if self.rx_drop_hook is not None and self.rx_drop_hook(frame):
+            self.frames_dropped_injected += 1
+            return
+        if self.rx_fault_filter is not None and self.rx_fault_filter(frame):
             self.frames_dropped_injected += 1
             return
         addressed_to_us = frame.dst == self.mac or frame.dst.is_broadcast

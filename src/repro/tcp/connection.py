@@ -431,7 +431,12 @@ class TcpConnection:
             self._output()
 
     def _send_fin_only(self) -> None:
-        seq = self._data_seq(len(self.send_buffer))
+        # A retransmitted FIN keeps its original slot even if snd_una has
+        # since moved (e.g. the covering ACK was processed after an RTO).
+        if self._fin_seq is not None:
+            seq = self._fin_seq
+        else:
+            seq = self._data_seq(len(self.send_buffer))
         segment = TcpSegment(
             src_port=self.local_port,
             dst_port=self.remote_port,
@@ -689,9 +694,14 @@ class TcpConnection:
             return
         if seq_between(self.snd_una, ack, self.snd_max):
             delta = seq_sub(ack, self.snd_una)
+            # The FIN's sequence slot is fixed once it has ever been sent
+            # (_fin_seq is set); whether a retransmission is currently in
+            # flight is irrelevant — an RTO clears _fin_in_flight, and an
+            # ACK arriving in that window must still count the FIN, or its
+            # slot is mistaken for a data byte and the FIN is retransmitted
+            # one past its true position forever.
             fin_covered = (
-                self._fin_in_flight
-                and self._fin_seq is not None
+                self._fin_seq is not None
                 and seq_gt(ack, self._fin_seq)
             )
             data_acked = delta - 1 if fin_covered else delta
@@ -784,11 +794,15 @@ class TcpConnection:
 
     def _process_fin(self, segment: TcpSegment) -> None:
         fin_seq = seq_add(segment.seq, len(segment.payload))
+        if self.fin_received:
+            # Duplicate of the FIN we already consumed (its slot now sits
+            # one below rcv_nxt): the peer's state machine is waiting on
+            # our ACK, so a silent drop would wedge it until rtx give-up.
+            if seq_le(fin_seq, self.rcv_nxt):
+                self._send_ack_now()
+            return
         if fin_seq != self.rcv_nxt:
             return  # out of order; the FIN will be retransmitted
-        if self.fin_received:
-            self._send_ack_now()
-            return
         self.fin_received = True
         self.recv_buffer.advance_past_fin()
         self._send_ack_now()

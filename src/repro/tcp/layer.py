@@ -67,6 +67,15 @@ class TcpLayer:
         self.listeners: Dict[int, Listener] = {}
         self._next_ephemeral = EPHEMERAL_PORT_START
         self.rsts_sent = 0
+        # Recently-closed 4-tuples: key -> (expiry, snd_nxt, rcv_nxt).
+        # A retransmitted FIN/data segment that arrives after a clean
+        # close is answered with a pure ACK instead of a RST, the
+        # TIME_WAIT courtesy a real stack extends to a peer whose last
+        # ACK was lost.  Pruned lazily — no timers, so an idle simulator
+        # still quiesces.
+        self.linger_duration = 2.0
+        self._lingering: Dict[ConnKey, Tuple[float, int, int]] = {}
+        self.linger_acks_sent = 0
 
     # ------------------------------------------------------------------
     # configuration and identity
@@ -157,6 +166,8 @@ class TcpLayer:
                 self._accept_syn(listener, segment, src_ip, dst_ip)
                 return
         if not segment.rst:
+            if not segment.syn and self._linger_ack(key, segment, src_ip, dst_ip):
+                return
             self._send_rst_for(segment, src_ip, dst_ip)
 
     def _accept_syn(
@@ -238,10 +249,47 @@ class TcpLayer:
         )
         self._transmit(sealed, src_ip, dst_ip)
 
+    def _linger_ack(
+        self, key: ConnKey, segment: TcpSegment,
+        src_ip: Ipv4Address, dst_ip: Ipv4Address,
+    ) -> bool:
+        """Answer a straggler for a recently-closed connection."""
+        entry = self._lingering.get(key)
+        if entry is None:
+            return False
+        expiry, snd_nxt, rcv_nxt = entry
+        if self.sim.now >= expiry:
+            del self._lingering[key]
+            return False
+        if not segment.fin and not segment.payload:
+            return True  # a stray pure ACK needs no answer, only no RST
+        ack = TcpSegment(
+            src_port=segment.dst_port,
+            dst_port=segment.src_port,
+            seq=snd_nxt,
+            ack=rcv_nxt,
+            flags=FLAG_ACK,
+            window=0xFFFF,
+        )
+        self.linger_acks_sent += 1
+        self.tracer.emit(
+            self.sim.now, "tcp.linger_ack", self.node_name,
+            to=f"{src_ip}:{segment.src_port}",
+        )
+        self.send_segment(ack, dst_ip, src_ip)
+        return True
+
     def deregister(self, conn: TcpConnection) -> None:
         existing = self.connections.get(conn.key)
         if existing is conn:
             del self.connections[conn.key]
+            if not conn.reset_received:
+                # Clean close: keep answering stragglers for a while.
+                self._lingering[conn.key] = (
+                    self.sim.now + self.linger_duration,
+                    conn.snd_max,
+                    conn.rcv_nxt,
+                )
 
     def rebind_local_ip(self, old_ip: Ipv4Address, new_ip: Ipv4Address) -> None:
         """Re-home every TCB from ``old_ip`` to ``new_ip`` (IP takeover)."""
@@ -252,6 +300,10 @@ class TcpLayer:
             del self.connections[conn.key]
             conn.rebind_local_ip(new_ip)
             self.connections[conn.key] = conn
+        # Stragglers for connections that closed before the takeover now
+        # arrive addressed to the taken-over IP; re-home their records too.
+        for key in [k for k in self._lingering if k[0] == old_ip]:
+            self._lingering[(new_ip, key[1], key[2], key[3])] = self._lingering.pop(key)
 
     def established_count(self) -> int:
         return sum(

@@ -1,0 +1,31 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+Profiles keep example counts consistent across the property-test modules
+and overridable from one place:
+
+* ``default`` — a dozen examples per property, enough to catch regressions
+  in the tier-1 run without dominating its wall-clock.
+* ``thorough`` — the nightly / chaos-CI budget.
+
+Select with ``HYPOTHESIS_PROFILE=thorough pytest ...``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_SUPPRESS = [HealthCheck.too_slow, HealthCheck.data_too_large]
+
+settings.register_profile(
+    "default",
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=_SUPPRESS,
+)
+settings.register_profile(
+    "thorough",
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=_SUPPRESS,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

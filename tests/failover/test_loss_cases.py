@@ -1,21 +1,18 @@
 """The five message-loss cases of §4, exercised end-to-end.
 
-Each test injects the specific loss the paper enumerates and verifies the
-stream survives with the documented recovery behaviour.
+Each test states the specific loss the paper enumerates as a fault-plane
+rule on a :class:`~tests.util.ChaosLan` (drops at a station's receive
+path use the ``nic:*`` taps; wire loss toward the client uses the same),
+and verifies the stream survives with the documented recovery behaviour.
+The invariant checker rides along on every case — §4 recovery must not
+merely deliver the bytes, it must do so without violating §2.
 """
 
-from repro.net.packet import Ipv4Datagram
+from repro.net.faults import Drop, all_predicates, from_ip, has_payload, to_ip
 from repro.tcp.socket_api import ListeningSocket, SimSocket
-from tests.util import CLIENT_IP, PRIMARY_IP, SECONDARY_IP, ReplicatedLan, run_all
+from tests.util import CLIENT_IP, PRIMARY_IP, ChaosLan, run_all
 
 PORT = 80
-
-
-def _tcp_seg(frame):
-    payload = frame.payload
-    if not isinstance(payload, Ipv4Datagram):
-        return None, None
-    return payload, getattr(payload, "payload", None)
 
 
 def echo_app(host):
@@ -43,111 +40,91 @@ def run_exchange(lan, message=b"m" * 5000, min_rto=0.05):
         return reply
 
     (reply,) = run_all(lan.sim, [client()], until=60.0)
+    lan.finish_checks()
+    lan.assert_invariants()
     return reply
 
 
-def drop_nth_matching(nic, predicate, n=0):
-    state = {"count": 0, "dropped": 0}
+def fires_of(lan, rule_name):
+    return [f for f in lan.plane.fires if f.rule == rule_name]
 
-    def hook(frame):
-        dgram, seg = _tcp_seg(frame)
-        if seg is None or not predicate(dgram, seg):
-            return False
-        index = state["count"]
-        state["count"] += 1
-        if index == n:
-            state["dropped"] += 1
-            return True
-        return False
 
-    nic.rx_drop_hook = hook
-    return state
+CLIENT_DATA = all_predicates(
+    from_ip(CLIENT_IP), to_ip(PRIMARY_IP), has_payload
+)
 
 
 def test_case1_primary_misses_client_segment():
     """§4 case 1: P drops a client data segment; P's (and the bridge's)
     ACK stalls; the client retransmits; the bridge recognises the
     retransmission of the echo reply."""
-    lan = ReplicatedLan(failover_ports=(PORT,))
-    state = drop_nth_matching(
-        lan.primary.nic,
-        lambda dgram, seg: dgram.dst == PRIMARY_IP and dgram.src == CLIENT_IP
-        and len(seg.payload) > 0,
-        n=1,
-    )
+    lan = ChaosLan(failover_ports=(PORT,))
+    lan.plane.rule("case1", Drop(), point="nic:primary", match=CLIENT_DATA, nth=1)
     reply = run_exchange(lan)
     assert reply == b"m" * 5000
-    assert state["dropped"] == 1
+    assert len(fires_of(lan, "case1")) == 1
 
 
 def test_case2_secondary_misses_client_segment():
     """§4 case 2: S drops a snooped client segment P received.  The
     merged ACK stalls at S's ACK, the client retransmits, S recovers."""
-    lan = ReplicatedLan(failover_ports=(PORT,))
-    state = drop_nth_matching(
-        lan.secondary.nic,
-        lambda dgram, seg: dgram.dst == PRIMARY_IP and dgram.src == CLIENT_IP
-        and len(seg.payload) > 0,
-        n=1,
-    )
+    lan = ChaosLan(failover_ports=(PORT,))
+    lan.plane.rule("case2", Drop(), point="nic:secondary", match=CLIENT_DATA, nth=1)
     reply = run_exchange(lan)
     assert reply == b"m" * 5000
-    assert state["dropped"] == 1
-    # The secondary really did receive the data in the end.
-    assert lan.secondary.tcp.connections or True
+    assert len(fires_of(lan, "case2")) == 1
 
 
 def test_case3_client_segment_lost_on_the_wire():
     """§4 case 3: neither replica receives the client's segment; both
     retransmit their pending reply k, so the bridge sends it twice."""
-    lan = ReplicatedLan(failover_ports=(PORT,))
-    # Drop the same nth client data segment at both replicas.
-    drop_nth_matching(
-        lan.primary.nic,
-        lambda dgram, seg: dgram.src == CLIENT_IP and len(seg.payload) > 0,
-        n=1,
-    )
-    drop_nth_matching(
-        lan.secondary.nic,
-        lambda dgram, seg: dgram.src == CLIENT_IP and len(seg.payload) > 0,
-        n=1,
-    )
+    lan = ChaosLan(failover_ports=(PORT,))
+    # The same nth client data segment vanishes at both receivers — the
+    # LAN tap would also starve the client's own view, so drop per-NIC.
+    lan.plane.rule("case3-p", Drop(), point="nic:primary", match=CLIENT_DATA, nth=1)
+    lan.plane.rule("case3-s", Drop(), point="nic:secondary", match=CLIENT_DATA, nth=1)
     reply = run_exchange(lan)
     assert reply == b"m" * 5000
+    assert len(fires_of(lan, "case3-p")) == 1
+    assert len(fires_of(lan, "case3-s")) == 1
 
 
 def test_case4_secondary_segment_dropped_by_primary():
     """§4 case 4: a diverted S segment never reaches P's bridge; both
     replicas retransmit; the bridge forwards whichever copy arrives."""
-    lan = ReplicatedLan(failover_ports=(PORT,))
-    state = drop_nth_matching(
-        lan.primary.nic,
-        lambda dgram, seg: seg.orig_dst_option is not None and len(seg.payload) > 0,
-        n=0,
-    )
+    lan = ChaosLan(failover_ports=(PORT,))
+
+    def diverted_data(ctx):
+        return (
+            ctx.segment is not None
+            and ctx.segment.orig_dst_option is not None
+            and len(ctx.segment.payload) > 0
+        )
+
+    lan.plane.rule("case4", Drop(), point="nic:primary", match=diverted_data, nth=0)
     reply = run_exchange(lan)
     assert reply == b"m" * 5000
-    assert state["dropped"] == 1
+    assert len(fires_of(lan, "case4")) == 1
 
 
 def test_case5_bridge_emission_lost_to_client():
     """§4 case 5: the merged segment is lost on its way to the client;
     both replicas retransmit and the client receives a (duplicate) copy."""
-    lan = ReplicatedLan(failover_ports=(PORT,))
-    state = drop_nth_matching(
-        lan.client.nic,
-        lambda dgram, seg: dgram.src == PRIMARY_IP and len(seg.payload) > 0,
-        n=0,
+    lan = ChaosLan(failover_ports=(PORT,))
+    lan.plane.rule(
+        "case5", Drop(), point="nic:client",
+        match=all_predicates(from_ip(PRIMARY_IP), has_payload), nth=0,
     )
     reply = run_exchange(lan)
     assert reply == b"m" * 5000
-    assert state["dropped"] == 1
+    assert len(fires_of(lan, "case5")) == 1
     assert lan.pair.primary_bridge.retransmissions_forwarded >= 1
 
 
 def test_retransmission_counter_stays_zero_without_loss():
-    lan = ReplicatedLan(failover_ports=(PORT,))
+    lan = ChaosLan(failover_ports=(PORT,))
     reply = run_exchange(lan)
     assert reply == b"m" * 5000
+    assert lan.plane.fires == []
     assert lan.pair.primary_bridge.retransmissions_forwarded == 0
     assert lan.pair.primary_bridge.mismatches == 0

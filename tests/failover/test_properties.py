@@ -12,6 +12,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.apps import bulk
+from repro.failover.merge import AckWindowMerge
+from repro.tcp.seqnum import SEQ_MOD, seq_add, seq_le, seq_sub
 from repro.tcp.socket_api import ListeningSocket, SimSocket
 from tests.util import ReplicatedLan, run_all
 
@@ -194,3 +196,81 @@ def test_store_replies_identical_to_unreplicated_reference(script, crash_ms, see
     lan.sim.schedule(crash_ms / 1000.0, lan.pair.crash_primary)
     run_all(lan.sim, [client()], until=60.0)
     assert results["replies"] == expected
+
+
+# ----------------------------------------------------------------------
+# the min-ACK / min-window merge as algebraic properties (§3.2, §3.4)
+# ----------------------------------------------------------------------
+
+# ACK sequences straddle the 2^32 wrap: a base just below the wrap point
+# plus monotonically accumulating advances, fed to either replica's side
+# of the merge in an arbitrary interleaving.
+_merge_events = st.lists(
+    st.tuples(
+        st.sampled_from(["p", "s"]),
+        st.integers(min_value=0, max_value=9000),   # ack advance
+        st.integers(min_value=0, max_value=65535),  # advertised window
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@FAST
+@given(
+    base=st.integers(min_value=SEQ_MOD - 70_000, max_value=SEQ_MOD - 1),
+    events=_merge_events,
+)
+def test_merged_ack_is_min_and_window_is_min_across_wrap(base, events):
+    """The merged ACK never exceeds either replica's own ACK (requirement
+    2 of §2) and the advertised window is min(win_P, win_S) — including
+    when the ACKs cross the 32-bit wrap mid-sequence."""
+    merge = AckWindowMerge()
+    ack_p = ack_s = base
+    for side, advance, window in events:
+        if side == "p":
+            ack_p = seq_add(ack_p, advance)
+            merge.update_from_primary(ack_p, window)
+        else:
+            ack_s = seq_add(ack_s, advance)
+            merge.update_from_secondary(ack_s, window)
+        merged = merge.merged_ack()
+        if merged is not None:
+            assert seq_le(merged, merge.ack_p)
+            assert seq_le(merged, merge.ack_s)
+            assert merged in (merge.ack_p, merge.ack_s)
+        assert merge.merged_window() == min(merge.win_p, merge.win_s)
+
+
+@FAST
+@given(
+    base=st.integers(min_value=0, max_value=SEQ_MOD - 1),
+    events=_merge_events,
+)
+def test_empty_ack_fires_only_on_merged_advance(base, events):
+    """§3.4's deadlock-prevention rule is edge-triggered: an empty ACK is
+    due exactly when the merged ACK moves past the last one sent."""
+    merge = AckWindowMerge()
+    ack_p = ack_s = base
+    for side, advance, window in events:
+        if side == "p":
+            ack_p = seq_add(ack_p, advance)
+            merge.update_from_primary(ack_p, window)
+        else:
+            ack_s = seq_add(ack_s, advance)
+            merge.update_from_secondary(ack_s, window)
+        merged = merge.merged_ack()
+        if merged is None:
+            assert not merge.should_send_empty_ack()
+            continue
+        if merge.should_send_empty_ack():
+            # Sending it clears the edge until the merge advances again.
+            assert merge.last_sent_ack is None or seq_sub(
+                merged, merge.last_sent_ack
+            ) > 0
+            merge.note_sent(merged)
+            assert not merge.should_send_empty_ack()
+        else:
+            assert merge.last_sent_ack == merged or seq_le(
+                merged, merge.last_sent_ack
+            )

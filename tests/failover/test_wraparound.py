@@ -4,10 +4,15 @@ Sequence numbers cross zero mid-stream, on both replicas, with a failover
 in the middle — invariant 6 of DESIGN.md at system scale.
 """
 
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.apps import bulk
-from repro.tcp.seqnum import SEQ_MOD
+from repro.failover.delta import SeqOffset
+from repro.net.faults import Drop, all_predicates, covers_byte, data_between, is_tcp
+from repro.tcp.seqnum import SEQ_MOD, seq_add
 from repro.tcp.socket_api import SimSocket
-from tests.util import ReplicatedLan, run_all
+from tests.util import CLIENT_IP, ChaosLan, ReplicatedLan, run_all
 
 PORT = 80
 
@@ -81,3 +86,100 @@ def test_delta_wraps_when_secondary_iss_larger():
     bc_deltas = [bc.delta.delta for bc in lan.pair.primary_bridge.connections.values()]
     # Δseq = 1000 - (2^32 - 1000) mod 2^32 = 2000.
     assert all(d == 2000 for d in bc_deltas) or bc_deltas == []
+
+
+# ----------------------------------------------------------------------
+# Δseq translation as an algebraic property (hypothesis)
+# ----------------------------------------------------------------------
+
+
+@given(
+    iss_p=st.integers(min_value=0, max_value=SEQ_MOD - 1),
+    iss_s=st.integers(min_value=0, max_value=SEQ_MOD - 1),
+    offsets=st.lists(
+        st.integers(min_value=0, max_value=2**31 - 2), min_size=1, max_size=20
+    ),
+)
+def test_delta_translation_respects_stream_offsets(iss_p, iss_s, offsets):
+    """For any pair of ISSs (wrapping or not) the Δseq mapping is exactly
+    "same offset into the stream": P-seq ISS_P+k ↔ S-seq ISS_S+k, and the
+    two directions are inverses everywhere."""
+    delta = SeqOffset(iss_p, iss_s)
+    for k in offsets:
+        seq_in_p = seq_add(iss_p, k)
+        seq_in_s = seq_add(iss_s, k)
+        assert delta.p_to_s(seq_in_p) == seq_in_s
+        assert delta.s_to_p(seq_in_s) == seq_in_p
+        assert delta.s_to_p(delta.p_to_s(seq_in_p)) == seq_in_p
+        assert delta.p_to_s(delta.s_to_p(seq_in_s)) == seq_in_s
+
+
+# ----------------------------------------------------------------------
+# forced retransmissions across the wrap (fault plane + hypothesis)
+# ----------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    wrap_offset=st.integers(min_value=-12_000, max_value=-1_000),
+    near_wrap_byte=st.integers(min_value=0, max_value=20_000),
+)
+def test_upload_survives_drops_of_wrap_straddling_segments(
+    seed, wrap_offset, near_wrap_byte
+):
+    """The client's ISS sits ``wrap_offset`` below 2^32, and the fault
+    plane drops both the segment covering the wrap byte and the segment
+    covering another byte near it, forcing retransmissions whose
+    sequence comparisons straddle zero.  Delivery must stay exact and
+    every §2 invariant must hold."""
+    size = 40_000
+    iss = (SEQ_MOD + wrap_offset) % SEQ_MOD
+    stream_start = seq_add(iss, 1)
+    wrap_byte = (-wrap_offset) % size  # offset of the byte at seq 0
+    lan = ChaosLan(seed=seed, failover_ports=(PORT,))
+    lan.client.tcp.choose_iss = lambda: iss
+    client_data = data_between(CLIENT_IP, lan.server_ip)
+    lan.plane.rule(
+        "drop-wrap", Drop(), point="lan",
+        match=all_predicates(is_tcp, client_data,
+                             covers_byte(stream_start, wrap_byte)),
+        nth=0,
+    )
+    lan.plane.rule(
+        "drop-near-wrap", Drop(), point="lan",
+        match=all_predicates(is_tcp, client_data,
+                             covers_byte(stream_start, near_wrap_byte % size)),
+        nth=0,
+    )
+    received = {}
+
+    def sink_app(host):
+        from repro.tcp.socket_api import ListeningSocket
+
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            data = received.setdefault(host.name, bytearray())
+            while True:
+                chunk = yield from sock.recv(65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.pair.run_app(sink_app)
+    blob = bulk.pattern_bytes(size)
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        yield from sock.wait_connected()
+        yield from sock.send_all(blob)
+        yield from sock.close_and_wait()
+
+    run_all(lan.sim, [client()], until=60.0)
+    assert bytes(received.get("primary", b"")) == blob
+    assert bytes(received.get("secondary", b"")) == blob
+    assert len(lan.plane.fires) >= 1  # the wrap segment really was hit
+    lan.finish_checks()
+    lan.assert_invariants()

@@ -1,0 +1,97 @@
+"""Seed reproducibility: two same-seed chaos runs are bit-for-bit equal.
+
+Every source of randomness in a run — host ISS choice, Ethernet backoff,
+fault-plane jitter — draws from a named stream of one ``RngRegistry``
+keyed by the builder's ``seed``.  That is what makes a failing chaos
+cell replayable from its recipe: the entire trace, timestamps included,
+is a pure function of (seed, rules, workload).
+"""
+
+from repro.harness.chaos import CellSpec, run_cell
+from repro.net.faults import Delay, Duplicate, all_predicates, has_payload, is_tcp
+from repro.sim.rng import RngRegistry
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+from tests.util import ChaosLan, run_all
+
+PORT = 80
+
+
+def _chaos_run(seed: int):
+    """One full chaos run; returns (trace, recipe) — the run's identity."""
+    lan = ChaosLan(seed=seed)
+    # Jittered delay + duplication: both consume fault-plane randomness.
+    lan.plane.rule(
+        "jitter",
+        Delay(0.002, jitter=0.004),
+        point="lan",
+        match=all_predicates(is_tcp, has_payload),
+        max_fires=20,
+    )
+    lan.plane.rule(
+        "dup",
+        Duplicate(copies=2, gap=50e-6),
+        point="nic:primary",
+        match=all_predicates(is_tcp, has_payload),
+        nth=3,
+    )
+
+    def server_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            while True:
+                chunk = yield from sock.recv(65536)
+                if not chunk:
+                    break
+            yield from sock.close_and_wait()
+        return app()
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"x" * 40_000)
+        yield from sock.close_and_wait()
+
+    lan.pair.run_app(server_app)
+    run_all(lan.sim, [client()], until=60.0)
+    trace = [
+        (r.time, r.category, r.node, sorted(r.detail.items()))
+        for r in lan.tracer.records
+    ]
+    lan.finish_checks()
+    assert lan.checker.ok, lan.checker.report()
+    return trace, lan.plane.recipe()
+
+
+def test_same_seed_chaos_runs_are_identical():
+    trace_a, recipe_a = _chaos_run(seed=7)
+    trace_b, recipe_b = _chaos_run(seed=7)
+    assert recipe_a == recipe_b
+    assert trace_a == trace_b
+
+
+def test_different_seeds_diverge():
+    trace_a, _ = _chaos_run(seed=7)
+    trace_b, _ = _chaos_run(seed=8)
+    assert trace_a != trace_b
+
+
+def test_chaos_cell_results_are_reproducible():
+    """run_cell is a pure function of its CellSpec (the replay contract)."""
+    spec = CellSpec("data-8", "delay", seed=5)
+    first = run_cell(spec)
+    second = run_cell(spec)
+    assert first.ok and second.ok
+    assert first.recipe == second.recipe
+    assert first.duration == second.duration
+    assert (first.acked, first.delivered) == (second.acked, second.delivered)
+
+
+def test_registry_streams_are_isolated():
+    """Draws on one named stream never perturb another stream's sequence."""
+    lone = RngRegistry(3)
+    noisy = RngRegistry(3)
+    noisy.stream("other").random()  # interleaved draw on a different stream
+    expected = [RngRegistry(3).stream("target").random() for _ in range(1)]
+    assert [lone.stream("target").random()] == expected
+    assert [noisy.stream("target").random()] == expected

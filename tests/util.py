@@ -5,11 +5,14 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Tuple
 
 from repro.failover.replicated import ReplicatedServerPair
+from repro.harness.invariants import InvariantChecker
 from repro.net.addresses import Ipv4Address, MacAddress
 from repro.net.ethernet import EthernetSegment
+from repro.net.faults import FaultPlane
 from repro.net.host import Host
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, spawn
+from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 
 CLIENT_IP = Ipv4Address("10.0.0.1")
@@ -27,12 +30,16 @@ class TwoHostLan:
 
     def __init__(self, seed: int = 0, record_traces: bool = True, **host_kwargs):
         self.sim = Simulator()
+        self.rng = RngRegistry(seed)
         self.tracer = Tracer(record=record_traces)
         self.segment = EthernetSegment(
-            self.sim, collision_prob=0.0, tracer=self.tracer
+            self.sim, collision_prob=0.0, tracer=self.tracer,
+            rng=self.rng.stream("ethernet"),
         )
-        self.client = Host(self.sim, "client", mac(1), tracer=self.tracer, **host_kwargs)
-        self.server = Host(self.sim, "server", mac(2), tracer=self.tracer, **host_kwargs)
+        self.client = Host(self.sim, "client", mac(1), tracer=self.tracer,
+                           rng=self.rng.stream("host.client"), **host_kwargs)
+        self.server = Host(self.sim, "server", mac(2), tracer=self.tracer,
+                           rng=self.rng.stream("host.server"), **host_kwargs)
         self.client.attach_ethernet(self.segment, CLIENT_IP)
         self.server.attach_ethernet(self.segment, SERVER_IP)
         self.warm_arp()
@@ -59,14 +66,19 @@ class ReplicatedLan:
         **pair_kwargs,
     ):
         self.sim = Simulator()
+        self.rng = RngRegistry(seed)
         self.tracer = Tracer(record=record_traces)
-        self.segment = EthernetSegment(self.sim, collision_prob=0.0, tracer=self.tracer)
+        self.segment = EthernetSegment(self.sim, collision_prob=0.0, tracer=self.tracer,
+                                       rng=self.rng.stream("ethernet"))
         self.client = Host(
             self.sim, "client", mac(1), tracer=self.tracer,
             gratuitous_apply_delay=client_arp_delay,
+            rng=self.rng.stream("host.client"),
         )
-        self.primary = Host(self.sim, "primary", mac(2), tracer=self.tracer)
-        self.secondary = Host(self.sim, "secondary", mac(3), tracer=self.tracer)
+        self.primary = Host(self.sim, "primary", mac(2), tracer=self.tracer,
+                            rng=self.rng.stream("host.primary"))
+        self.secondary = Host(self.sim, "secondary", mac(3), tracer=self.tracer,
+                              rng=self.rng.stream("host.secondary"))
         self.client.attach_ethernet(self.segment, CLIENT_IP)
         self.primary.attach_ethernet(self.segment, PRIMARY_IP)
         self.secondary.attach_ethernet(self.segment, SECONDARY_IP)
@@ -91,6 +103,35 @@ class ReplicatedLan:
 
     def run(self, until: float = 30.0) -> None:
         self.sim.run(until=until)
+
+
+class ChaosLan(ReplicatedLan):
+    """ReplicatedLan with the fault plane and invariant checker pre-wired.
+
+    The plane taps the shared segment (point ``"lan"``) and each station's
+    receive path (``"nic:client"`` / ``"nic:primary"`` / ``"nic:secondary"``),
+    so rules can target the medium or one receiver; the checker wraps the
+    primary bridge's emissions from the first segment on.  All randomness
+    (host ISS, collisions, fault jitter) derives from the one ``seed``.
+    """
+
+    def __init__(self, seed: int = 0, **kwargs):
+        super().__init__(seed=seed, **kwargs)
+        self.plane = FaultPlane(self.sim, rng=self.rng, tracer=self.tracer)
+        self.plane.tap_segment(self.segment, point="lan")
+        self.plane.tap_nic(self.client.nic, point="nic:client")
+        self.plane.tap_nic(self.primary.nic, point="nic:primary")
+        self.plane.tap_nic(self.secondary.nic, point="nic:secondary")
+        self.checker = InvariantChecker(tracer=self.tracer)
+        self.checker.attach_primary_bridge(self.pair.primary_bridge)
+
+    def finish_checks(self, node: str = "client") -> None:
+        """Run the end-of-run invariants that need no stream data."""
+        self.checker.check_no_peer_reset(node=node)
+        self.checker.check_replica_agreement()
+
+    def assert_invariants(self) -> None:
+        self.checker.assert_ok(recipe=self.plane.recipe())
 
 
 def run_process(
