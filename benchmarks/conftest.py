@@ -7,7 +7,21 @@ scaled run that preserves every reported shape while finishing quickly.
 
 import os
 
+from repro.obs import bench as obs_bench
+
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def write_artifact(name, params, results, stats=None, phases=None):
+    """Every bench run leaves a machine-readable ``BENCH_<name>.json``
+    behind (in ``$REPRO_BENCH_DIR``, or the working directory) so perf
+    trajectories can be compared across commits."""
+    params = dict(params, full=FULL)
+    path = obs_bench.write_bench_artifact(
+        name, params, results, stats=stats, phases=phases
+    )
+    print(f"[bench] wrote {path}")
+    return path
 
 
 def fig_sizes(full_sizes, quick_sizes):

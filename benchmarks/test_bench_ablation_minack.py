@@ -9,7 +9,7 @@ without it, a single snoop loss at the secondary plus a primary crash
 loses acknowledged client data.
 """
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
 from repro.harness.experiments import measure_minack_ablation
 
 
@@ -37,6 +37,16 @@ def test_bench_ablation_minack(benchmark):
         "E7: min-ACK ablation (one snoop loss at S, then P crashes)",
         ["variant", "loss-injected", "survivor-bytes", "intact", "client-ok"],
         rows,
+    )
+    write_artifact(
+        "ablation_minack", {},
+        [
+            {"label": label, "metrics": {
+                "survivor_bytes": r["survivor_bytes"],
+                "survivor_intact": int(r["survivor_intact"]),
+                "client_ok": int(r["client_ok"])}}
+            for label, r in results.items()
+        ],
     )
     good = results["with-min-ack"]
     bad = results["without-min-ack"]

@@ -9,7 +9,7 @@ rule this one is a performance property, not a safety property: the
 stream still completes, just worse.
 """
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
 from repro.harness.experiments import measure_minwindow_ablation
 
 
@@ -36,6 +36,15 @@ def test_bench_ablation_minwindow(benchmark):
         "E8: min-window ablation (slow secondary, 400 KB upload)",
         ["variant", "completion-s", "S-bytes-trimmed", "intact"],
         rows,
+    )
+    write_artifact(
+        "ablation_minwindow", {},
+        [
+            {"label": label, "metrics": {
+                "completion_s": r["completion_s"],
+                "secondary_trimmed": r["secondary_trimmed"]}}
+            for label, r in results.items()
+        ],
     )
     good = results["with-min-window"]
     bad = results["without-min-window"]

@@ -7,7 +7,7 @@ already pays ~2.4×): every extra link adds one more wire crossing and one
 more merge on the shared segment.
 """
 
-from benchmarks.conftest import FULL, print_table
+from benchmarks.conftest import FULL, print_table, write_artifact
 from repro.harness.experiments import measure_chain_depth
 
 STREAM = 6_000_000 if FULL else 2_500_000
@@ -25,6 +25,10 @@ def test_bench_chain_depth(benchmark):
         "E9: server->client rate vs replication depth",
         ["replicas", "KB/s", "vs-unreplicated"],
         [(d, f"{r:.0f}", f"{base / r:.2f}x") for d, r in rates],
+    )
+    write_artifact(
+        "chain_depth", {"bytes": STREAM},
+        [{"label": f"depth-{d}", "metrics": {"rate_kb_s": r}} for d, r in rates],
     )
     # Monotone cost: every extra replica slows the stream further.
     for (_, faster), (_, slower) in zip(rates, rates[1:]):

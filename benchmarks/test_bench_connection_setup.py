@@ -4,7 +4,7 @@ Paper: standard TCP median 294 µs / max 603 µs; TCP Failover median
 505 µs / max 1193 µs (warm ARP caches).
 """
 
-from benchmarks.conftest import FULL, print_table
+from benchmarks.conftest import FULL, print_table, write_artifact
 from repro.harness.experiments import measure_connection_setup
 
 PAPER = {
@@ -31,15 +31,26 @@ def test_bench_connection_setup(benchmark):
             (
                 mode,
                 f"{stats.median * 1e6:.0f}",
+                f"{stats.p99 * 1e6:.0f}",
                 f"{stats.maximum * 1e6:.0f}",
+                f"{stats.stddev * 1e6:.0f}",
                 PAPER[mode]["median_us"],
                 PAPER[mode]["max_us"],
             )
         )
     print_table(
         "E1: connection setup time (us)",
-        ["mode", "median", "max", "paper-median", "paper-max"],
+        ["mode", "median", "p99", "max", "stddev", "paper-median", "paper-max"],
         rows,
+    )
+    write_artifact(
+        "connection_setup", {"trials": TRIALS},
+        [
+            {"label": mode, "metrics": {"median_us": results[mode].median * 1e6,
+                                        "p99_us": results[mode].p99 * 1e6}}
+            for mode in ("standard", "failover")
+        ],
+        stats={mode: results[mode].as_dict() for mode in ("standard", "failover")},
     )
     std, fo = results["standard"], results["failover"]
     # Shape assertions: failover costs more, in the paper's 1.3x-2.5x band.

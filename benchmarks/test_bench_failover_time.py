@@ -7,7 +7,7 @@ detector timeout and the ARP-update latency, and verifies the stream is
 byte-identical in every configuration.
 """
 
-from benchmarks.conftest import FULL, print_table
+from benchmarks.conftest import FULL, print_table, write_artifact
 from repro.harness.experiments import measure_failover
 
 DETECTOR_TIMEOUTS = [0.020, 0.050, 0.200, 0.500] if FULL else [0.020, 0.200, 0.500]
@@ -17,12 +17,15 @@ STREAM = 1_500_000 if FULL else 800_000
 
 def run_sweep():
     rows = []
+    phases = {}
     for timeout in DETECTOR_TIMEOUTS:
         result = measure_failover(
             total_bytes=STREAM, crash_at=0.060, crash="primary",
             detector_timeout=timeout, seed=9, min_rto=0.05,
+            record_traces=not phases,
         )
         assert result["intact"]
+        phases = phases or result.get("phases") or {}
         rows.append(("detector", timeout, result["stall_s"]))
     for arp_delay in ARP_DELAYS:
         result = measure_failover(
@@ -38,15 +41,23 @@ def run_sweep():
     )
     assert secondary["intact"]
     rows.append(("secondary-crash", 0.020, secondary["stall_s"]))
-    return rows
+    return rows, phases
 
 
 def test_bench_failover_time(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows, phases = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     print_table(
         "E6: client-visible stall vs recovery parameters (s)",
         ["knob", "value", "stall"],
         [(k, f"{v:.4f}", f"{s:.4f}") for k, v, s in rows],
+    )
+    write_artifact(
+        "failover_time", {"bytes": STREAM, "crash_at": 0.060},
+        [
+            {"label": f"{knob}={value:g}", "metrics": {"stall_s": stall}}
+            for knob, value, stall in rows
+        ],
+        phases=phases or None,
     )
     detector_rows = [(v, s) for k, v, s in rows if k == "detector"]
     # A slower detector means a longer stall once it dominates the RTO.

@@ -12,7 +12,7 @@ twice (S→P, then P→C) and is processed twice at the primary, while the
 send direction only pays the extra acknowledgement handling (~1.34x).
 """
 
-from benchmarks.conftest import FULL, print_table
+from benchmarks.conftest import FULL, print_table, write_artifact
 from repro.harness.experiments import measure_stream_rates
 
 PAPER = {
@@ -47,6 +47,15 @@ def test_bench_fig5_stream_rates(benchmark):
         f"E4 / Fig 5: stream rates, {STREAM_BYTES//1_000_000} MB (KB/s)",
         ["mode", "send", "paper-send", "recv", "paper-recv"],
         rows,
+    )
+    write_artifact(
+        "fig5_stream_rates", {"bytes": STREAM_BYTES},
+        [
+            {"label": mode, "metrics": {
+                "send_kb_s": results[mode]["send_rate_kb_s"],
+                "recv_kb_s": results[mode]["recv_rate_kb_s"]}}
+            for mode in ("standard", "failover")
+        ],
     )
     std, fo = results["standard"], results["failover"]
     send_ratio = std["send_rate_kb_s"] / fo["send_rate_kb_s"]

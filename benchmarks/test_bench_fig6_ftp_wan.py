@@ -16,7 +16,7 @@ and small-file puts are buffered (apparent rates far above the line rate).
 "The measurements ... vary widely" — hence median over seeds.
 """
 
-from benchmarks.conftest import FULL, print_table
+from benchmarks.conftest import FULL, print_table, write_artifact
 from repro.harness.experiments import FIG6_FILE_SIZES_KB, measure_ftp_rates
 
 PAPER = {
@@ -60,6 +60,15 @@ def test_bench_fig6_ftp_wan(benchmark):
         "E5 / Fig 6: FTP rates over WAN (KB/s, median)",
         ["fileKB", "get-std", "get-fo", "paper-get", "put-std", "put-fo", "paper-put"],
         rows,
+    )
+    write_artifact(
+        "fig6_ftp_wan", {"trials": TRIALS},
+        [
+            {"label": f"{mode} {size_kb}KB",
+             "metrics": {"get_kb_s": res["get_kb_s"], "put_kb_s": res["put_kb_s"]}}
+            for size_kb, std, fo in table
+            for mode, res in (("standard", std), ("failover", fo))
+        ],
     )
     for size_kb, std, fo in table:
         # The headline shape: failover ~ standard over a WAN.

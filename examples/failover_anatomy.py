@@ -68,6 +68,17 @@ def annotated_run() -> None:
     print(f"stream intact: {done['intact']}, finished at t={done['t']*1e3:.1f} ms")
     assert done["intact"]
 
+    # The flight recorder turns the same trace into the phase breakdown
+    # (quiesce / detection / takeover / recovery) — CI's obs smoke step
+    # asserts all phases are present in this output.
+    from repro.obs.flight import FlightRecorder
+
+    breakdown = FlightRecorder(bed.tracer).phase_breakdown()
+    assert breakdown is not None
+    print("\nfailover phase breakdown:")
+    for line in breakdown.render().splitlines():
+        print(f"  {line}")
+
 
 def sweep_detector() -> None:
     # The client-visible stall is max(detection + takeover, retransmission

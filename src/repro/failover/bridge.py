@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.net.addresses import Ipv4Address
 from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
+from repro.obs.metrics import NULL_METRICS
 from repro.tcp.segment import TcpSegment
 
 
@@ -27,6 +28,7 @@ class BridgeBase:
         self.sim = host.sim
         self.config = config
         self.tracer = tracer or host.tracer
+        self.metrics = getattr(host, "metrics", None) or NULL_METRICS
         self.bridge_cost = bridge_cost
 
     # -- hooks to override ---------------------------------------------------

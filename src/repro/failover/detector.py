@@ -44,6 +44,14 @@ class FaultDetector:
         self._sequence = 0
         self.heartbeats_sent = 0
         self.heartbeats_received = 0
+        metrics = getattr(host, "metrics", None)
+        if metrics is None:
+            from repro.obs.metrics import NULL_METRICS
+
+            metrics = NULL_METRICS
+        self._m_sent = metrics.counter("detector.heartbeats_sent", host=host.name)
+        self._m_received = metrics.counter("detector.heartbeats_received", host=host.name)
+        self._m_fired = metrics.counter("detector.failures", host=host.name)
         host.add_heartbeat_handler(self._heartbeat_received)
 
     def start(self) -> None:
@@ -59,6 +67,7 @@ class FaultDetector:
             return
         self._sequence += 1
         self.heartbeats_sent += 1
+        self._m_sent.inc()
         self.host.send_raw_datagram(
             Ipv4Datagram(
                 src=self.host.ip.primary_address(),
@@ -73,6 +82,7 @@ class FaultDetector:
         if datagram.src != self.peer_ip:
             return  # another replica's heartbeat; not our peer
         self.heartbeats_received += 1
+        self._m_received.inc()
         self.last_heard = self.sim.now
 
     def _check_tick(self) -> None:
@@ -80,6 +90,7 @@ class FaultDetector:
             return
         if self.last_heard is not None and self.sim.now - self.last_heard > self.timeout:
             self.fired = True
+            self._m_fired.inc()
             self.tracer.emit(
                 self.sim.now, "detector.failure", self.host.name, peer=str(self.peer_ip)
             )

@@ -82,6 +82,11 @@ class AckWindowMerge:
         if ack is not None:
             self.last_sent_ack = ack
 
+    def note_empty_ack(self) -> None:
+        """Record that the bridge synthesised an empty segment for this
+        connection (the §3.4 deadlock-prevention path)."""
+        self.empty_acks_sent += 1
+
     def __repr__(self) -> str:
         return (
             f"AckWindowMerge(ack_p={self.ack_p}, ack_s={self.ack_s},"

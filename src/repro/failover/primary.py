@@ -136,6 +136,25 @@ class PrimaryBridge(BridgeBase):
         self.retransmissions_forwarded = 0
         self.late_acks_synthesized = 0
         self.mismatches = 0
+        # Metrics-plane mirrors of the above, plus queue-depth histograms
+        # (labelled instruments; free when the registry is disabled).
+        host_label = host.name
+        self._m_merged = self.metrics.counter("bridge.segments_merged", host=host_label)
+        self._m_bytes_matched = self.metrics.counter("bridge.bytes_matched", host=host_label)
+        self._m_empty_acks = self.metrics.counter("bridge.empty_acks", host=host_label)
+        self._m_rtx_fwd = self.metrics.counter(
+            "bridge.retransmissions_forwarded", host=host_label
+        )
+        self._m_late_acks = self.metrics.counter(
+            "bridge.late_acks_synthesized", host=host_label
+        )
+        self._m_mismatches = self.metrics.counter("bridge.mismatches", host=host_label)
+        self._m_depth_p = self.metrics.histogram(
+            "bridge.queue_depth", host=host_label, queue="P"
+        )
+        self._m_depth_s = self.metrics.histogram(
+            "bridge.queue_depth", host=host_label, queue="S"
+        )
 
     def install(self) -> None:
         self.host.install_bridge(self)
@@ -367,6 +386,7 @@ class PrimaryBridge(BridgeBase):
                 already = min(seq_sub(bc.sent_hwm, s_seq), len(payload))
                 self._emit_data(bc, s_seq, payload[:already], retransmission=True)
                 self.retransmissions_forwarded += 1
+                self._m_rtx_fwd.inc()
                 emitted = True
             if already < len(payload):
                 fresh_seq = seq_add(s_seq, already)
@@ -385,11 +405,16 @@ class PrimaryBridge(BridgeBase):
             if bc.fin_sent and seq_lt(fin_seq, bc.sent_hwm):
                 self._emit_fin(bc)  # retransmitted FIN → forward again
                 self.retransmissions_forwarded += 1
+                self._m_rtx_fwd.inc()
                 emitted = True
         if self._emit_fin_if_ready(bc):
             emitted = True
         if not emitted:
             self._maybe_empty_ack(bc)
+        if bc.p_queue is not None:
+            self._m_depth_p.observe(len(bc.p_queue))
+        if bc.s_queue is not None:
+            self._m_depth_s.observe(len(bc.s_queue))
         if bc.ready_to_delete():
             self._delete(bc, reason="closed")
 
@@ -410,6 +435,8 @@ class PrimaryBridge(BridgeBase):
                 self._emit_data(bc, seq_add(seq, offset), chunk)
                 offset += len(chunk)
             self.segments_merged += 1
+            self._m_merged.inc()
+            self._m_bytes_matched.inc(len(data))
             emitted = True
 
     def _emit_data(
@@ -495,7 +522,9 @@ class PrimaryBridge(BridgeBase):
         )
         self._emit(bc, segment)
         bc.merge.note_sent(ack)
+        bc.merge.note_empty_ack()
         self.empty_acks_sent += 1
+        self._m_empty_acks.inc()
         self._trace("bridge.p.empty_ack", ack=ack, dup=duplicate)
 
     def _emit(self, bc: BridgeConnection, segment: TcpSegment) -> None:
@@ -519,8 +548,8 @@ class PrimaryBridge(BridgeBase):
         """Both SYNs are in: compute Δseq and emit the merged SYN."""
         bc.delta = SeqOffset(bc.syn_p.seq, bc.syn_s.seq)
         frontier = seq_add(bc.syn_s.seq, 1)
-        bc.p_queue = OutputQueue(frontier, name="P")
-        bc.s_queue = OutputQueue(frontier, name="S")
+        bc.p_queue = OutputQueue(frontier, name="P", metrics=self.metrics, host=self.host.name)
+        bc.s_queue = OutputQueue(frontier, name="S", metrics=self.metrics, host=self.host.name)
         mss_p = bc.syn_p.mss_option or bc.mss
         mss_s = bc.syn_s.mss_option or bc.mss
         bc.mss = min(mss_p, mss_s)
@@ -626,8 +655,8 @@ class PrimaryBridge(BridgeBase):
         """Emit P's own SYN unmodified (secondary died pre-establishment)."""
         syn = bc.syn_p
         frontier = seq_add(syn.seq, 1)
-        bc.p_queue = OutputQueue(frontier, name="P")
-        bc.s_queue = OutputQueue(frontier, name="S")
+        bc.p_queue = OutputQueue(frontier, name="P", metrics=self.metrics, host=self.host.name)
+        bc.s_queue = OutputQueue(frontier, name="S", metrics=self.metrics, host=self.host.name)
         if syn.mss_option is not None:
             bc.mss = syn.mss_option
         bc.sent_hwm = frontier
@@ -685,6 +714,7 @@ class PrimaryBridge(BridgeBase):
         peer = segment.orig_dst_option
         sealed = ack_seg.sealed(peer, self.secondary_ip)
         self.late_acks_synthesized += 1
+        self._m_late_acks.inc()
         self._trace("bridge.p.late_ack_to_s", seq=segment.seq)
         self._send_datagram(sealed, peer, self.secondary_ip)
 
@@ -702,6 +732,7 @@ class PrimaryBridge(BridgeBase):
         )
         sealed = ack_seg.sealed(datagram.dst, datagram.src)
         self.late_acks_synthesized += 1
+        self._m_late_acks.inc()
         self._trace("bridge.p.late_ack_to_peer", seq=segment.seq)
         self._send_datagram(sealed, datagram.dst, datagram.src)
 
@@ -717,6 +748,7 @@ class PrimaryBridge(BridgeBase):
     def _mark_broken(self, bc: BridgeConnection, exc: Exception) -> None:
         bc.broken = True
         self.mismatches += 1
+        self._m_mismatches.inc()
         self._trace("bridge.p.mismatch", error=str(exc), peer=str(bc.peer_ip))
 
     def _delete(self, bc: BridgeConnection, reason: str) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.tcp.seqnum import seq_add, seq_lt, seq_sub
 
 
@@ -37,8 +38,18 @@ class OutputQueue:
 
     MAX_PENDING_CHUNKS = 256
 
-    def __init__(self, initial_seq: int, name: str = "queue"):
+    def __init__(
+        self,
+        initial_seq: int,
+        name: str = "queue",
+        metrics: Optional[MetricsRegistry] = None,
+        host: str = "",
+    ):
         self.name = name
+        metrics = metrics or NULL_METRICS
+        self._m_enqueued = metrics.counter("queue.bytes_enqueued", host=host, queue=name)
+        self._m_dups = metrics.counter("queue.duplicates_discarded", host=host, queue=name)
+        self._m_gaps = metrics.counter("queue.gaps_buffered", host=host, queue=name)
         self.base_seq = initial_seq  # seq of data[0]
         self.data = bytearray()
         # Above-frontier chunks: a diverted segment can be lost between
@@ -74,6 +85,7 @@ class OutputQueue:
             if len(self._pending) < self.MAX_PENDING_CHUNKS and seq not in self._pending:
                 self._pending[seq] = payload
                 self.gaps_buffered += 1
+                self._m_gaps.inc()
             return 0
         overlap = seq_sub(frontier, seq)
         if overlap > 0:
@@ -88,10 +100,12 @@ class OutputQueue:
                 )
             if overlap >= len(payload):
                 self.duplicates_discarded += len(payload)
+                self._m_dups.inc(len(payload))
                 return 0
             payload = payload[overlap:]
         self.data.extend(payload)
         self.bytes_enqueued += len(payload)
+        self._m_enqueued.inc(len(payload))
         added = len(payload) + self._drain_pending()
         return added
 
@@ -112,10 +126,12 @@ class OutputQueue:
             skip = seq_sub(frontier, match)
             if skip >= len(payload):
                 self.duplicates_discarded += len(payload)
+                self._m_dups.inc(len(payload))
                 continue
             fresh = payload[skip:]
             self.data.extend(fresh)
             self.bytes_enqueued += len(fresh)
+            self._m_enqueued.inc(len(fresh))
             added += len(fresh)
         return added
 

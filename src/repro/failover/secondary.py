@@ -46,6 +46,14 @@ class SecondaryBridge(BridgeBase):
         self.segments_snooped = 0
         self.segments_translated_in = 0
         self.segments_diverted_out = 0
+        host_label = host.name
+        self._m_snooped = self.metrics.counter("bridge.segments_snooped", host=host_label)
+        self._m_translated = self.metrics.counter(
+            "bridge.segments_translated_in", host=host_label
+        )
+        self._m_diverted = self.metrics.counter(
+            "bridge.segments_diverted_out", host=host_label
+        )
 
     def install(self) -> None:
         """Attach to the host and enable promiscuous snooping."""
@@ -62,6 +70,7 @@ class SecondaryBridge(BridgeBase):
         if self.host.ip.owns(datagram.dst):
             return datagram  # genuinely ours (ordinary traffic, heartbeats)
         self.segments_snooped += 1
+        self._m_snooped.inc()
         if datagram.protocol != IPPROTO_TCP or datagram.dst != self.primary_ip:
             return None  # snooped, not for the replicated service
         segment = datagram.payload
@@ -78,6 +87,7 @@ class SecondaryBridge(BridgeBase):
             new_dst=local,
         )
         self.segments_translated_in += 1
+        self._m_translated.inc()
         self._trace(
             "bridge.s.translate_in",
             src=str(datagram.src),
@@ -111,6 +121,7 @@ class SecondaryBridge(BridgeBase):
             orig_dst=dst_ip,
         )
         self.segments_diverted_out += 1
+        self._m_diverted.inc()
         self._trace(
             "bridge.s.divert_out",
             orig_dst=str(dst_ip),

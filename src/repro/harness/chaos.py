@@ -85,12 +85,17 @@ class ChaosResult:
     spec: CellSpec
     violations: List[Violation] = field(default_factory=list)
     recipe: str = ""
+    incident: str = ""
+    phase_durations: Dict[str, float] = field(default_factory=dict)
     fires: int = 0
     failed_over: bool = False
     acked: int = 0
     delivered: int = 0
     finished: bool = False
     duration: float = 0.0
+    # Trace stream of the run (a Tracer), for post-hoc flight-recorder
+    # analysis; excluded from repr to keep describe()/logs readable.
+    tracer: object = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -107,6 +112,9 @@ class ChaosResult:
         if not self.ok and self.recipe:
             lines.append("  recipe:")
             lines += [f"    {line}" for line in self.recipe.splitlines()]
+        if not self.ok and self.incident:
+            lines.append("  incident report:")
+            lines += [f"    {line}" for line in self.incident.splitlines()]
         return "\n".join(lines)
 
 
@@ -432,6 +440,23 @@ def run_cell(spec: CellSpec, until: float = 90.0) -> ChaosResult:
     result.violations = checker.violations
     result.fires = len(lan.plane.fires)
     result.recipe = lan.plane.recipe()
+
+    # -- observability ---------------------------------------------------
+    # Imported lazily: repro.obs.flight pulls in repro.net, and this module
+    # is imported from repro.harness.__init__.
+    if lan.tracer.records:
+        from repro.obs.flight import FlightRecorder
+
+        result.tracer = lan.tracer
+        recorder = FlightRecorder(lan.tracer)
+        breakdown = recorder.phase_breakdown()
+        if breakdown is not None:
+            result.phase_durations = breakdown.durations()
+        if not result.ok:
+            result.incident = recorder.incident_report(
+                title=str(spec),
+                violations=[str(v) for v in result.violations],
+            )
     return result
 
 

@@ -11,16 +11,27 @@ A pytest-free way to regenerate any of the paper's tables/figures::
     python -m repro ablation            # E7/E8 merge-rule ablations
     python -m repro chain               # E9  daisy-chain depth sweep
     python -m repro all --quick
+
+Observability (the flight recorder / pcap plane)::
+
+    python -m repro obs report          # phase breakdown of a seeded failover
+    python -m repro obs pcap --out fo   # fo.wire.pcap + fo.divert.pcap
+
+Every experiment command also writes a machine-readable
+``BENCH_<name>.json`` artifact when ``--bench-dir`` (or the
+``REPRO_BENCH_DIR`` environment variable) is set.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List
 
 from repro.harness import experiments
 from repro.harness.metrics import Stats
+from repro.obs import bench as obs_bench
 
 
 def _table(title: str, header: List[str], rows: List[tuple]) -> None:
@@ -40,6 +51,19 @@ def _us(stats: Stats) -> str:
     return f"{stats.median * 1e6:.0f}"
 
 
+def _write_bench(args, name, params, results, stats=None, phases=None) -> None:
+    """Write a ``BENCH_<name>.json`` artifact when a bench dir is set."""
+    directory = getattr(args, "bench_dir", None) or os.environ.get(
+        obs_bench.BENCH_DIR_ENV
+    )
+    if not directory:
+        return
+    path = obs_bench.write_bench_artifact(
+        name, params, results, stats=stats, phases=phases, directory=directory
+    )
+    print(f"[bench] wrote {path}")
+
+
 def cmd_setup(args) -> None:
     std = experiments.measure_connection_setup(False, trials=args.trials)
     fo = experiments.measure_connection_setup(True, trials=args.trials)
@@ -51,6 +75,14 @@ def cmd_setup(args) -> None:
             ("failover", _us(fo), f"{fo.maximum*1e6:.0f}", "505 / 1193"),
         ],
     )
+    _write_bench(
+        args, "setup", {"trials": args.trials},
+        [
+            {"label": "standard", "metrics": {"median_us": std.median * 1e6}},
+            {"label": "failover", "metrics": {"median_us": fo.median * 1e6}},
+        ],
+        stats={"standard": std.as_dict(), "failover": fo.as_dict()},
+    )
 
 
 def _sweep_sizes(quick: bool) -> List[int]:
@@ -61,16 +93,27 @@ def _sweep_sizes(quick: bool) -> List[int]:
 
 def cmd_fig3(args) -> None:
     rows = []
+    bench_rows, bench_stats = [], {}
     for size in _sweep_sizes(args.quick):
         std = experiments.measure_send_time(size, False, trials=args.trials)
         fo = experiments.measure_send_time(size, True, trials=args.trials)
         rows.append((size, _us(std), _us(fo), f"{fo.median/std.median:.2f}x"))
+        for mode, stats in (("standard", std), ("failover", fo)):
+            label = f"{mode} {size}B"
+            bench_rows.append(
+                {"label": label, "metrics": {"median_us": stats.median * 1e6}}
+            )
+            bench_stats[label] = stats.as_dict()
     _table("E2 / Fig 3: send time (us, median)",
            ["bytes", "standard", "failover", "ratio"], rows)
+    _write_bench(args, "fig3_send_time",
+                 {"trials": args.trials, "quick": bool(args.quick)},
+                 bench_rows, stats=bench_stats)
 
 
 def cmd_fig4(args) -> None:
     rows = []
+    bench_rows, bench_stats = [], {}
     for size in _sweep_sizes(args.quick):
         std = experiments.measure_request_reply(size, False, trials=args.trials)
         fo = experiments.measure_request_reply(size, True, trials=args.trials)
@@ -78,8 +121,17 @@ def cmd_fig4(args) -> None:
             (size, f"{std.median*1e3:.2f}", f"{fo.median*1e3:.2f}",
              f"{fo.median/std.median:.2f}x")
         )
+        for mode, stats in (("standard", std), ("failover", fo)):
+            label = f"{mode} {size}B"
+            bench_rows.append(
+                {"label": label, "metrics": {"median_ms": stats.median * 1e3}}
+            )
+            bench_stats[label] = stats.as_dict()
     _table("E3 / Fig 4: request->reply time (ms, median)",
            ["bytes", "standard", "failover", "ratio"], rows)
+    _write_bench(args, "fig4_request_reply",
+                 {"trials": args.trials, "quick": bool(args.quick)},
+                 bench_rows, stats=bench_stats)
 
 
 def cmd_fig5(args) -> None:
@@ -95,11 +147,21 @@ def cmd_fig5(args) -> None:
              "5836 / 3510"),
         ],
     )
+    _write_bench(
+        args, "fig5_stream_rates", {"bytes": args.bytes},
+        [
+            {"label": "standard", "metrics": {
+                "send_kb_s": std["send_rate_kb_s"], "recv_kb_s": std["recv_rate_kb_s"]}},
+            {"label": "failover", "metrics": {
+                "send_kb_s": fo["send_rate_kb_s"], "recv_kb_s": fo["recv_rate_kb_s"]}},
+        ],
+    )
 
 
 def cmd_fig6(args) -> None:
     sizes = experiments.FIG6_FILE_SIZES_KB[: 3 if args.quick else None]
     rows = []
+    bench_rows = []
     for size_kb in sizes:
         std = experiments.measure_ftp_rates(size_kb, False, trials=args.trials)
         fo = experiments.measure_ftp_rates(size_kb, True, trials=args.trials)
@@ -107,29 +169,56 @@ def cmd_fig6(args) -> None:
             (size_kb, f"{std['get_kb_s']:.1f}", f"{fo['get_kb_s']:.1f}",
              f"{std['put_kb_s']:.1f}", f"{fo['put_kb_s']:.1f}")
         )
+        for mode, res in (("standard", std), ("failover", fo)):
+            bench_rows.append({
+                "label": f"{mode} {size_kb}KB",
+                "metrics": {"get_kb_s": res["get_kb_s"], "put_kb_s": res["put_kb_s"]},
+            })
     _table("E5 / Fig 6: FTP over WAN (KB/s)",
            ["fileKB", "get std", "get fo", "put std", "put fo"], rows)
+    _write_bench(args, "fig6_ftp_wan", {"trials": args.trials}, bench_rows)
 
 
 def cmd_failover(args) -> None:
     rows = []
+    bench_rows, phases = [], None
     for timeout in (0.020, 0.100, 0.300):
         result = experiments.measure_failover(
-            total_bytes=800_000, detector_timeout=timeout, min_rto=0.05
+            total_bytes=800_000, detector_timeout=timeout, min_rto=0.05,
+            record_traces=(phases is None),
         )
+        phases = phases or result.get("phases")
         rows.append((f"detector={timeout*1e3:.0f}ms",
                      f"{result['stall_s']*1e3:.1f}ms", result["intact"]))
+        bench_rows.append({
+            "label": f"detector={timeout*1e3:.0f}ms",
+            "metrics": {"stall_ms": result["stall_s"] * 1e3,
+                        "intact": int(result["intact"])},
+        })
     result = experiments.measure_failover(total_bytes=800_000, crash="secondary")
     rows.append(("secondary crash", f"{result['stall_s']*1e3:.1f}ms", result["intact"]))
+    bench_rows.append({
+        "label": "secondary crash",
+        "metrics": {"stall_ms": result["stall_s"] * 1e3,
+                    "intact": int(result["intact"])},
+    })
     _table("E6: failover stall", ["scenario", "stall", "stream intact"], rows)
+    _write_bench(args, "failover_stall", {"bytes": 800_000}, bench_rows,
+                 phases=phases)
 
 
 def cmd_ablation(args) -> None:
     rows = []
+    bench_rows = []
     for merging in (True, False):
         r = experiments.measure_minack_ablation(ack_merging=merging)
         rows.append((f"min-ACK={'on' if merging else 'OFF'}",
                      r["survivor_bytes"], r["survivor_intact"], r["client_ok"]))
+        bench_rows.append({
+            "label": f"min-ACK={'on' if merging else 'off'}",
+            "metrics": {"survivor_bytes": r["survivor_bytes"],
+                        "survivor_intact": int(r["survivor_intact"])},
+        })
     _table("E7: min-ACK ablation",
            ["variant", "survivor bytes", "intact", "client ok"], rows)
     rows = []
@@ -137,19 +226,67 @@ def cmd_ablation(args) -> None:
         r = experiments.measure_minwindow_ablation(window_merging=merging)
         rows.append((f"min-window={'on' if merging else 'OFF'}",
                      f"{r['completion_s']:.3f}s", r["secondary_trimmed"], r["intact"]))
+        bench_rows.append({
+            "label": f"min-window={'on' if merging else 'off'}",
+            "metrics": {"completion_s": r["completion_s"],
+                        "secondary_trimmed": r["secondary_trimmed"]},
+        })
     _table("E8: min-window ablation",
            ["variant", "completion", "S bytes trimmed", "intact"], rows)
+    _write_bench(args, "ablation", {}, bench_rows)
 
 
 def cmd_chain(args) -> None:
     rows = []
+    bench_rows = []
     base = None
     for depth in (1, 2, 3, 4):
         rate = experiments.measure_chain_depth(depth)
         base = base or rate
         rows.append((depth, f"{rate:.0f}", f"{base/rate:.2f}x"))
+        bench_rows.append({
+            "label": f"depth-{depth}", "metrics": {"rate_kb_s": rate},
+        })
     _table("E9: chain depth vs server->client rate (KB/s)",
            ["replicas", "KB/s", "slowdown"], rows)
+    _write_bench(args, "chain_depth", {}, bench_rows)
+
+
+def cmd_obs(args) -> None:
+    """Flight-recorder / pcap views over one seeded failover run."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.pcap import export_pcaps
+
+    action = args.action or "report"
+    if action not in ("report", "pcap"):
+        raise SystemExit(f"unknown obs action {action!r} (expected report or pcap)")
+    registry = MetricsRegistry()
+    result = experiments.measure_failover(
+        total_bytes=args.bytes,
+        seed=args.seed,
+        detector_timeout=args.timeout,
+        min_rto=0.05,
+        record_traces=True,
+        metrics=registry,
+    )
+    if action == "pcap":
+        counts = export_pcaps(result["tracer"], args.out)
+        for iface in sorted(counts):
+            print(f"wrote {args.out}.{iface}.pcap ({counts[iface]} packets)")
+        return
+    recorder = result["recorder"]
+    print(recorder.report(title=f"seed={args.seed} detector={args.timeout*1e3:.0f}ms"))
+    breakdown = result.get("breakdown")
+    if breakdown is not None:
+        print()
+        print(f"measured client stall (application clock): "
+              f"{result['stall_s']*1e3:.3f} ms")
+        print(f"phase breakdown total (wire clock):        "
+              f"{breakdown.total*1e3:.3f} ms")
+    print()
+    print("metrics:")
+    for line in registry.render().splitlines():
+        print(f"  {line}")
 
 
 COMMANDS = {
@@ -169,18 +306,33 @@ def main(argv: List[str] = None) -> int:
         prog="python -m repro",
         description="Regenerate the DSN'03 TCP-failover paper's experiments.",
     )
-    parser.add_argument("experiment", choices=[*COMMANDS, "all"])
+    parser.add_argument("experiment", choices=[*COMMANDS, "all", "obs"])
+    parser.add_argument("action", nargs="?", default=None,
+                        help="for obs: report (default) or pcap")
     parser.add_argument("--quick", action="store_true",
                         help="fewer sweep points / smaller streams")
     parser.add_argument("--trials", type=int, default=None)
     parser.add_argument("--bytes", type=int, default=None,
-                        help="stream length for fig5")
+                        help="stream length for fig5 / obs")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="testbed seed for obs runs")
+    parser.add_argument("--timeout", type=float, default=0.050,
+                        help="detector timeout (s) for obs runs")
+    parser.add_argument("--out", default="failover",
+                        help="pcap base path for `obs pcap`")
+    parser.add_argument("--bench-dir", default=None,
+                        help="write BENCH_*.json artifacts to this directory")
     args = parser.parse_args(argv)
     if args.trials is None:
         args.trials = 5 if args.quick else 20
     if args.bytes is None:
-        args.bytes = 4_000_000 if args.quick else 10_000_000
-    if args.experiment == "all":
+        if args.experiment == "obs":
+            args.bytes = 800_000
+        else:
+            args.bytes = 4_000_000 if args.quick else 10_000_000
+    if args.experiment == "obs":
+        cmd_obs(args)
+    elif args.experiment == "all":
         for name, command in COMMANDS.items():
             command(args)
     else:

@@ -308,12 +308,19 @@ def measure_failover(
     client_arp_delay: float = 0.5e-3,
     seed: int = 0,
     min_rto: float = 0.2,
+    record_traces: bool = False,
+    metrics=None,
 ) -> Dict[str, float]:
     """Crash a replica mid-stream; measure the client-visible stall.
 
     Returns the longest gap between byte arrivals at the client after the
     crash instant, whether the stream arrived intact, and the total
     transfer time.
+
+    With ``record_traces=True`` the result additionally carries the
+    testbed's tracer, a :class:`repro.obs.flight.FlightRecorder` over it,
+    and the failover phase breakdown (``phases``, ``phase_total_s``,
+    ``client_gap_s``) — the basis of ``python -m repro obs report``.
     """
     bed = LanTestbed(
         seed=seed,
@@ -322,6 +329,8 @@ def measure_failover(
         detector_timeout=detector_timeout,
         client_arp_delay=client_arp_delay,
         conn_defaults={"min_rto": min_rto},
+        record_traces=record_traces,
+        metrics=metrics,
     )
     bed.start_detectors()
 
@@ -361,12 +370,25 @@ def measure_failover(
     for before, after in zip(arrivals, arrivals[1:]):
         if after > crash_at and after - before > stall:
             stall = after - before
-    return {
+    result = {
         "intact": outcome["intact"],
         "stall_s": stall,
         "total_s": outcome["t_done"],
         "detector_timeout": detector_timeout,
     }
+    if record_traces:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(bed.tracer)
+        breakdown = recorder.phase_breakdown()
+        result["tracer"] = bed.tracer
+        result["recorder"] = recorder
+        result["breakdown"] = breakdown
+        if breakdown is not None:
+            result["phases"] = breakdown.durations()
+            result["phase_total_s"] = breakdown.total
+            result["client_gap_s"] = breakdown.client_gap
+    return result
 
 
 # ======================================================================

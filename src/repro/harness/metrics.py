@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 
 @dataclass(frozen=True)
@@ -17,6 +17,8 @@ class Stats:
     minimum: float
     maximum: float
     p90: float
+    p99: float = 0.0
+    stddev: float = 0.0
 
     def scaled(self, factor: float) -> "Stats":
         return Stats(
@@ -26,7 +28,22 @@ class Stats:
             minimum=self.minimum * factor,
             maximum=self.maximum * factor,
             p90=self.p90 * factor,
+            p99=self.p99 * factor,
+            stddev=self.stddev * factor,
         )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-number dump for ``BENCH_*.json`` artifacts."""
+        return {
+            "count": self.count,
+            "median": self.median,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p90": self.p90,
+            "p99": self.p99,
+            "stddev": self.stddev,
+        }
 
 
 def _percentile(ordered: Sequence[float], fraction: float) -> float:
@@ -43,18 +60,28 @@ def _percentile(ordered: Sequence[float], fraction: float) -> float:
     return ordered[low] * (1 - weight) + ordered[high] * weight
 
 
+def _stddev(ordered: Sequence[float], mean: float) -> float:
+    """Population standard deviation (0.0 for a single sample)."""
+    if len(ordered) < 2:
+        return 0.0
+    return math.sqrt(sum((s - mean) ** 2 for s in ordered) / len(ordered))
+
+
 def summarize(samples: Iterable[float]) -> Stats:
-    """Median/mean/min/max/p90 of a sample."""
+    """Median/mean/min/max/p90/p99/stddev of a sample."""
     ordered: List[float] = sorted(samples)
     if not ordered:
         raise ValueError("empty sample")
+    mean = sum(ordered) / len(ordered)
     return Stats(
         count=len(ordered),
         median=_percentile(ordered, 0.5),
-        mean=sum(ordered) / len(ordered),
+        mean=mean,
         minimum=ordered[0],
         maximum=ordered[-1],
         p90=_percentile(ordered, 0.9),
+        p99=_percentile(ordered, 0.99),
+        stddev=_stddev(ordered, mean),
     )
 
 

@@ -24,6 +24,7 @@ from repro.net.ethernet import EthernetSegment
 from repro.net.host import Host
 from repro.net.router import Router
 from repro.net.wan import WanLink
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -105,12 +106,14 @@ def _make_host(
     tracer: Tracer,
     rng: RngRegistry,
     gratuitous_apply_delay: float = 0.0,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Host:
     return Host(
         sim,
         name,
         _mac(index),
         tracer=tracer,
+        metrics=metrics,
         rng=rng.stream(f"host.{name}"),
         rx_segment_cost=profile.rx_segment_cost,
         rx_byte_cost=profile.rx_byte_cost,
@@ -138,24 +141,30 @@ class LanTestbed:
         detector_timeout: float = 0.050,
         client_arp_delay: float = CLIENT_ARP_DELAY,
         record_traces: bool = False,
+        max_trace_records: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
         conn_defaults: Optional[dict] = None,
         ack_merging: bool = True,
         window_merging: bool = True,
         takeover_resume_delay: float = 200e-6,
     ):
         self.sim = Simulator()
-        self.tracer = Tracer(record=record_traces)
+        self.tracer = Tracer(record=record_traces, max_records=max_trace_records)
         self.rng = RngRegistry(seed)
+        self.metrics = metrics or NULL_METRICS
+        if metrics is not None:
+            self.sim.set_metrics(metrics)
         self.segment = EthernetSegment(
             self.sim,
             name="lan",
             collision_prob=collision_prob,
             tracer=self.tracer,
             rng=self.rng.stream("ethernet"),
+            metrics=metrics,
         )
         self.client = _make_host(
             self.sim, "client", 1, CLIENT_PROFILE, self.tracer, self.rng,
-            gratuitous_apply_delay=client_arp_delay,
+            gratuitous_apply_delay=client_arp_delay, metrics=metrics,
         )
         self.client.attach_ethernet(self.segment, CLIENT_IP)
         self.replicated = replicated
@@ -164,11 +173,13 @@ class LanTestbed:
             self.client.tcp.conn_defaults.update(conn_defaults)
         if replicated:
             self.primary = _make_host(
-                self.sim, "primary", 2, SERVER_PROFILE, self.tracer, self.rng
+                self.sim, "primary", 2, SERVER_PROFILE, self.tracer, self.rng,
+                metrics=metrics,
             )
             self.primary.attach_ethernet(self.segment, PRIMARY_IP)
             self.secondary = _make_host(
-                self.sim, "secondary", 3, SERVER_PROFILE, self.tracer, self.rng
+                self.sim, "secondary", 3, SERVER_PROFILE, self.tracer, self.rng,
+                metrics=metrics,
             )
             self.secondary.attach_ethernet(self.segment, SECONDARY_IP)
             if conn_defaults:
@@ -190,7 +201,8 @@ class LanTestbed:
             self.hosts = [self.client, self.primary, self.secondary]
         else:
             self.server = _make_host(
-                self.sim, "server", 4, SERVER_PROFILE, self.tracer, self.rng
+                self.sim, "server", 4, SERVER_PROFILE, self.tracer, self.rng,
+                metrics=metrics,
             )
             self.server.attach_ethernet(self.segment, SINGLE_SERVER_IP)
             if conn_defaults:
@@ -233,15 +245,21 @@ class WanTestbed:
         wan_cross_load: float = 0.4,
         router_arp_delay: float = ROUTER_ARP_DELAY,
         record_traces: bool = False,
+        max_trace_records: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = Simulator()
-        self.tracer = Tracer(record=record_traces)
+        self.tracer = Tracer(record=record_traces, max_records=max_trace_records)
         self.rng = RngRegistry(seed)
+        self.metrics = metrics or NULL_METRICS
+        if metrics is not None:
+            self.sim.set_metrics(metrics)
         self.segment = EthernetSegment(
             self.sim,
             name="lan",
             tracer=self.tracer,
             rng=self.rng.stream("ethernet"),
+            metrics=metrics,
         )
         self.router = Router(
             self.sim,
@@ -255,7 +273,8 @@ class WanTestbed:
         router_wan_iface = self.router.attach_point_to_point(ROUTER_WAN_IP)
 
         self.client = _make_host(
-            self.sim, "client", 1, CLIENT_PROFILE, self.tracer, self.rng
+            self.sim, "client", 1, CLIENT_PROFILE, self.tracer, self.rng,
+            metrics=metrics,
         )
         client_wan_iface = self.client.attach_point_to_point(WAN_CLIENT_IP)
         self.client.ip.set_default_gateway(ROUTER_WAN_IP)
@@ -280,12 +299,14 @@ class WanTestbed:
         self.pair: Optional[ReplicatedServerPair] = None
         if replicated:
             self.primary = _make_host(
-                self.sim, "primary", 2, SERVER_PROFILE, self.tracer, self.rng
+                self.sim, "primary", 2, SERVER_PROFILE, self.tracer, self.rng,
+                metrics=metrics,
             )
             self.primary.attach_ethernet(self.segment, PRIMARY_IP)
             self.primary.ip.set_default_gateway(ROUTER_LAN_IP)
             self.secondary = _make_host(
-                self.sim, "secondary", 3, SERVER_PROFILE, self.tracer, self.rng
+                self.sim, "secondary", 3, SERVER_PROFILE, self.tracer, self.rng,
+                metrics=metrics,
             )
             self.secondary.attach_ethernet(self.segment, SECONDARY_IP)
             self.secondary.ip.set_default_gateway(ROUTER_LAN_IP)
@@ -300,7 +321,8 @@ class WanTestbed:
             lan_hosts = [self.router, self.primary, self.secondary]
         else:
             self.server = _make_host(
-                self.sim, "server", 4, SERVER_PROFILE, self.tracer, self.rng
+                self.sim, "server", 4, SERVER_PROFILE, self.tracer, self.rng,
+                metrics=metrics,
             )
             self.server.attach_ethernet(self.segment, SINGLE_SERVER_IP)
             self.server.ip.set_default_gateway(ROUTER_LAN_IP)

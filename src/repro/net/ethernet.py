@@ -22,6 +22,7 @@ import random
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.net.packet import EthernetFrame
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -41,6 +42,7 @@ class EthernetSegment:
         collision_prob: float = 0.05,
         tracer: Optional[Tracer] = None,
         rng: Optional[random.Random] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.name = name
@@ -49,6 +51,10 @@ class EthernetSegment:
         self.collision_prob = collision_prob
         self.tracer = tracer or Tracer(record=False)
         self.rng = rng or random.Random(0)
+        metrics = metrics or NULL_METRICS
+        self._m_frames = metrics.counter("eth.frames", segment=name)
+        self._m_bytes = metrics.counter("eth.bytes", segment=name)
+        self._m_collisions = metrics.counter("eth.collisions", segment=name)
         self._nics: List["Nic"] = []
         self._pending = 0
         self.frames_delivered = 0
@@ -84,6 +90,7 @@ class EthernetSegment:
         delay_extra = 0.0
         if contended and self.rng.random() < self.collision_prob:
             self.collisions += 1
+            self._m_collisions.inc()
             backoff_slots = self.rng.uniform(1.0, 8.0)
             delay_extra = self.slot_time * (1.0 + backoff_slots)
             self.tracer.emit(
@@ -122,6 +129,11 @@ class EthernetSegment:
 
     def _fan_out(self, frame: EthernetFrame, exclude: Optional["Nic"]) -> None:
         self.frames_delivered += 1
+        self._m_frames.inc()
+        self._m_bytes.inc(frame.wire_size)
+        # The frame object rides along in the detail so the pcap exporter
+        # and flight recorder can reconstruct the wire (frames are frozen
+        # dataclasses — recording aliases, never copies).
         self.tracer.emit(
             self.sim.now,
             "eth.rx",
@@ -129,6 +141,7 @@ class EthernetSegment:
             src=str(frame.src),
             dst=str(frame.dst),
             size=frame.wire_size,
+            frame=frame,
         )
         # Bus semantics: every station other than the sender sees the frame.
         for nic in list(self._nics):

@@ -327,10 +327,16 @@ class FaultPlane:
         sim: Simulator,
         rng: Optional[RngRegistry] = None,
         tracer: Optional[Tracer] = None,
+        metrics=None,
     ):
         self.sim = sim
         self.rng = rng or RngRegistry(0)
         self.tracer = tracer or Tracer(record=False)
+        if metrics is None:
+            from repro.obs.metrics import NULL_METRICS
+
+            metrics = NULL_METRICS
+        self.metrics = metrics
         self.rules: List[FaultRule] = []
         self.fires: List[FaultFiring] = []
         self._held: Dict[str, List[_HeldPacket]] = {}
@@ -548,6 +554,7 @@ class FaultPlane:
     def _record(self, time: float, rule: str, point: str, kind: str, detail: str = "") -> None:
         firing = FaultFiring(time=time, rule=rule, point=point, kind=kind, detail=detail)
         self.fires.append(firing)
+        self.metrics.counter("fault.fires", kind=kind, point=point).inc()
         self.tracer.emit(time, f"fault.{kind}", point, rule=rule, packet=detail)
 
     def recipe(self) -> str:

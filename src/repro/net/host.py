@@ -25,6 +25,7 @@ from repro.net.ethernet import EthernetSegment
 from repro.net.ip import EthernetInterface, IpLayer, PointToPointInterface
 from repro.net.nic import Nic
 from repro.net.packet import IPPROTO_HEARTBEAT, IPPROTO_TCP, Ipv4Datagram
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, spawn
 from repro.sim.trace import Tracer
@@ -46,6 +47,8 @@ class Cpu:
         rng: Optional[random.Random] = None,
         spike_prob: float = 0.0,
         spike_cost: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+        owner: str = "cpu",
     ):
         self.sim = sim
         self.jitter = jitter
@@ -54,6 +57,9 @@ class Cpu:
         self.spike_cost = spike_cost
         self._busy_until = 0.0
         self.busy_time = 0.0
+        metrics = metrics or NULL_METRICS
+        self._m_busy = metrics.gauge("cpu.busy_seconds", host=owner)
+        self._m_backlog = metrics.gauge("cpu.backlog_peak", host=owner)
 
     def run(self, cost: float, fn: Callable[..., None], *args: Any) -> None:
         """Execute ``fn(*args)`` after queueing for ``cost`` CPU seconds."""
@@ -64,6 +70,8 @@ class Cpu:
         start = max(self.sim.now, self._busy_until)
         self._busy_until = start + cost
         self.busy_time += cost
+        self._m_busy.add(cost)
+        self._m_backlog.set(self._busy_until - self.sim.now)
         self.sim.call_at(self._busy_until, fn, *args)
 
     @property
@@ -92,10 +100,12 @@ class Host:
         app_write_byte_cost: float = 0.0,
         forwarding: bool = False,
         gratuitous_apply_delay: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.name = name
         self.tracer = tracer or Tracer(record=False)
+        self.metrics = metrics or NULL_METRICS
         # Default seed derives from the host name so two hosts never share
         # RNG state by accident (distinct ISS choices matter to the bridge).
         self.rng = rng or random.Random(zlib.crc32(name.encode()))
@@ -115,6 +125,8 @@ class Host:
             rng=random.Random(self.rng.getrandbits(64)),
             spike_prob=cpu_spike_prob,
             spike_cost=cpu_spike_cost,
+            metrics=self.metrics,
+            owner=name,
         )
         self.nic = Nic(mac, name=f"{name}.nic")
         self.nic.set_receiver(self._frame_received)
@@ -126,6 +138,7 @@ class Host:
             transmit=self.transport_out,
             tracer=self.tracer,
             rng=random.Random(self.rng.getrandbits(64)),
+            metrics=self.metrics,
         )
         self.ip.register_protocol(IPPROTO_TCP, self._tcp_datagram)
         # Back-reference for the socket facade's write-cost accounting.

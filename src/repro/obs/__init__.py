@@ -1,0 +1,68 @@
+"""Observability plane: metrics registry, flight recorder, pcap export.
+
+Three pillars, all passive with respect to the simulation:
+
+* :mod:`repro.obs.metrics` — labelled counters/gauges/histograms with
+  near-zero cost when disabled, threaded through the sim engine, the
+  Ethernet segment, hosts, the TCP layer and the failover bridges.
+* :mod:`repro.obs.flight` — a flight recorder that consumes ``Tracer``
+  streams and reconstructs per-connection timelines and the failover
+  phase breakdown (detection → takeover → recovery) the paper's
+  Figures 3–6 are built from.
+* :mod:`repro.obs.pcap` — serialises traced frames into standard pcap
+  files (one per logical interface: the client-visible wire and the
+  diverted P↔S path) openable in Wireshark/tshark.
+
+:mod:`repro.obs.bench` writes the machine-readable ``BENCH_*.json``
+artifacts every benchmark run emits.
+
+This package deliberately imports nothing from :mod:`repro.harness`:
+the harness (chaos cells, CLI, benchmarks) layers on top of it.
+"""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+# flight/pcap/bench import repro.net and repro.tcp, which themselves import
+# repro.obs.metrics for instrumentation — so this __init__ must not load them
+# eagerly.  PEP 562 lazy attributes keep ``from repro.obs import export_pcaps``
+# working without the cycle.
+_LAZY = {
+    "FlightRecorder": "repro.obs.flight",
+    "PhaseBreakdown": "repro.obs.flight",
+    "export_pcaps": "repro.obs.pcap",
+    "read_pcap": "repro.obs.pcap",
+    "write_pcap": "repro.obs.pcap",
+    "validate_bench_doc": "repro.obs.bench",
+    "write_bench_artifact": "repro.obs.bench",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "PhaseBreakdown",
+    "export_pcaps",
+    "read_pcap",
+    "validate_bench_doc",
+    "write_bench_artifact",
+    "write_pcap",
+]

@@ -1,0 +1,356 @@
+"""Flight recorder: reconstruct timelines from a ``Tracer`` stream.
+
+The paper's headline numbers are *temporal* — Figures 3–6 break client
+visible latency into detection, takeover and recovery — so the recorder
+turns a flat trace into:
+
+* **per-connection timelines**: creation, Δseq lock-in (merged SYN),
+  first merged byte, FIN, deletion, plus merge counters;
+* a **failover phase breakdown**: quiesce (last client-visible byte →
+  crash), detection (crash → detector fire), takeover (detector fire →
+  takeover complete / §6 direct-mode flush) and recovery (→ first
+  post-failover client-visible byte).  The four phases are anchored on
+  the same wire events the client-visible gap is measured from, so
+  their sum *is* the gap — the identity the acceptance test checks;
+* a human-readable **incident report** for failed chaos cells, placed
+  next to the reproduction recipe.
+
+Client-visible bytes are identified from ``eth.rx`` records that carry
+the delivered frame: TCP payload destined to a bridge peer with no
+ORIG_DST option (i.e. not on the diverted P↔S path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.packet import Ipv4Datagram
+from repro.sim.trace import TraceRecord, Tracer
+from repro.tcp.segment import TcpSegment
+
+# Phase annotations used in rendered reports.
+_PHASE_NOTES = {
+    "quiesce": "last client-visible byte before the crash",
+    "detection": "crash until the fault detector fires",
+    "takeover": "detector fire until takeover/direct-mode flush completes",
+    "recovery": "until the first post-failover client-visible byte",
+}
+
+
+@dataclass(frozen=True)
+class Phase:
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class PhaseBreakdown:
+    """Failover decomposition; ``sum(durations) == client_gap`` holds by
+    construction (the phases tile the gap interval exactly)."""
+
+    crashed: str
+    crash_time: float
+    detect_time: float
+    switch_time: float
+    switch_kind: str  # "takeover" (primary crash) or "flush" (§6 direct mode)
+    last_byte_before: Optional[float]
+    first_byte_after: Optional[float]
+    phases: List[Phase] = field(default_factory=list)
+
+    @property
+    def client_gap(self) -> Optional[float]:
+        if self.last_byte_before is None or self.first_byte_after is None:
+            return None
+        return self.first_byte_after - self.last_byte_before
+
+    @property
+    def total(self) -> float:
+        return sum(p.duration for p in self.phases)
+
+    def durations(self) -> Dict[str, float]:
+        return {p.name: p.duration for p in self.phases}
+
+    def render(self) -> str:
+        lines = [f"crash of {self.crashed} at t={self.crash_time:.6f}"]
+        for p in self.phases:
+            note = _PHASE_NOTES.get(p.name, "")
+            lines.append(
+                f"  {p.name:<10} {p.start:.6f} -> {p.end:.6f}  "
+                f"{p.duration * 1e3:8.3f} ms  ({note})"
+            )
+        gap = self.client_gap
+        if gap is not None:
+            lines.append(
+                f"  client-visible gap {gap * 1e3:.3f} ms"
+                f" (phases sum to {self.total * 1e3:.3f} ms)"
+            )
+        else:
+            lines.append("  client-visible gap unmeasured (no wire frames recorded)")
+        return "\n".join(lines)
+
+
+@dataclass
+class ConnectionTimeline:
+    """One bridged connection reconstructed from ``bridge.p.*`` records."""
+
+    peer: str
+    role: str = "?"
+    created: Optional[float] = None
+    syn_merged: Optional[float] = None
+    delta: Optional[int] = None
+    mss: Optional[int] = None
+    first_data: Optional[float] = None
+    fin: Optional[float] = None
+    deleted: Optional[float] = None
+    delete_reason: Optional[str] = None
+    data_segments: int = 0
+    data_bytes: int = 0
+    empty_acks: int = 0
+    mismatches: int = 0
+    events: List[Tuple[float, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"{self.peer} (role={self.role})"]
+        for when, label in self.events:
+            lines.append(f"  t={when:.6f}  {label}")
+        lines.append(
+            f"  counters: data_segments={self.data_segments}"
+            f" data_bytes={self.data_bytes} empty_acks={self.empty_acks}"
+            f" mismatches={self.mismatches}"
+        )
+        return "\n".join(lines)
+
+
+def _client_data_frame(record: TraceRecord) -> Optional[Tuple[str, int]]:
+    """``(dst_ip, payload_len)`` if the record is a delivered frame
+    carrying TCP payload outside the diverted path, else None."""
+    frame = record.detail.get("frame")
+    if frame is None:
+        return None
+    datagram = getattr(frame, "payload", None)
+    if not isinstance(datagram, Ipv4Datagram):
+        return None
+    segment = datagram.payload
+    if not isinstance(segment, TcpSegment) or not segment.payload:
+        return None
+    if segment.orig_dst_option is not None:
+        return None
+    return str(datagram.dst), len(segment.payload)
+
+
+class FlightRecorder:
+    """Consumes a tracer's recorded stream and answers timeline queries.
+
+    The tracer must have been recording (``Tracer(record=True)``); the
+    recorder is read-only and can be constructed repeatedly over a live
+    tracer as a run progresses.
+    """
+
+    def __init__(self, tracer: Tracer, client_ips: Optional[Set[str]] = None):
+        self.records: List[TraceRecord] = list(tracer.records)
+        self._client_ips = client_ips
+
+    # ------------------------------------------------------------------
+    # per-connection timelines
+    # ------------------------------------------------------------------
+
+    def connections(self) -> List[ConnectionTimeline]:
+        timelines: List[ConnectionTimeline] = []
+        open_by_peer: Dict[str, ConnectionTimeline] = {}
+
+        def active_for(record: TraceRecord) -> Optional[ConnectionTimeline]:
+            # bridge.p events below are not peer-keyed; attribute them to
+            # the most recently created still-open connection, which is
+            # exact for the single-connection runs the harness drives and
+            # a documented heuristic otherwise.
+            if not open_by_peer:
+                return None
+            return max(open_by_peer.values(), key=lambda t: t.created or 0.0)
+
+        for record in self.records:
+            cat = record.category
+            if not cat.startswith("bridge.p."):
+                continue
+            when = record.time
+            detail = record.detail
+            if cat == "bridge.p.conn_created":
+                peer = str(detail.get("peer"))
+                timeline = ConnectionTimeline(peer=peer, role=str(detail.get("role", "?")))
+                timeline.created = when
+                timeline.events.append((when, "created"))
+                timelines.append(timeline)
+                open_by_peer[peer] = timeline
+                continue
+            if cat == "bridge.p.conn_deleted":
+                peer = str(detail.get("peer"))
+                timeline = open_by_peer.pop(peer, None)
+                if timeline is not None:
+                    timeline.deleted = when
+                    timeline.delete_reason = str(detail.get("reason"))
+                    timeline.events.append((when, f"deleted ({timeline.delete_reason})"))
+                continue
+            timeline = active_for(record)
+            if timeline is None:
+                continue
+            if cat == "bridge.p.syn_merged":
+                timeline.syn_merged = when
+                timeline.delta = detail.get("delta")
+                timeline.mss = detail.get("mss")
+                timeline.events.append(
+                    (when, f"Δseq locked (delta={timeline.delta} mss={timeline.mss})")
+                )
+            elif cat == "bridge.p.emit_data":
+                length = int(detail.get("len", 0))
+                if length:
+                    timeline.data_segments += 1
+                    timeline.data_bytes += length
+                    if timeline.first_data is None:
+                        timeline.first_data = when
+                        timeline.events.append(
+                            (when, f"first merged byte (seq={detail.get('seq')})")
+                        )
+            elif cat == "bridge.p.empty_ack":
+                timeline.empty_acks += 1
+            elif cat == "bridge.p.emit_fin":
+                if timeline.fin is None:
+                    timeline.fin = when
+                    timeline.events.append((when, f"FIN emitted (seq={detail.get('seq')})"))
+            elif cat == "bridge.p.mismatch":
+                timeline.mismatches += 1
+                timeline.events.append((when, f"PAYLOAD MISMATCH: {detail.get('error')}"))
+        return timelines
+
+    # ------------------------------------------------------------------
+    # client-visible wire bytes
+    # ------------------------------------------------------------------
+
+    def client_ips(self) -> Set[str]:
+        """Bridge peers (the unmodified clients), inferred or supplied."""
+        if self._client_ips is not None:
+            return self._client_ips
+        peers = set()
+        for record in self.records:
+            if record.category == "bridge.p.conn_created":
+                peer = str(record.detail.get("peer", ""))
+                if ":" in peer:
+                    peers.add(peer.rsplit(":", 1)[0])
+        return peers
+
+    def client_byte_times(self) -> List[float]:
+        """Times at which TCP payload reached a client on the wire."""
+        clients = self.client_ips()
+        times = []
+        for record in self.records:
+            if record.category != "eth.rx":
+                continue
+            hit = _client_data_frame(record)
+            if hit is not None and (not clients or hit[0] in clients):
+                times.append(record.time)
+        return times
+
+    # ------------------------------------------------------------------
+    # failover phases
+    # ------------------------------------------------------------------
+
+    def _first(self, category: str, after: float = -1.0) -> Optional[TraceRecord]:
+        for record in self.records:
+            if record.category == category and record.time >= after:
+                return record
+        return None
+
+    def phase_breakdown(self) -> Optional[PhaseBreakdown]:
+        """Decompose the first crash in the trace, or None if no crash
+        (or the run never produced a completed switch-over)."""
+        crash = self._first("host.crash")
+        if crash is None:
+            return None
+        detect = self._first("detector.failure", after=crash.time)
+        if detect is None:
+            return None
+        switch = self._first("takeover.complete", after=detect.time)
+        switch_kind = "takeover"
+        if switch is None:
+            switch = self._first("bridge.p.flushed", after=detect.time)
+            switch_kind = "flush"
+        if switch is None:
+            return None
+
+        byte_times = self.client_byte_times()
+        last_before = None
+        first_after = None
+        for when in byte_times:
+            if when <= crash.time:
+                last_before = when
+            elif when >= switch.time and first_after is None:
+                first_after = when
+
+        breakdown = PhaseBreakdown(
+            crashed=crash.node,
+            crash_time=crash.time,
+            detect_time=detect.time,
+            switch_time=switch.time,
+            switch_kind=switch_kind,
+            last_byte_before=last_before,
+            first_byte_after=first_after,
+        )
+        quiesce_start = last_before if last_before is not None else crash.time
+        recovery_end = first_after if first_after is not None else switch.time
+        breakdown.phases = [
+            Phase("quiesce", quiesce_start, crash.time),
+            Phase("detection", crash.time, detect.time),
+            Phase("takeover", detect.time, switch.time),
+            Phase("recovery", switch.time, recovery_end),
+        ]
+        return breakdown
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+
+    def report(self, title: str = "failover run") -> str:
+        lines = [f"flight recorder report — {title}", ""]
+        timelines = self.connections()
+        if timelines:
+            lines.append("connections:")
+            for timeline in timelines:
+                for line in timeline.render().splitlines():
+                    lines.append(f"  {line}")
+            lines.append("")
+        breakdown = self.phase_breakdown()
+        if breakdown is not None:
+            lines.append("failover phases:")
+            for line in breakdown.render().splitlines():
+                lines.append(f"  {line}")
+        else:
+            lines.append("failover phases: none observed (no crash in trace)")
+        return "\n".join(lines)
+
+    def incident_report(
+        self,
+        title: str,
+        violations: Optional[List[str]] = None,
+        tail: int = 12,
+    ) -> str:
+        """Diagnostic block for a failed chaos cell."""
+        lines = [f"incident report — {title}"]
+        if violations:
+            lines.append("violations:")
+            lines.extend(f"  {v}" for v in violations)
+        breakdown = self.phase_breakdown()
+        if breakdown is not None:
+            lines.append("failover phases:")
+            lines.extend(f"  {l}" for l in breakdown.render().splitlines())
+        for timeline in self.connections():
+            lines.extend(f"  {l}" for l in timeline.render().splitlines())
+        if self.records:
+            lines.append(f"trace tail (last {min(tail, len(self.records))} records):")
+            lines.extend(f"  {r}" for r in self.records[-tail:])
+        else:
+            lines.append("trace tail: (tracer was not recording)")
+        return "\n".join(lines)

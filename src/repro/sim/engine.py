@@ -83,6 +83,23 @@ class Simulator:
         self._sequence = itertools.count()
         self._running = False
         self._events_processed = 0
+        # Optional observability hook (see set_metrics); None keeps the
+        # hot loop to a single identity check per event.
+        self._m_events = None
+        self._m_queue_peak = None
+
+    def set_metrics(self, metrics) -> None:
+        """Attach a :class:`repro.obs.metrics.MetricsRegistry`.
+
+        Publishes ``sim.events`` (callbacks executed) and
+        ``sim.queue_depth_peak`` (event-loop occupancy high watermark).
+        """
+        self._m_events = metrics.counter("sim.events")
+        self._m_queue_peak = metrics.gauge("sim.queue_depth_peak")
+
+    def _note_event(self) -> None:
+        self._m_events.inc()
+        self._m_queue_peak.set(len(self._queue))
 
     @property
     def now(self) -> float:
@@ -137,6 +154,8 @@ class Simulator:
                 self._now = when
                 timer._fire()
                 self._events_processed += 1
+                if self._m_events is not None:
+                    self._note_event()
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break
@@ -165,6 +184,8 @@ class Simulator:
             self._now = when
             timer._fire()
             self._events_processed += 1
+            if self._m_events is not None:
+                self._note_event()
             if predicate():
                 return True
         if self._now < deadline:

@@ -9,8 +9,21 @@ recorded or subscribed.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+def _render_value(value: Any) -> str:
+    """Render a detail value compactly: wire objects (frames, datagrams)
+    collapse to ``<Type NNNb>`` so a dump never expands payload bytes."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return str(value)
+    wire_size = getattr(value, "wire_size", None)
+    if wire_size is not None:
+        return f"<{type(value).__name__} {wire_size}B>"
+    text = str(value)
+    return text if len(text) <= 64 else text[:61] + "..."
 
 
 @dataclass(frozen=True)
@@ -28,16 +41,25 @@ class TraceRecord:
     detail: Dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:
-        parts = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        parts = " ".join(f"{k}={_render_value(v)}" for k, v in self.detail.items())
         return f"[{self.time:.6f}] {self.node} {self.category} {parts}"
 
 
 class Tracer:
-    """Collects trace records and fans them out to subscribers."""
+    """Collects trace records and fans them out to subscribers.
 
-    def __init__(self, record: bool = True):
+    ``max_records`` bounds memory for long chaos/benchmark runs: when
+    set, ``records`` is a ring buffer keeping only the most recent
+    records.  Category counts (:meth:`count`) stay exact either way —
+    they are maintained independently of the ring.
+    """
+
+    def __init__(self, record: bool = True, max_records: Optional[int] = None):
         self._record = record
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        # A plain list when unbounded (the common case tests index and
+        # compare against), a ring deque when bounded.
+        self.records = deque(maxlen=max_records) if max_records is not None else []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         self._category_counts: Dict[str, int] = {}
 

@@ -525,6 +525,7 @@ class TcpConnection:
             self._destroy(error=ConnectionError(f"{self}: too many retransmissions"))
             return
         self.retransmissions += 1
+        self.layer._m_rtx.inc()
         self.rto.on_timeout()
         self._rtt_probe = None  # Karn's rule
         self.tracer.emit(
@@ -744,6 +745,7 @@ class TcpConnection:
         if not payload and not self._fin_in_flight:
             return
         self.retransmissions += 1
+        self.layer._m_fast_rtx.inc()
         self._rtt_probe = None
         self.tracer.emit(
             self.sim.now, "tcp.fast_rtx", self.layer.node_name, conn=str(self)

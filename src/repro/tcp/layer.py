@@ -14,6 +14,7 @@ import random
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.addresses import Ipv4Address
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.sim.engine import Simulator
 from repro.sim.process import Queue
 from repro.sim.trace import Tracer
@@ -55,6 +56,7 @@ class TcpLayer:
         tracer: Optional[Tracer] = None,
         rng: Optional[random.Random] = None,
         conn_defaults: Optional[dict] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.node_name = node_name
@@ -63,6 +65,15 @@ class TcpLayer:
         self.tracer = tracer or Tracer(record=False)
         self.rng = rng or random.Random(0)
         self.conn_defaults = conn_defaults or {}
+        self.metrics = metrics or NULL_METRICS
+        # Pre-bound instruments: per-segment paths stay one branch when
+        # the registry is disabled.  Connections update the rtx counters
+        # through these references.
+        self._m_tx = self.metrics.counter("tcp.segments_sent", host=node_name)
+        self._m_tx_bytes = self.metrics.counter("tcp.bytes_sent", host=node_name)
+        self._m_rtx = self.metrics.counter("tcp.retransmits", host=node_name)
+        self._m_fast_rtx = self.metrics.counter("tcp.fast_retransmits", host=node_name)
+        self._m_rsts = self.metrics.counter("tcp.rsts_sent", host=node_name)
         self.connections: Dict[ConnKey, TcpConnection] = {}
         self.listeners: Dict[int, Listener] = {}
         self._next_ephemeral = EPHEMERAL_PORT_START
@@ -210,6 +221,7 @@ class TcpLayer:
     ) -> None:
         """RFC 793 reset generation for segments with no matching endpoint."""
         self.rsts_sent += 1
+        self._m_rsts.inc()
         if segment.has_ack:
             rst = TcpSegment(
                 src_port=segment.dst_port,
@@ -243,6 +255,8 @@ class TcpLayer:
     ) -> None:
         """Seal (checksum) and hand the segment to the host datapath."""
         sealed = segment.sealed(src_ip, dst_ip)
+        self._m_tx.inc()
+        self._m_tx_bytes.inc(len(sealed.payload))
         self.tracer.emit(
             self.sim.now, "tcp.tx", self.node_name,
             seg=repr(sealed), dst=str(dst_ip),

@@ -1,0 +1,114 @@
+"""BENCH_*.json artifact schema: write → load round-trip plus validation.
+
+Every benchmark run emits one of these files; CI uploads them.  The
+schema check here is what keeps a malformed artifact from silently
+shipping (bools posing as numbers, empty metrics, stray keys).
+"""
+
+import json
+
+import pytest
+
+from repro.harness.metrics import summarize
+from repro.obs.bench import (
+    SCHEMA_ID,
+    bench_artifact_path,
+    load_bench_artifact,
+    validate_bench_doc,
+    write_bench_artifact,
+)
+
+
+def _valid_doc():
+    return {
+        "schema": SCHEMA_ID,
+        "name": "demo",
+        "params": {"bytes": 1000},
+        "results": [{"label": "plain", "metrics": {"rate_kb_s": 123.4}}],
+    }
+
+
+def test_round_trip(tmp_path):
+    stats = {"plain": summarize([1.0, 2.0, 3.0, 4.0]).as_dict()}
+    phases = {"detection": 0.05, "takeover": 0.001}
+    path = write_bench_artifact(
+        "round_trip",
+        {"bytes": 1000, "full": 0},
+        [{"label": "plain", "metrics": {"rate_kb_s": 123.4, "stall_ms": 51.0}}],
+        stats=stats,
+        phases=phases,
+        directory=str(tmp_path),
+    )
+    assert path == bench_artifact_path("round_trip", str(tmp_path))
+    doc = load_bench_artifact(path)
+    assert doc["schema"] == SCHEMA_ID
+    assert doc["name"] == "round_trip"
+    assert doc["results"][0]["metrics"]["stall_ms"] == 51.0
+    assert doc["stats"]["plain"]["p99"] == stats["plain"]["p99"]
+    assert doc["phases"] == phases
+
+
+def test_env_var_redirects_output(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    path = write_bench_artifact(
+        "env_dir", {}, [{"label": "x", "metrics": {"v": 1}}]
+    )
+    assert path.startswith(str(tmp_path))
+
+
+def test_stats_carry_p99_and_stddev():
+    stats = summarize([float(v) for v in range(1, 101)])
+    doc = stats.as_dict()
+    assert set(doc) >= {"count", "median", "mean", "p90", "p99", "stddev"}
+    assert doc["p90"] <= doc["p99"] <= doc["max"]
+    assert doc["stddev"] > 0
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda d: d.update(schema="bogus/v0"), "schema"),
+        (lambda d: d.update(name=""), "name"),
+        (lambda d: d.update(params=[]), "params"),
+        (lambda d: d.update(results={}), "results must be a list"),
+        (lambda d: d["results"][0].update(label=""), "label"),
+        (lambda d: d["results"][0].update(metrics={}), "metrics"),
+        (lambda d: d["results"][0]["metrics"].update(ok=True), "not a number"),
+        (lambda d: d.update(stats={"x": {"mean": "fast"}}), "stats"),
+        (lambda d: d.update(phases={"detection": None}), "phases"),
+        (lambda d: d.update(extra_key=1), "unknown top-level"),
+    ],
+    ids=[
+        "bad-schema", "empty-name", "params-not-dict", "results-not-list",
+        "empty-label", "empty-metrics", "bool-metric", "string-stat",
+        "null-phase", "unknown-key",
+    ],
+)
+def test_invalid_docs_are_rejected(mutate, fragment):
+    doc = _valid_doc()
+    mutate(doc)
+    errors = validate_bench_doc(doc)
+    assert errors, "expected schema violation"
+    assert any(fragment in e for e in errors)
+
+
+def test_write_refuses_invalid(tmp_path):
+    with pytest.raises(ValueError):
+        write_bench_artifact(
+            "bad", {}, [{"label": "x", "metrics": {"ok": True}}],
+            directory=str(tmp_path),
+        )
+
+
+def test_load_refuses_tampered_file(tmp_path):
+    path = write_bench_artifact(
+        "tamper", {}, [{"label": "x", "metrics": {"v": 1}}],
+        directory=str(tmp_path),
+    )
+    with open(path) as fh:
+        doc = json.load(fh)
+    doc["schema"] = "other/v9"
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    with pytest.raises(ValueError):
+        load_bench_artifact(path)

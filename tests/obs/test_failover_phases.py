@@ -1,0 +1,61 @@
+"""Acceptance: the phase breakdown accounts for the measured outage.
+
+The flight recorder decomposes the client-visible gap into
+quiesce / detection / takeover / recovery.  The phases must tile the
+gap exactly (they are defined by consecutive trace timestamps) and the
+wire-level gap must agree with the application-clock stall measured by
+``measure_failover`` to within 1 ms.
+"""
+
+import pytest
+
+from repro.harness.experiments import measure_failover
+
+PHASES = ("quiesce", "detection", "takeover", "recovery")
+
+
+@pytest.fixture(scope="module")
+def run():
+    return measure_failover(
+        total_bytes=400_000,
+        seed=0,
+        detector_timeout=0.05,
+        min_rto=0.05,
+        record_traces=True,
+    )
+
+
+def test_run_is_intact(run):
+    assert run["intact"]
+
+
+def test_all_phases_present(run):
+    assert run["breakdown"] is not None
+    assert set(run["phases"]) == set(PHASES)
+    assert all(d >= 0.0 for d in run["phases"].values())
+
+
+def test_phases_tile_the_client_gap(run):
+    breakdown = run["breakdown"]
+    total = sum(run["phases"].values())
+    assert total == pytest.approx(breakdown.client_gap, abs=1e-9)
+    assert run["phase_total_s"] == pytest.approx(total)
+
+
+def test_phase_total_matches_measured_stall_within_1ms(run):
+    # The app-clock stall differs from the wire gap only by per-arrival
+    # processing deltas — the ISSUE acceptance bound is 1 ms.
+    assert abs(run["phase_total_s"] - run["stall_s"]) < 1e-3
+
+
+def test_detection_dominated_by_detector_timeout(run):
+    # With a 50 ms detector and instantaneous takeover, detection is the
+    # bulk of the outage; takeover itself is sub-millisecond.
+    assert run["phases"]["detection"] == pytest.approx(0.05, abs=0.02)
+    assert run["phases"]["takeover"] < 0.005
+
+
+def test_render_names_every_phase(run):
+    text = run["breakdown"].render()
+    for phase in PHASES:
+        assert phase in text

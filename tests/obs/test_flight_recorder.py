@@ -1,0 +1,75 @@
+"""Flight recorder: timeline reconstruction under chaos cells.
+
+Each cell drives a full transfer through the fault plane; the recorder
+must rebuild per-connection timelines from the trace stream and — when a
+replica actually crashes — tile the outage into the four §5 phases.
+"""
+
+import pytest
+
+from repro.harness.chaos import CellSpec, ChaosResult, run_cell
+from repro.obs.flight import FlightRecorder
+
+CELLS = [
+    CellSpec(point="midpoint", fault="crash-primary", seed=3, size=60_000),
+    CellSpec(point="early", fault="crash-secondary", seed=4, size=60_000),
+    CellSpec(point="data-3", fault="drop", seed=5, size=60_000),
+]
+
+PHASES = ("quiesce", "detection", "takeover", "recovery")
+
+
+@pytest.fixture(scope="module", params=CELLS, ids=str)
+def cell_result(request):
+    return request.param, run_cell(request.param)
+
+
+def test_cell_passes_invariants(cell_result):
+    spec, result = cell_result
+    assert result.ok, result.describe()
+
+
+def test_crash_cells_expose_phase_breakdown(cell_result):
+    spec, result = cell_result
+    if spec.fault.startswith("crash"):
+        assert set(result.phase_durations) == set(PHASES)
+        assert all(d >= 0.0 for d in result.phase_durations.values())
+    else:
+        # No replica died: there is no outage to decompose.
+        assert result.phase_durations == {}
+
+
+def test_timelines_reconstruct_connection(cell_result):
+    spec, result = cell_result
+    assert result.tracer is not None
+    recorder = FlightRecorder(result.tracer)
+    timelines = recorder.connections()
+    assert timelines, "no connection timelines reconstructed"
+    # The transfer's service connection must appear with events on it.
+    assert any(t.events for t in timelines)
+    for timeline in timelines:
+        times = [when for when, _label in timeline.events]
+        assert times == sorted(times)
+
+
+def test_report_mentions_every_phase_for_primary_crash():
+    spec = CellSpec(point="midpoint", fault="crash-primary", seed=3, size=60_000)
+    result = run_cell(spec)
+    assert result.ok, result.describe()
+    recorder = FlightRecorder(result.tracer)
+    text = recorder.report(title=str(spec))
+    for phase in PHASES:
+        assert phase in text
+
+
+def test_failed_cell_describe_embeds_incident():
+    # describe() must surface the incident report next to the recipe so a
+    # failing cell is diagnosable from its output alone.
+    spec = CellSpec(point="midpoint", fault="crash-primary", seed=3)
+    result = ChaosResult(spec=spec, recipe="repro chaos --cell ...")
+    result.violations = ["data loss"]
+    result.incident = "incident line 1\nincident line 2"
+    text = result.describe()
+    assert "incident report:" in text
+    assert "incident line 1" in text
+    assert "incident line 2" in text

@@ -1,0 +1,96 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    percentile,
+    stddev,
+)
+
+
+def test_counter_labels_are_distinct_series():
+    reg = MetricsRegistry()
+    reg.counter("tcp.segments", host="a").inc()
+    reg.counter("tcp.segments", host="a").inc(2)
+    reg.counter("tcp.segments", host="b").inc()
+    snap = reg.snapshot()
+    assert snap["tcp.segments{host=a}"] == 3
+    assert snap["tcp.segments{host=b}"] == 1
+
+
+def test_counter_instances_are_memoized():
+    reg = MetricsRegistry()
+    a = reg.counter("x", host="h")
+    b = reg.counter("x", host="h")
+    assert a is b
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    reg.counter("q", host="p", queue="S").inc()
+    assert reg.counter("q", queue="S", host="p").value == 1
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(TypeError):
+        reg.gauge("m")
+
+
+def test_gauge_tracks_high_watermark():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(3)
+    g.set(10)
+    g.set(2)
+    assert g.value == 2
+    assert g.high_watermark == 10
+    g.add(5)
+    assert g.value == 7
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+        h.observe(v)
+    summary = h.summary()
+    assert summary["count"] == 10
+    assert summary["mean"] == pytest.approx(5.5)
+    assert summary["max"] == 10
+    assert summary["p50"] == pytest.approx(5.5)
+
+
+def test_disabled_registry_records_nothing():
+    assert NULL_METRICS.enabled is False
+    c = NULL_METRICS.counter("never")
+    c.inc(100)
+    assert c.value == 0
+    g = NULL_METRICS.gauge("never_g")
+    g.set(5)
+    assert g.value == 0
+    h = NULL_METRICS.histogram("never_h")
+    h.observe(1.0)
+    assert h.count == 0
+
+
+def test_render_skips_zero_series_by_default():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.counter("b")  # never incremented
+    text = reg.render()
+    assert "a: 1" in text
+    assert "b" not in text
+    assert "b" in reg.render(include_zero=True)
+
+
+def test_percentile_and_stddev_helpers():
+    ordered = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(ordered, 0.0) == 1.0
+    assert percentile(ordered, 1.0) == 4.0
+    assert percentile(ordered, 0.5) == pytest.approx(2.5)
+    assert stddev([5.0]) == 0.0
+    assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.0)

@@ -59,3 +59,45 @@ def test_dump_filters_categories():
     tracer.emit(2.0, "eth.rx", "a")
     dump = tracer.dump(categories=["tcp."])
     assert "tcp.tx" in dump and "eth.rx" not in dump
+
+
+def test_ring_buffer_keeps_most_recent_records():
+    tracer = Tracer(max_records=3)
+    for i in range(10):
+        tracer.emit(float(i), "cat", "n", i=i)
+    assert len(tracer.records) == 3
+    assert [r.detail["i"] for r in tracer.records] == [7, 8, 9]
+
+
+def test_ring_buffer_counts_stay_exact():
+    tracer = Tracer(max_records=2)
+    for i in range(5):
+        tracer.emit(float(i), "a", "n")
+    tracer.emit(5.0, "b", "n")
+    # The ring evicted every "a" record but the counters never forget.
+    assert tracer.count("a") == 5
+    assert tracer.count("b") == 1
+    assert [r.category for r in tracer.records] == ["a", "b"]
+
+
+def test_ring_buffer_select_sees_only_retained_records():
+    tracer = Tracer(max_records=2)
+    for i in range(4):
+        tracer.emit(float(i), "cat", "n", i=i)
+    picked = tracer.select(category="cat")
+    assert [r.detail["i"] for r in picked] == [2, 3]
+
+
+def test_ring_buffer_clear_resets_counts():
+    tracer = Tracer(max_records=2)
+    tracer.emit(1.0, "c", "n")
+    tracer.clear()
+    assert len(tracer.records) == 0
+    assert tracer.count("c") == 0
+
+
+def test_unbounded_tracer_records_is_a_plain_list():
+    # Existing tests compare ``tracer.records == []``; the ring only
+    # replaces the list when a bound is requested.
+    assert Tracer().records == []
+    assert Tracer(max_records=None).records == []

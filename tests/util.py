@@ -28,17 +28,28 @@ def mac(index: int) -> MacAddress:
 class TwoHostLan:
     """Client and a single server on a fast, collision-free segment."""
 
-    def __init__(self, seed: int = 0, record_traces: bool = True, **host_kwargs):
+    def __init__(
+        self,
+        seed: int = 0,
+        record_traces: bool = True,
+        max_trace_records: Optional[int] = None,
+        metrics=None,
+        **host_kwargs,
+    ):
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
-        self.tracer = Tracer(record=record_traces)
+        self.tracer = Tracer(record=record_traces, max_records=max_trace_records)
+        if metrics is not None:
+            self.sim.set_metrics(metrics)
         self.segment = EthernetSegment(
             self.sim, collision_prob=0.0, tracer=self.tracer,
-            rng=self.rng.stream("ethernet"),
+            rng=self.rng.stream("ethernet"), metrics=metrics,
         )
         self.client = Host(self.sim, "client", mac(1), tracer=self.tracer,
+                           metrics=metrics,
                            rng=self.rng.stream("host.client"), **host_kwargs)
         self.server = Host(self.sim, "server", mac(2), tracer=self.tracer,
+                           metrics=metrics,
                            rng=self.rng.stream("host.server"), **host_kwargs)
         self.client.attach_ethernet(self.segment, CLIENT_IP)
         self.server.attach_ethernet(self.segment, SERVER_IP)
@@ -60,6 +71,8 @@ class ReplicatedLan:
         seed: int = 0,
         failover_ports: Tuple[int, ...] = (80,),
         record_traces: bool = True,
+        max_trace_records: Optional[int] = None,
+        metrics=None,
         detector_interval: float = 0.005,
         detector_timeout: float = 0.020,
         client_arp_delay: float = 300e-6,
@@ -67,17 +80,21 @@ class ReplicatedLan:
     ):
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
-        self.tracer = Tracer(record=record_traces)
+        self.tracer = Tracer(record=record_traces, max_records=max_trace_records)
+        if metrics is not None:
+            self.sim.set_metrics(metrics)
         self.segment = EthernetSegment(self.sim, collision_prob=0.0, tracer=self.tracer,
-                                       rng=self.rng.stream("ethernet"))
+                                       rng=self.rng.stream("ethernet"), metrics=metrics)
         self.client = Host(
             self.sim, "client", mac(1), tracer=self.tracer,
-            gratuitous_apply_delay=client_arp_delay,
+            gratuitous_apply_delay=client_arp_delay, metrics=metrics,
             rng=self.rng.stream("host.client"),
         )
         self.primary = Host(self.sim, "primary", mac(2), tracer=self.tracer,
+                            metrics=metrics,
                             rng=self.rng.stream("host.primary"))
         self.secondary = Host(self.sim, "secondary", mac(3), tracer=self.tracer,
+                              metrics=metrics,
                               rng=self.rng.stream("host.secondary"))
         self.client.attach_ethernet(self.segment, CLIENT_IP)
         self.primary.attach_ethernet(self.segment, PRIMARY_IP)
