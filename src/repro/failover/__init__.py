@@ -14,26 +14,44 @@ The *bridge* is a sublayer between TCP and IP on both replicated servers:
   :mod:`~repro.failover.takeover` — detect fail-stop crashes and run the
   §5/§6 recovery procedures;
 * :class:`~repro.failover.replicated.ReplicatedServerPair` — one-call
-  assembly of the whole arrangement for applications and benchmarks.
+  assembly of the whole arrangement for applications and benchmarks;
+* :mod:`~repro.failover.reintegration` — re-admits a restarted replica as
+  live secondary after a failover, restoring redundancy (beyond the
+  paper, which leaves both §5 and §6 outcomes degraded forever).
 """
 
 from repro.failover.delta import SeqOffset
 from repro.failover.detector import FaultDetector
 from repro.failover.merge import AckWindowMerge
 from repro.failover.options import FailoverConfig
-from repro.failover.primary import PrimaryBridge
+from repro.failover.primary import ConnectionResume, PrimaryBridge
 from repro.failover.queues import OutputQueue, PayloadMismatch
+from repro.failover.reintegration import (
+    AppResume,
+    ReintegrationResult,
+    perform_reintegration,
+)
 from repro.failover.replicated import ReplicatedServerPair
 from repro.failover.secondary import SecondaryBridge
+from repro.failover.takeover import (
+    perform_ip_takeover,
+    rebind_failover_connections,
+)
 
 __all__ = [
     "AckWindowMerge",
+    "AppResume",
+    "ConnectionResume",
     "FailoverConfig",
     "FaultDetector",
     "OutputQueue",
     "PayloadMismatch",
     "PrimaryBridge",
+    "ReintegrationResult",
     "ReplicatedServerPair",
     "SecondaryBridge",
     "SeqOffset",
+    "perform_ip_takeover",
+    "perform_reintegration",
+    "rebind_failover_connections",
 ]

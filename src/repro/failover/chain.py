@@ -37,10 +37,14 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Iterable, List, Optional
 
+import dataclasses
+
+from repro.failover.delta import SeqOffset
 from repro.failover.detector import FaultDetector
 from repro.failover.options import FailoverConfig
 from repro.failover.primary import PrimaryBridge
-from repro.failover.takeover import _rebind_failover_connections
+from repro.failover.reintegration import export_resumable_connections
+from repro.failover.takeover import rebind_failover_connections
 from repro.net.addresses import Ipv4Address
 from repro.net.host import Host
 from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
@@ -207,6 +211,12 @@ class ReplicatedChain:
         self.bridges: dict = {}
         self.detectors: List[FaultDetector] = []
         self._apps: List[object] = []
+        self._app_factory: Optional[Callable[[Host], Generator]] = None
+        self._detectors_started = False
+        self.detector_interval = detector_interval
+        self.detector_timeout = detector_timeout
+        self.bridge_cost = bridge_cost
+        self.emit_cost = emit_cost
 
         for index, host in enumerate(self.hosts):
             upstream = self.hosts[index - 1] if index > 0 else None
@@ -255,10 +265,12 @@ class ReplicatedChain:
     # ------------------------------------------------------------------
 
     def start_detectors(self) -> None:
+        self._detectors_started = True
         for detector in self.detectors:
             detector.start()
 
     def run_app(self, factory: Callable[[Host], Generator], name: str = "app") -> None:
+        self._app_factory = factory
         for host in self.hosts:
             self._apps.append(host.spawn(factory(host), f"{name}@{host.name}"))
 
@@ -303,13 +315,155 @@ class ReplicatedChain:
                 new_downstream.ip.primary_address() if new_downstream else None
             )
 
+    # ------------------------------------------------------------------
+    # splice-in: restore the chain to K replicas after losses
+    # ------------------------------------------------------------------
+
+    def splice_in(
+        self,
+        host: Host,
+        install_delay: float = 200e-6,
+        resume_app=None,
+        warm_sync=None,
+    ) -> ChainBridge:
+        """Append ``host`` as the new tail, resuming established connections.
+
+        The old tail (which has run tail-style direct mode, i.e. its own
+        numbering *is* the client's) flips to a merging intermediate; the
+        joiner becomes the new tail.  Because the tail's numbering is
+        client-space, every resumed Δseq is the identity and nothing
+        upstream needs adjusting — the same property that makes
+        intermediate splice-*out* free makes splice-*in* at the tail free.
+
+        ``resume_app`` (see :mod:`~repro.failover.reintegration`) warm-
+        starts the replicated application on the joiner per connection.
+        Returns the new tail's bridge.
+        """
+        chain = self._living_chain()
+        if not chain:
+            raise RuntimeError("no living replica to splice onto")
+        if not host.alive:
+            raise RuntimeError(f"joiner {host.name} is not alive")
+        old_tail = chain[-1]
+        old_bridge: ChainBridge = self.bridges[old_tail.name]
+        new_ip = host.ip.primary_address()
+        tracer = old_tail.tracer
+        sim = self.sim
+        tracer.emit(sim.now, "reintegration.start", old_tail.name,
+                    joiner=host.name, case="splice")
+
+        # Quiesce + snapshot atomically: from this event on, the old
+        # tail's fresh output parks in its P queue until matched.
+        snapshots, resumes, bypass = export_resumable_connections(
+            old_tail, old_bridge.config, old_bridge
+        )
+        old_bridge.bypass_keys.update(bypass)
+        old_bridge.is_tail = False
+        old_bridge.resume_merge(new_ip, resumes)
+        tracer.emit(sim.now, "reintegration.snapshot", old_tail.name,
+                    conns=len(snapshots), bypassed=len(bypass))
+
+        new_bridge = ChainBridge(
+            host,
+            self.config.copy(),
+            downstream_ip=None,
+            upstream_ip=old_tail.ip.primary_address(),
+            service_ip=self.service_ip,
+            bridge_cost=self.bridge_cost,
+            emit_cost=self.emit_cost,
+        )
+
+        def do_install() -> None:
+            if not host.alive or not old_tail.alive:
+                tracer.emit(sim.now, "reintegration.aborted", old_tail.name,
+                            joiner=host.name)
+                return
+            conns = [
+                host.tcp.install_connection(snap, local_ip=new_ip)
+                for snap in snapshots
+            ]
+            new_bridge.install()
+            # The new tail's own bridge state: identity Δseq (its TCBs
+            # were installed in client numbering, whatever Δseq the old
+            # tail carried), direct mode from the start.
+            tail_resumes = [
+                dataclasses.replace(
+                    resume, local_ip=new_ip, delta=SeqOffset.identity()
+                )
+                for resume in resumes
+            ]
+            new_bridge.resume_merge(new_ip, tail_resumes, direct=True)
+            host.eth_interface.arp.announce(new_ip)
+            tracer.emit(sim.now, "reintegration.installed", host.name,
+                        conns=len(conns), survivor=old_tail.name)
+            if warm_sync is not None:
+                warm_sync(old_tail, host)
+            if resume_app is not None:
+                from repro.failover.reintegration import AppResume
+                from repro.tcp.socket_api import SimSocket
+
+                for conn, snap in zip(conns, snapshots):
+                    host.spawn(
+                        resume_app(
+                            host,
+                            SimSocket(conn),
+                            AppResume(
+                                written=snap.stream_written,
+                                read=snap.stream_read,
+                                snapshot=snap,
+                            ),
+                        ),
+                        f"resume@{host.name}:{conn.local_port}",
+                    )
+            # Extend the full detector mesh to cover the joiner.
+            fresh: List[FaultDetector] = []
+            for peer in self._living_chain():
+                if peer is host:
+                    continue
+                fresh.append(FaultDetector(
+                    host,
+                    peer.ip.primary_address(),
+                    on_failure=self._make_failure_handler(host, peer),
+                    interval=self.detector_interval,
+                    timeout=self.detector_timeout,
+                ))
+                fresh.append(FaultDetector(
+                    peer,
+                    new_ip,
+                    on_failure=self._make_failure_handler(peer, host),
+                    interval=self.detector_interval,
+                    timeout=self.detector_timeout,
+                ))
+            self.detectors.extend(fresh)
+            if self._detectors_started:
+                for detector in fresh:
+                    detector.start()
+            # Restart the replicated app so new connections replicate on
+            # the joiner too (its processes died with the crash).
+            if self._app_factory is not None:
+                self._apps.append(
+                    host.spawn(self._app_factory(host), f"app@{host.name}")
+                )
+            tracer.emit(sim.now, "reintegration.armed", old_tail.name,
+                        joiner=host.name)
+
+        # A restarted member rejoins at the *tail* position regardless of
+        # where it originally sat in the chain.
+        if host in self.hosts:
+            self.hosts.remove(host)
+        self.hosts.append(host)
+        self.alive[host.name] = True
+        self.bridges[host.name] = new_bridge
+        sim.schedule(install_delay, do_install)
+        return new_bridge
+
     def _promote_to_head(self, host: Host, bridge: ChainBridge) -> None:
         """§5 takeover, chain edition."""
         old_ip = host.ip.primary_address()
         bridge.become_head()
         interface = host.eth_interface
         interface.add_address(self.service_ip)
-        _rebind_failover_connections(host, bridge.config, old_ip, self.service_ip)
+        rebind_failover_connections(host, bridge.config, old_ip, self.service_ip)
         # Bridge-connection state is keyed by peer; the local identity the
         # emissions use must follow the takeover.
         for bc in bridge.connections.values():

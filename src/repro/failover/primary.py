@@ -28,7 +28,7 @@ the key is stable across the three traffic sources.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.failover.bridge import BridgeBase
 from repro.failover.delta import SeqOffset
@@ -93,6 +93,12 @@ class BridgeConnection:
     # merged dup-ACK must go out even though the merged ACK did not move.
     dup_p: int = 0
     dup_s: int = 0
+    # Resume-merge watch: which replicas' output has reached the bridge
+    # since resume_merge() re-seeded this connection.  The merge counts
+    # as restored once both flow again — matched payload is not required
+    # (a pure-upload server emits nothing but ACKs).
+    resume_seen_p: bool = False
+    resume_seen_s: bool = False
 
     @property
     def key(self) -> BridgeKey:
@@ -106,6 +112,36 @@ class BridgeConnection:
             return False
         merged = self.merge.merged_ack()
         return merged is not None and seq_gt(merged, seq_sub(self.peer_fin_end, 1))
+
+
+@dataclass
+class ConnectionResume:
+    """Everything :meth:`PrimaryBridge.resume_merge` needs to re-seed one
+    connection's bridge state when a replica reintegrates.
+
+    ``frontier`` is the next peer-visible sequence number that has *not*
+    yet been sent to the peer (the survivor's ``snd_max`` mapped into the
+    peer's numbering): both output queues restart there, and it becomes
+    the emission high-water mark so in-flight retransmissions keep using
+    the §4 fast path.  ``ack``/``window`` seed the ACK/window merge with
+    the state both replicas share at the snapshot instant.
+    """
+
+    peer_ip: Ipv4Address
+    peer_port: int
+    local_ip: Ipv4Address
+    local_port: int
+    delta: SeqOffset
+    frontier: int
+    ack: Optional[int]
+    window: int
+    mss: int = 1460
+    role: str = "server"
+    peer_fin_end: Optional[int] = None
+
+    @property
+    def key(self) -> BridgeKey:
+        return (self.peer_ip, self.peer_port, self.local_port)
 
 
 class PrimaryBridge(BridgeBase):
@@ -130,6 +166,14 @@ class PrimaryBridge(BridgeBase):
         self.window_merging = window_merging
         self.secondary_down = False
         self.connections: Dict[BridgeKey, BridgeConnection] = {}
+        # Reintegration: connections that could not be resumed (already
+        # closing when the replica rejoined) keep talking to the peer
+        # without bridge interference, and keys whose first post-resume
+        # merged emission is still outstanding are watched so the
+        # coordinator can mark the merge phase complete.
+        self.bypass_keys: Set[BridgeKey] = set()
+        self._resume_watch: Set[BridgeKey] = set()
+        self.on_resume_merged = None  # callable(BridgeKey) or None
         # Statistics (asserted on by tests, reported by benchmarks).
         self.segments_merged = 0
         self.empty_acks_sent = 0
@@ -171,6 +215,8 @@ class PrimaryBridge(BridgeBase):
         if not self._is_failover_outgoing(segment, src_ip, dst_ip):
             return False
         key = (dst_ip, segment.dst_port, segment.src_port)
+        if key in self.bypass_keys:
+            return False  # un-resumed connection: unbridged, like any other
         bc = self.connections.get(key)
         if bc is None:
             if segment.rst:
@@ -326,6 +372,8 @@ class PrimaryBridge(BridgeBase):
         if not self._covers(segment.dst_port, flag):
             return datagram  # ordinary traffic
         key = (datagram.src, segment.src_port, segment.dst_port)
+        if key in self.bypass_keys:
+            return datagram  # un-resumed connection: deliver untouched
         bc = self.connections.get(key)
         if bc is None:
             if segment.syn and not segment.has_ack:
@@ -415,6 +463,13 @@ class PrimaryBridge(BridgeBase):
             self._m_depth_p.observe(len(bc.p_queue))
         if bc.s_queue is not None:
             self._m_depth_s.observe(len(bc.s_queue))
+        if self._resume_watch and bc.key in self._resume_watch:
+            if source == "P":
+                bc.resume_seen_p = True
+            else:
+                bc.resume_seen_s = True
+            if bc.resume_seen_p and bc.resume_seen_s:
+                self._note_resume_merged(bc)
         if bc.ready_to_delete():
             self._delete(bc, reason="closed")
 
@@ -463,6 +518,8 @@ class PrimaryBridge(BridgeBase):
             rtx=retransmission,
             ack=segment.ack,
         )
+        if not retransmission and self._resume_watch:
+            self._note_resume_merged(bc)
 
     def _emit_fin_if_ready(self, bc: BridgeConnection) -> bool:
         """Emit the merged FIN once both replicas have closed and all
@@ -690,6 +747,99 @@ class PrimaryBridge(BridgeBase):
         if segment.fin and bc.fin_p is None:
             bc.fin_p = seq_add(s_seq, len(segment.payload))
             bc.fin_sent = True
+
+    # ==================================================================
+    # replica reintegration
+    # ==================================================================
+
+    def resume_merge(
+        self,
+        secondary_ip: Ipv4Address,
+        resumes: Iterable[ConnectionResume],
+        direct: bool = False,
+    ) -> None:
+        """Re-admit a merge partner on established connections.
+
+        Two shapes, one mechanism:
+
+        * the survivor is a promoted secondary (post-§5): this bridge is
+          freshly built, every resume carries the identity Δseq because
+          the survivor's TCBs already speak the client's numbering;
+        * the survivor is a primary in §6 direct mode: the existing
+          bridge connections keep their original Δseq and flip back from
+          direct to queue-matching merge mode.
+
+        Both output queues restart at the resume ``frontier`` (= snapshot
+        ``snd_max`` in peer numbering): nothing at or above it has been
+        emitted, so no byte is ever sent unmatched, and anything below it
+        is by construction a retransmission handled by the §4 fast path.
+        The merge is seeded with the snapshot ACK as *sent*, so resuming
+        an idle connection does not provoke a spurious empty ACK.
+
+        With ``direct=True`` the re-seeded connections stay in direct
+        (divert) mode — used by a chain's new tail, which has no merge
+        partner of its own.
+        """
+        if not direct:
+            self.secondary_ip = secondary_ip
+            self.secondary_down = False
+        for resume in resumes:
+            bc = self.connections.get(resume.key)
+            if bc is None:
+                bc = BridgeConnection(
+                    peer_ip=resume.peer_ip,
+                    peer_port=resume.peer_port,
+                    local_ip=resume.local_ip,
+                    local_port=resume.local_port,
+                    role=resume.role,
+                )
+                bc.peer_fin_end = resume.peer_fin_end
+                self.connections[resume.key] = bc
+            bc.delta = resume.delta
+            bc.mss = resume.mss
+            bc.direct = direct
+            bc.broken = False
+            bc.syn_emitted = True
+            bc.fin_p = None
+            bc.fin_s = None
+            bc.fin_sent = False
+            bc.our_fin_acked = False
+            bc.dup_p = 0
+            bc.dup_s = 0
+            bc.p_queue = OutputQueue(
+                resume.frontier, name="P", metrics=self.metrics, host=self.host.name
+            )
+            bc.s_queue = OutputQueue(
+                resume.frontier, name="S", metrics=self.metrics, host=self.host.name
+            )
+            bc.sent_hwm = resume.frontier
+            bc.merge = AckWindowMerge(
+                use_min_ack=self.ack_merging, use_min_window=self.window_merging
+            )
+            bc.merge.update_from_primary(resume.ack, resume.window)
+            bc.merge.update_from_secondary(resume.ack, resume.window)
+            bc.merge.note_sent(resume.ack)
+            bc.resume_seen_p = False
+            bc.resume_seen_s = False
+            self.bypass_keys.discard(resume.key)
+            if not direct:
+                self._resume_watch.add(resume.key)
+            self._trace(
+                "bridge.p.resume_merge",
+                peer=f"{resume.peer_ip}:{resume.peer_port}",
+                frontier=resume.frontier,
+                delta=resume.delta.delta,
+                direct=direct,
+            )
+
+    def _note_resume_merged(self, bc: BridgeConnection) -> None:
+        """First fresh (matched) emission after a resume: merge restored."""
+        if bc.key not in self._resume_watch:
+            return
+        self._resume_watch.discard(bc.key)
+        self._trace("bridge.p.resume_merged", peer=f"{bc.peer_ip}:{bc.peer_port}")
+        if self.on_resume_merged is not None:
+            self.on_resume_merged(bc.key)
 
     # ==================================================================
     # §8 late-segment handling and teardown

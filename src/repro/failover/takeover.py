@@ -50,7 +50,7 @@ def perform_ip_takeover(
     # Step 5: acquire a_p and announce it.
     interface = host.eth_interface
     interface.add_address(primary_ip)
-    _rebind_failover_connections(host, config, old_ip, primary_ip)
+    rebind_failover_connections(host, config, old_ip, primary_ip)
     interface.arp.announce(primary_ip)
     host.tracer.emit(host.sim.now, "takeover.announced", host.name, ip=str(primary_ip))
 
@@ -64,10 +64,18 @@ def perform_ip_takeover(
         resume()
 
 
-def _rebind_failover_connections(
+def rebind_failover_connections(
     host, config: FailoverConfig, old_ip: Ipv4Address, new_ip: Ipv4Address
 ) -> None:
-    """Re-home failover TCBs (and only those) onto the taken-over address."""
+    """Re-home failover TCBs (and only those) onto a taken-over address.
+
+    Public API: takeover (§5), chain head promotion and replica
+    reintegration all re-key the TCBs that ``config`` covers from
+    ``old_ip`` to ``new_ip`` without disturbing unreplicated connections.
+    The kernel implementation expresses the same thing through its
+    address-translation layer; re-keying is the simulated equivalent
+    (see DESIGN.md).
+    """
     moving = [
         conn
         for key, conn in list(host.tcp.connections.items())
@@ -77,3 +85,7 @@ def _rebind_failover_connections(
         del host.tcp.connections[conn.key]
         conn.rebind_local_ip(new_ip)
         host.tcp.connections[conn.key] = conn
+
+
+# Backwards-compatible alias for the pre-public name.
+_rebind_failover_connections = rebind_failover_connections

@@ -89,6 +89,8 @@ class ChaosResult:
     phase_durations: Dict[str, float] = field(default_factory=dict)
     fires: int = 0
     failed_over: bool = False
+    reintegrations: int = 0
+    reintegration_phases: Dict[str, float] = field(default_factory=dict)
     acked: int = 0
     delivered: int = 0
     finished: bool = False
@@ -105,7 +107,8 @@ class ChaosResult:
         status = "ok" if self.ok else "FAIL"
         lines = [
             f"[{status}] {self.spec}: fires={self.fires}"
-            f" failed_over={self.failed_over} acked={self.acked}"
+            f" failed_over={self.failed_over}"
+            f" reintegrations={self.reintegrations} acked={self.acked}"
             f" delivered={self.delivered} t={self.duration:.3f}"
         ]
         lines += [f"  {v}" for v in self.violations]
@@ -237,6 +240,14 @@ CRASH_FRACTIONS: Dict[str, float] = {
 
 HOST_FAULTS = ("crash-primary", "crash-primary-restart", "crash-secondary", "partition")
 
+# Reintegration faults: the crashed replica restarts and is re-admitted
+# as live secondary (auto_reintegrate); "reintegrate-crash-again" then
+# kills the surviving original as well, so the transfer finishes on a
+# replica that has been through crash → reintegrate → takeover.
+REINTEGRATE_FAULTS = ("crash-restart-reintegrate", "reintegrate-crash-again")
+RESTART_DELAY = 0.100  # crash → reboot
+SECOND_CRASH_DELAY = 0.300  # crash → the survivor's own crash
+
 
 def lifecycle_matrix(
     seeds=(1,),
@@ -263,6 +274,31 @@ def host_fault_matrix(
     """The host-fault grid: crash/restart/partition × lifetime fraction."""
     return [
         CellSpec(point=p, fault=f, seed=s, size=size)
+        for p in fractions
+        for f in faults
+        for s in seeds
+    ]
+
+
+REINTEGRATE_SIZE = 3_000_000  # long enough to straddle restart + rejoin
+
+
+def reintegration_matrix(
+    seeds=(1,),
+    faults=REINTEGRATE_FAULTS,
+    fractions=tuple(CRASH_FRACTIONS),
+    direction: str = "upload",
+    size: int = REINTEGRATE_SIZE,
+) -> List[CellSpec]:
+    """The reintegration grid: the same eight lifetime fractions as the
+    crash sweep, but the dead replica comes back and rejoins — and in the
+    ``reintegrate-crash-again`` column the original survivor then dies.
+
+    The stream is deliberately long: early fractions reintegrate (and
+    crash again) *mid-stream*, while late fractions cover the degenerate
+    rejoin with no resumable connections left."""
+    return [
+        CellSpec(point=p, fault=f, seed=s, direction=direction, size=size)
         for p in fractions
         for f in faults
         for s in seeds
@@ -311,10 +347,21 @@ def run_cell(spec: CellSpec, until: float = 90.0) -> ChaosResult:
             match=point["selector"](env),
             nth=point["nth"],
         )
-    elif spec.fault in HOST_FAULTS:
+    elif spec.fault in HOST_FAULTS or spec.fault in REINTEGRATE_FAULTS:
         t_clean = _measure_clean_duration(spec)
         when = max(1e-4, CRASH_FRACTIONS[spec.point] * t_clean)
-        if spec.fault == "crash-primary":
+        if spec.fault in REINTEGRATE_FAULTS:
+            # The crashed primary reboots and is automatically re-admitted
+            # as the live secondary (the pair's restart hook fires after
+            # ``reintegrate_delay``); the workload section below installs
+            # the warm-sync resume app.
+            lan.pair.auto_reintegrate = True
+            lan.pair.reintegrate_delay = 0.020
+            lan.plane.crash_at(lan.primary, when)
+            lan.plane.restart_at(lan.primary, when + RESTART_DELAY)
+            if spec.fault == "reintegrate-crash-again":
+                lan.plane.crash_at(lan.secondary, when + SECOND_CRASH_DELAY)
+        elif spec.fault == "crash-primary":
             lan.plane.crash_at(lan.primary, when)
         elif spec.fault == "crash-primary-restart":
             lan.plane.crash_at(lan.primary, when)
@@ -389,6 +436,58 @@ def run_cell(spec: CellSpec, until: float = 90.0) -> ChaosResult:
                 data.extend(chunk)
             yield from sock.close_and_wait()
 
+    if spec.fault in REINTEGRATE_FAULTS:
+        if spec.direction == "upload":
+
+            def resume_server(host, sock, resume):
+                def app():
+                    # Warm sync: adopt the survivor's already-consumed
+                    # prefix (the replicated app is deterministic, so the
+                    # first ``resume.read`` bytes are identical), then
+                    # keep receiving through the adopted socket.
+                    other = next(
+                        (buf for name, buf in received.items()
+                         if name != host.name),
+                        b"",
+                    )
+                    data = received.setdefault(host.name, bytearray())
+                    del data[:]
+                    data.extend(other[: resume.read])
+                    while True:
+                        chunk = yield from sock.recv(65536)
+                        if not chunk:
+                            break
+                        data.extend(chunk)
+                    yield from sock.close_and_wait()
+                return app()
+
+        else:  # download
+
+            def resume_server(host, sock, resume):
+                def app():
+                    if resume.written == 0 and resume.read < 4:
+                        yield from sock.recv_exactly(4 - resume.read)
+                    yield from sock.send_all(blob[resume.written:])
+                    yield from sock.close_and_wait()
+                return app()
+
+        lan.pair.set_resume_app(resume_server)
+
+        if spec.direction == "upload":
+            # Whole-app warm sync: stream bytes whose connection already
+            # closed live only in the survivor's buffer — copy them, or a
+            # second crash loses data the client saw acknowledged.
+            def warm_sync(survivor_host, joiner_host):
+                src = received.get(survivor_host.name)
+                if src is None:
+                    return
+                dst = received.setdefault(joiner_host.name, bytearray())
+                if len(src) > len(dst):
+                    del dst[:]
+                    dst.extend(src)
+
+            lan.pair.set_warm_sync(warm_sync)
+
     lan.pair.run_app(server_app)
     process = spawn(lan.sim, client(), "chaos-client")
     lan.sim.run_until(lambda: process.done_event.triggered, timeout=until)
@@ -404,9 +503,16 @@ def run_cell(spec: CellSpec, until: float = 90.0) -> ChaosResult:
             f"client did not finish within {until}s of simulated time",
         ))
     result.failed_over = lan.pair.failed_over
+    result.reintegrations = len(lan.pair.reintegrations)
 
     if spec.direction == "upload":
-        surviving = "secondary" if result.failed_over else "primary"
+        # The replica holding the authoritative stream is the pair's
+        # *current* primary — reintegration swaps roles, so go through the
+        # live pair object rather than assuming the original assignment.
+        survivor_host = (
+            lan.pair.secondary if lan.pair.failed_over else lan.pair.primary
+        )
+        surviving = survivor_host.name
         delivered = bytes(received.get(surviving, b""))
         checker.check_stream_prefix(surviving, blob, delivered, now=lan.sim.now)
         other = "primary" if surviving == "secondary" else "secondary"
@@ -452,6 +558,10 @@ def run_cell(spec: CellSpec, until: float = 90.0) -> ChaosResult:
         breakdown = recorder.phase_breakdown()
         if breakdown is not None:
             result.phase_durations = breakdown.durations()
+        for reint in recorder.reintegration_breakdowns():
+            if reint.phases:
+                result.reintegration_phases = reint.durations()
+                break
         if not result.ok:
             result.incident = recorder.incident_report(
                 title=str(spec),

@@ -10,6 +10,7 @@ A pytest-free way to regenerate any of the paper's tables/figures::
     python -m repro failover            # E6  stall vs detector/ARP knobs
     python -m repro ablation            # E7/E8 merge-rule ablations
     python -m repro chain               # E9  daisy-chain depth sweep
+    python -m repro reintegrate         # E11 crash -> rejoin -> crash again
     python -m repro all --quick
 
 Observability (the flight recorder / pcap plane)::
@@ -252,6 +253,45 @@ def cmd_chain(args) -> None:
     _write_bench(args, "chain_depth", {}, bench_rows)
 
 
+def cmd_reintegrate(args) -> None:
+    """E11: crash → reintegrate → crash again, client never notices."""
+    rows = []
+    bench_rows = []
+    phases = None
+    for label, double in (("single failover + rejoin", False),
+                          ("double failover", True)):
+        result = experiments.measure_reintegration(
+            double=double, min_rto=0.05, record_traces=(phases is None),
+        )
+        if phases is None:
+            tiles = result.get("reintegration_breakdowns") or []
+            done = [b for b in tiles if b.phases]
+            if done:
+                phases = done[0].durations()
+        rows.append((
+            label,
+            f"{result['stall_s']*1e3:.1f}ms",
+            result["intact"],
+            result["reintegrations"],
+            result["redundancy_restored"],
+        ))
+        bench_rows.append({
+            "label": label,
+            "metrics": {
+                "stall_ms": result["stall_s"] * 1e3,
+                "intact": int(result["intact"]),
+                "reintegrations": result["reintegrations"],
+                "redundancy_restored": int(result["redundancy_restored"]),
+            },
+        })
+    _table(
+        "E11: reintegration (crash -> rejoin -> crash again)",
+        ["scenario", "worst stall", "stream intact", "rejoins", "redundant again"],
+        rows,
+    )
+    _write_bench(args, "reintegration", {}, bench_rows, phases=phases)
+
+
 def cmd_obs(args) -> None:
     """Flight-recorder / pcap views over one seeded failover run."""
     from repro.obs.metrics import MetricsRegistry
@@ -298,6 +338,7 @@ COMMANDS = {
     "failover": cmd_failover,
     "ablation": cmd_ablation,
     "chain": cmd_chain,
+    "reintegrate": cmd_reintegrate,
 }
 
 

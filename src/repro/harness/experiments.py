@@ -656,3 +656,114 @@ def measure_minwindow_ablation(
         "intact": received.get("secondary", 0) == total_bytes
         and received.get("primary", 0) == total_bytes,
     }
+
+
+# ======================================================================
+# E11 — reintegration: restore redundancy, survive repeated failures
+# ======================================================================
+
+def measure_reintegration(
+    total_bytes: int = 1_500_000,
+    crash_at: float = 0.100,
+    restart_after: float = 0.100,
+    crash_again_after: float = 0.450,
+    double: bool = True,
+    detector_timeout: float = 0.050,
+    seed: int = 0,
+    min_rto: float = 0.2,
+    record_traces: bool = False,
+    metrics=None,
+) -> Dict[str, object]:
+    """Crash the primary mid-download, restart it, reintegrate it as the
+    live secondary — and (``double=True``) then crash the new primary too.
+
+    The client must receive the byte-exact stream with zero resets across
+    *both* failovers; the paper's machinery alone survives only the
+    first.  Returns the stalls, the reintegration outcome and (with
+    ``record_traces``) the recorder's failover + reintegration tilings.
+    """
+    bed = LanTestbed(
+        seed=seed,
+        replicated=True,
+        failover_ports=[SERVICE_PORT],
+        detector_timeout=detector_timeout,
+        conn_defaults={"min_rto": min_rto},
+        record_traces=record_traces,
+        metrics=metrics,
+    )
+    bed.start_detectors()
+    pair = bed.pair
+    pair.auto_reintegrate = True
+    pair.reintegrate_delay = 0.020
+
+    blob = bulk.pattern_bytes(total_bytes)
+
+    def source_app(host):
+        return bulk.source_server(host, SERVICE_PORT, total_bytes)
+
+    pair.run_app(source_app, "reint-source")
+
+    def resume_source(host, sock, resume):
+        def app() -> Generator:
+            if resume.written == 0 and resume.read < 4:
+                yield from sock.recv_exactly(4 - resume.read)
+            yield from sock.send_all(blob[resume.written:])
+            yield from sock.close_and_wait()
+        return app()
+
+    pair.set_resume_app(resume_source)
+
+    arrivals: List[float] = []
+    outcome: Dict = {}
+
+    def client_proc() -> Generator:
+        sock = SimSocket.connect(bed.client, bed.server_ip, SERVICE_PORT)
+        yield from sock.wait_connected()
+        yield from sock.send_all(b"PULL")
+        received = bytearray()
+        while len(received) < total_bytes:
+            data = yield from sock.recv(65536)
+            if not data:
+                break
+            received.extend(data)
+            arrivals.append(bed.sim.now)
+        outcome["intact"] = bytes(received) == blob
+        outcome["t_done"] = bed.sim.now
+        yield from sock.close_and_wait()
+
+    spawn(bed.sim, client_proc(), "reint-client")
+    bed.sim.schedule(crash_at, bed.pair.crash_primary)
+    bed.sim.schedule(crash_at + restart_after, bed.primary.restart)
+    if double:
+        # Crash whoever is primary *then* — after reintegration that is
+        # the original secondary, so the reintegrated replica takes over.
+        bed.sim.schedule(
+            crash_at + crash_again_after, lambda: bed.pair.primary.crash()
+        )
+    bed.run(until=total_bytes / 1e5 + 60.0)
+    if "t_done" not in outcome:
+        raise RuntimeError("stream did not complete after reintegration")
+
+    stall = 0.0
+    for before, after in zip(arrivals, arrivals[1:]):
+        if after > crash_at and after - before > stall:
+            stall = after - before
+    result = {
+        "intact": outcome["intact"],
+        "stall_s": stall,
+        "total_s": outcome["t_done"],
+        "reintegrations": len(pair.reintegrations),
+        "redundancy_restored": any(
+            r.merge_complete for r in pair.reintegrations
+        ),
+        "resumed_connections": sum(r.resumed for r in pair.reintegrations),
+    }
+    if record_traces:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(bed.tracer)
+        result["tracer"] = bed.tracer
+        result["recorder"] = recorder
+        result["failover_breakdowns"] = recorder.phase_breakdowns()
+        result["reintegration_breakdowns"] = recorder.reintegration_breakdowns()
+    return result

@@ -71,7 +71,13 @@ class InvariantChecker:
     # -- live per-emission checks -----------------------------------------
 
     def attach_primary_bridge(self, bridge) -> None:
-        """Wrap ``bridge._emit`` so every outgoing segment is validated."""
+        """Wrap ``bridge._emit`` so every outgoing segment is validated.
+
+        Idempotent per bridge: reintegration re-announces the surviving
+        bridge (which may be the same object flipping back from §6 direct
+        mode), and wrapping twice would double-count emissions."""
+        if bridge in self.bridges:
+            return
         self.bridges.append(bridge)
         original_emit = bridge._emit
 

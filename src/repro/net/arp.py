@@ -73,6 +73,15 @@ class ArpService:
         self.cache: Dict[Ipv4Address, MacAddress] = {}
         self._pending: Dict[Ipv4Address, List[Event]] = {}
         self._retry_timers: Dict[Ipv4Address, Timer] = {}
+        # Address-conflict detection: a gratuitous ARP claiming an address
+        # we own, from a foreign MAC, means another node took it over
+        # (step-down fencing hooks in here; see Host._address_conflict).
+        self.conflict_callback: Optional[
+            Callable[[Ipv4Address, MacAddress], None]
+        ] = None
+        # Addresses we still hold but must stay silent for (fenced after a
+        # conflict): no ARP replies are generated for them.
+        self.fenced_ips: set = set()
 
     class ResolutionFailed(Exception):
         """No ARP reply after all retries."""
@@ -116,12 +125,23 @@ class ArpService:
         if packet.sender_mac == self.nic.mac:
             return  # our own broadcast echoed back
         if packet.is_gratuitous:
+            if (
+                self.conflict_callback is not None
+                and packet.sender_ip in self._owned_ips()
+                and packet.sender_ip not in self.fenced_ips
+            ):
+                # Someone else claims an address we own: address conflict.
+                self.conflict_callback(packet.sender_ip, packet.sender_mac)
             self._apply_gratuitous(packet)
             return
         if packet.op == ARP_REQUEST:
-            # Opportunistically learn the asker, then answer if we own it.
+            # Opportunistically learn the asker, then answer if we own it
+            # (never for a fenced address — we yielded it).
             self.cache[packet.sender_ip] = packet.sender_mac
-            if packet.target_ip in self._owned_ips():
+            if (
+                packet.target_ip in self._owned_ips()
+                and packet.target_ip not in self.fenced_ips
+            ):
                 reply = ArpPacket(
                     op=ARP_REPLY,
                     sender_mac=self.nic.mac,

@@ -29,6 +29,7 @@ from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, spawn
 from repro.sim.trace import Tracer
+from repro.tcp.connection import ConnectionReset
 from repro.tcp.layer import TcpLayer
 
 
@@ -147,6 +148,12 @@ class Host:
         self._eth_interface: Optional[EthernetInterface] = None
         self._heartbeat_handlers: List[Callable[[Ipv4Datagram], None]] = []
         self.ip.register_protocol(IPPROTO_HEARTBEAT, self._heartbeat_datagram)
+        # Step-down fencing: addresses this host still holds but has
+        # yielded after observing a conflicting gratuitous ARP.  No
+        # segment is sent from (or delivered to) a fenced address.
+        self.fenced_ips: set = set()
+        self._restart_hooks: List[Callable[["Host"], None]] = []
+        self._conflict_handlers: List[Callable[[Ipv4Address, MacAddress], None]] = []
 
     # -- topology wiring ---------------------------------------------------
 
@@ -166,6 +173,7 @@ class Host:
         )
         self.ip.add_interface(interface)
         self._eth_interface = interface
+        interface.arp.conflict_callback = self._address_conflict
         return interface
 
     def attach_point_to_point(
@@ -200,7 +208,7 @@ class Host:
 
     def transport_out(self, segment: object, src_ip: Ipv4Address, dst_ip: Ipv4Address) -> None:
         """TCP hands a segment down; charge CPU, then bridge, then IP."""
-        if not self.alive:
+        if not self.alive or src_ip in self.fenced_ips:
             return
         cost = self.tx_segment_cost + self.tx_byte_cost * len(
             getattr(segment, "payload", b"")
@@ -220,7 +228,7 @@ class Host:
 
     def send_ip(self, segment: object, src_ip: Ipv4Address, dst_ip: Ipv4Address) -> None:
         """Emit a TCP segment as an IP datagram, bypassing the bridge."""
-        if not self.alive:
+        if not self.alive or src_ip in self.fenced_ips:
             return
         self.ip.send(Ipv4Datagram(src=src_ip, dst=dst_ip, protocol=IPPROTO_TCP, payload=segment))
 
@@ -236,6 +244,8 @@ class Host:
             self.ip.datagram_received(datagram)
 
     def _tcp_datagram(self, datagram: Ipv4Datagram) -> None:
+        if datagram.dst in self.fenced_ips:
+            return  # yielded address: stay silent, never RST the taker's peer
         segment = datagram.payload
         cost = self.rx_segment_cost + self.rx_byte_cost * len(
             getattr(segment, "payload", b"")
@@ -256,6 +266,11 @@ class Host:
         """Replace all heartbeat consumers with one (single-detector hosts)."""
         self._heartbeat_handlers = [handler]
 
+    def remove_heartbeat_handler(self, handler: Callable[[Ipv4Datagram], None]) -> None:
+        """Unregister one heartbeat consumer (detector teardown)."""
+        if handler in self._heartbeat_handlers:
+            self._heartbeat_handlers.remove(handler)
+
     def _heartbeat_datagram(self, datagram: Ipv4Datagram) -> None:
         if not self.alive:
             return
@@ -266,7 +281,58 @@ class Host:
         if self.alive:
             self.ip.send(datagram)
 
+    # -- step-down fencing ------------------------------------------------------
+
+    def add_address_conflict_handler(
+        self, handler: Callable[[Ipv4Address, MacAddress], None]
+    ) -> None:
+        """Be notified after this host fences an address (post step-down)."""
+        self._conflict_handlers.append(handler)
+
+    def _address_conflict(self, ip: Ipv4Address, mac: MacAddress) -> None:
+        """Another node gratuitously claimed an address we own.
+
+        The only way that happens in the fail-stop model is a peer that
+        (rightly or wrongly) declared us dead and took over.  Arguing
+        would split the brain — two stacks answering for ``a_p`` with
+        diverging TCP state — so the loser *yields*: it stops sending
+        from, answering ARP for, and accepting segments to the address,
+        and silently drops the TCBs homed on it (no RSTs: the taker has
+        coherent replica state and continues the connections).
+        """
+        self.tracer.emit(
+            self.sim.now, "host.address_conflict", self.name,
+            ip=str(ip), claimed_by=str(mac),
+        )
+        self.fence_address(ip)
+        for handler in self._conflict_handlers:
+            handler(ip, mac)
+
+    def fence_address(self, ip: Ipv4Address) -> None:
+        """Yield ``ip``: silence every datapath touching it."""
+        if ip in self.fenced_ips:
+            return
+        self.fenced_ips.add(ip)
+        if self._eth_interface is not None:
+            self._eth_interface.arp.fenced_ips.add(ip)
+        dropped = 0
+        for conn in list(self.tcp.connections.values()):
+            if conn.local_ip == ip:
+                # Destroy with an error so blocked application processes
+                # wake; nothing reaches the wire (the fence blocks sends).
+                conn._destroy(error=ConnectionReset(f"{self.name}: {ip} fenced"))
+                dropped += 1
+        for key in [k for k in self.tcp._lingering if k[0] == ip]:
+            del self.tcp._lingering[key]
+        self.tracer.emit(
+            self.sim.now, "host.fenced", self.name, ip=str(ip), dropped=dropped
+        )
+
     # -- lifecycle -------------------------------------------------------------
+
+    def add_restart_hook(self, hook: Callable[["Host"], None]) -> None:
+        """Run ``hook(host)`` after every :meth:`restart` (reintegration)."""
+        self._restart_hooks.append(hook)
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
         return spawn(self.sim, generator, name=name or f"{self.name}.proc")
@@ -281,19 +347,32 @@ class Host:
         """Reboot after a crash: the NIC comes back, all TCP state is lost.
 
         Matches the paper's crash-fault model — a recovering machine holds
-        no connection state and no promiscuous configuration, so a reborn
-        replica stays silent unless something addresses it directly.
-        Applications are not restarted; their processes already died with
-        the crash or will error on their vanished sockets.
+        no connection state, no promiscuous configuration, no installed
+        bridge, and only its originally configured address (a taken-over
+        ``a_p`` does not survive the reboot), so a reborn replica stays
+        silent unless something addresses it directly.  Applications are
+        not restarted; their processes already died with the crash or will
+        error on their vanished sockets.  Registered restart hooks run
+        last — reintegration planes use them to schedule re-admission.
         """
         for conn in list(self.tcp.connections.values()):
             conn._cancel_all_timers()
         self.tcp.connections.clear()
         self.tcp.listeners.clear()
+        self.tcp._lingering.clear()
+        self.remove_bridge()
         self.nic.promiscuous = False
+        if self._eth_interface is not None:
+            # Addresses acquired by takeover are configuration, not
+            # hardware: a reboot forgets them.
+            del self._eth_interface.addresses[1:]
+            self._eth_interface.arp.fenced_ips.clear()
+        self.fenced_ips.clear()
         self.alive = True
         self.nic.up = True
         self.tracer.emit(self.sim.now, "host.restart", self.name)
+        for hook in list(self._restart_hooks):
+            hook(self)
 
     def __repr__(self) -> str:
         return f"Host({self.name}, ips={[str(i) for i in self.ip.owned_ips()]})"

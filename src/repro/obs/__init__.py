@@ -35,6 +35,7 @@ from repro.obs.metrics import (
 _LAZY = {
     "FlightRecorder": "repro.obs.flight",
     "PhaseBreakdown": "repro.obs.flight",
+    "ReintegrationBreakdown": "repro.obs.flight",
     "export_pcaps": "repro.obs.pcap",
     "read_pcap": "repro.obs.pcap",
     "write_pcap": "repro.obs.pcap",
@@ -60,6 +61,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "PhaseBreakdown",
+    "ReintegrationBreakdown",
     "export_pcaps",
     "read_pcap",
     "validate_bench_doc",

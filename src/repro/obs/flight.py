@@ -37,6 +37,13 @@ _PHASE_NOTES = {
     "recovery": "until the first post-failover client-visible byte",
 }
 
+_REINTEGRATION_NOTES = {
+    "quiesce": "bridge flipped to merge mode, snapshot taken (atomic)",
+    "install": "state transfer until the joiner's TCBs and bridge are live",
+    "rearm": "detectors re-created on both sides",
+    "merge": "until every resumed connection emitted a matched byte",
+}
+
 
 @dataclass(frozen=True)
 class Phase:
@@ -92,6 +99,53 @@ class PhaseBreakdown:
             )
         else:
             lines.append("  client-visible gap unmeasured (no wire frames recorded)")
+        return "\n".join(lines)
+
+
+@dataclass
+class ReintegrationBreakdown:
+    """Reintegration decomposition; the four phases tile the interval from
+    the quiesce event to merge completion exactly (see
+    :mod:`repro.failover.reintegration` for the state machine)."""
+
+    survivor: str
+    joiner: str
+    case: str  # "rejoin", "remerge" or "splice"
+    start_time: float
+    resumed: Optional[int] = None
+    bypassed: Optional[int] = None
+    complete_time: Optional[float] = None
+    aborted: bool = False
+    phases: List[Phase] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return sum(p.duration for p in self.phases)
+
+    def durations(self) -> Dict[str, float]:
+        return {p.name: p.duration for p in self.phases}
+
+    def render(self) -> str:
+        lines = [
+            f"reintegration of {self.joiner} into {self.survivor}"
+            f" ({self.case}) at t={self.start_time:.6f}"
+            f" — resumed={self.resumed} bypassed={self.bypassed}"
+        ]
+        if self.aborted:
+            lines.append("  ABORTED (a party died before install)")
+            return "\n".join(lines)
+        for p in self.phases:
+            note = _REINTEGRATION_NOTES.get(p.name, "")
+            lines.append(
+                f"  {p.name:<10} {p.start:.6f} -> {p.end:.6f}  "
+                f"{p.duration * 1e3:8.3f} ms  ({note})"
+            )
+        if self.complete_time is not None:
+            lines.append(
+                f"  redundancy restored after {self.total * 1e3:.3f} ms"
+            )
+        else:
+            lines.append("  merge never completed (run ended first)")
         return "\n".join(lines)
 
 
@@ -267,47 +321,117 @@ class FlightRecorder:
     def phase_breakdown(self) -> Optional[PhaseBreakdown]:
         """Decompose the first crash in the trace, or None if no crash
         (or the run never produced a completed switch-over)."""
-        crash = self._first("host.crash")
-        if crash is None:
-            return None
-        detect = self._first("detector.failure", after=crash.time)
-        if detect is None:
-            return None
-        switch = self._first("takeover.complete", after=detect.time)
-        switch_kind = "takeover"
-        if switch is None:
-            switch = self._first("bridge.p.flushed", after=detect.time)
-            switch_kind = "flush"
-        if switch is None:
-            return None
+        breakdowns = self.phase_breakdowns()
+        return breakdowns[0] if breakdowns else None
 
+    def phase_breakdowns(self) -> List[PhaseBreakdown]:
+        """Decompose *every* crash in the trace (repeated-failure runs:
+        crash → reintegrate → crash again yields one breakdown each).
+
+        Each crash's detection/switch events are searched only up to the
+        next crash, so overlapping incidents never steal each other's
+        markers; crashes whose switch-over never completed (e.g. the
+        final crash of a to-the-death run) are skipped."""
+        crashes = [r for r in self.records if r.category == "host.crash"]
         byte_times = self.client_byte_times()
-        last_before = None
-        first_after = None
-        for when in byte_times:
-            if when <= crash.time:
-                last_before = when
-            elif when >= switch.time and first_after is None:
-                first_after = when
+        breakdowns: List[PhaseBreakdown] = []
+        for index, crash in enumerate(crashes):
+            bound = (
+                crashes[index + 1].time
+                if index + 1 < len(crashes)
+                else float("inf")
+            )
+            detect = self._first("detector.failure", after=crash.time)
+            if detect is None or detect.time > bound:
+                continue
+            switch = self._first("takeover.complete", after=detect.time)
+            switch_kind = "takeover"
+            if switch is None or switch.time > bound:
+                switch = self._first("bridge.p.flushed", after=detect.time)
+                switch_kind = "flush"
+            if switch is None or switch.time > bound:
+                continue
 
-        breakdown = PhaseBreakdown(
-            crashed=crash.node,
-            crash_time=crash.time,
-            detect_time=detect.time,
-            switch_time=switch.time,
-            switch_kind=switch_kind,
-            last_byte_before=last_before,
-            first_byte_after=first_after,
-        )
-        quiesce_start = last_before if last_before is not None else crash.time
-        recovery_end = first_after if first_after is not None else switch.time
-        breakdown.phases = [
-            Phase("quiesce", quiesce_start, crash.time),
-            Phase("detection", crash.time, detect.time),
-            Phase("takeover", detect.time, switch.time),
-            Phase("recovery", switch.time, recovery_end),
-        ]
-        return breakdown
+            last_before = None
+            first_after = None
+            for when in byte_times:
+                if when <= crash.time:
+                    last_before = when
+                elif when >= switch.time and first_after is None:
+                    first_after = when
+
+            breakdown = PhaseBreakdown(
+                crashed=crash.node,
+                crash_time=crash.time,
+                detect_time=detect.time,
+                switch_time=switch.time,
+                switch_kind=switch_kind,
+                last_byte_before=last_before,
+                first_byte_after=first_after,
+            )
+            quiesce_start = last_before if last_before is not None else crash.time
+            recovery_end = first_after if first_after is not None else switch.time
+            breakdown.phases = [
+                Phase("quiesce", quiesce_start, crash.time),
+                Phase("detection", crash.time, detect.time),
+                Phase("takeover", detect.time, switch.time),
+                Phase("recovery", switch.time, recovery_end),
+            ]
+            breakdowns.append(breakdown)
+        return breakdowns
+
+    # ------------------------------------------------------------------
+    # reintegration phases
+    # ------------------------------------------------------------------
+
+    def reintegration_breakdowns(self) -> List[ReintegrationBreakdown]:
+        """Tile every reintegration in the trace into its four phases
+        (quiesce → install → rearm → merge); the tiles cover the interval
+        from the quiesce event to merge completion with no gaps."""
+        breakdowns: List[ReintegrationBreakdown] = []
+        current: Optional[ReintegrationBreakdown] = None
+        marks: Dict[str, float] = {}
+        for record in self.records:
+            cat = record.category
+            if not cat.startswith("reintegration."):
+                continue
+            when = record.time
+            detail = record.detail
+            if cat == "reintegration.start":
+                current = ReintegrationBreakdown(
+                    survivor=record.node,
+                    joiner=str(detail.get("joiner")),
+                    case=str(detail.get("case", "?")),
+                    start_time=when,
+                )
+                marks = {"start": when}
+                breakdowns.append(current)
+            elif current is None:
+                continue
+            elif cat == "reintegration.snapshot":
+                marks["snapshot"] = when
+                current.resumed = detail.get("conns")
+                current.bypassed = detail.get("bypassed")
+            elif cat == "reintegration.aborted":
+                current.aborted = True
+                current = None
+            elif cat == "reintegration.installed":
+                marks["installed"] = when
+            elif cat == "reintegration.armed":
+                marks["armed"] = when
+            elif cat == "reintegration.complete":
+                current.complete_time = when
+                snapshot = marks.get("snapshot", marks["start"])
+                installed = marks.get("installed", snapshot)
+                armed = marks.get("armed", installed)
+                current.phases = [
+                    Phase("quiesce", marks["start"], snapshot),
+                    Phase("install", snapshot, installed),
+                    Phase("rearm", installed, armed),
+                    Phase("merge", armed, when),
+                ]
+                current = None
+        return breakdowns
 
     # ------------------------------------------------------------------
     # reports
@@ -322,13 +446,20 @@ class FlightRecorder:
                 for line in timeline.render().splitlines():
                     lines.append(f"  {line}")
             lines.append("")
-        breakdown = self.phase_breakdown()
-        if breakdown is not None:
+        breakdowns = self.phase_breakdowns()
+        if breakdowns:
             lines.append("failover phases:")
-            for line in breakdown.render().splitlines():
-                lines.append(f"  {line}")
+            for breakdown in breakdowns:
+                for line in breakdown.render().splitlines():
+                    lines.append(f"  {line}")
         else:
             lines.append("failover phases: none observed (no crash in trace)")
+        reintegrations = self.reintegration_breakdowns()
+        if reintegrations:
+            lines.append("reintegrations:")
+            for breakdown in reintegrations:
+                for line in breakdown.render().splitlines():
+                    lines.append(f"  {line}")
         return "\n".join(lines)
 
     def incident_report(
@@ -342,9 +473,13 @@ class FlightRecorder:
         if violations:
             lines.append("violations:")
             lines.extend(f"  {v}" for v in violations)
-        breakdown = self.phase_breakdown()
-        if breakdown is not None:
+        breakdowns = self.phase_breakdowns()
+        if breakdowns:
             lines.append("failover phases:")
+            for breakdown in breakdowns:
+                lines.extend(f"  {l}" for l in breakdown.render().splitlines())
+        for breakdown in self.reintegration_breakdowns():
+            lines.append("reintegration:")
             lines.extend(f"  {l}" for l in breakdown.render().splitlines())
         for timeline in self.connections():
             lines.extend(f"  {l}" for l in timeline.render().splitlines())

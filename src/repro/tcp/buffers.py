@@ -81,6 +81,15 @@ class SendBuffer:
         """Retransmission: everything in flight becomes unsent again."""
         self.next_offset = 0
 
+    def restore(self, data: bytes, next_offset: int) -> None:
+        """Reload buffer contents from a connection snapshot (reintegration)."""
+        if len(data) > self.capacity:
+            raise ValueError("snapshot larger than the buffer capacity")
+        if not 0 <= next_offset <= len(data):
+            raise ValueError("snapshot next_offset outside the buffered range")
+        self._data = bytearray(data)
+        self.next_offset = next_offset
+
 
 class ReceiveBuffer:
     """Reassembly queue plus the in-order bytes awaiting the application."""
@@ -177,3 +186,19 @@ class ReceiveBuffer:
         data = bytes(self._readable[:take])
         del self._readable[:take]
         return data
+
+    def snapshot_readable(self) -> bytes:
+        """In-order bytes delivered but not yet consumed by the application."""
+        return bytes(self._readable)
+
+    def restore_readable(self, data: bytes) -> None:
+        """Reload the readable queue from a connection snapshot.
+
+        The buffer must have been constructed with the snapshot's
+        ``rcv_nxt`` — the restored bytes sit *behind* it, already counted
+        by the sequence space, so only the delivery bookkeeping moves.
+        """
+        if self._readable or self._out_of_order:
+            raise ValueError("restore_readable requires a fresh buffer")
+        self._readable.extend(data)
+        self.total_received += len(data)

@@ -12,8 +12,9 @@ property the paper claims for server applications.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.net.addresses import Ipv4Address
 from repro.sim.process import Event
@@ -70,6 +71,56 @@ SEND_STATES = {
 
 class ConnectionReset(ConnectionError):
     """The peer reset the connection (or it was aborted locally)."""
+
+
+# States a connection can be exported from / installed in.  Mid-teardown
+# states are excluded: once our FIN is in flight the stream is closing
+# and a joining replica gains nothing from adopting it.
+TRANSFERABLE_STATES = (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+
+
+@dataclasses.dataclass
+class TcpSnapshot:
+    """A portable image of one established TCB (PnO-TCP-style transfer).
+
+    All send-side sequence numbers are expressed in the *peer-visible*
+    numbering: the exporter maps them through the bridge's Δseq (if any)
+    so the snapshot can be installed on a different replica whose own ISS
+    never existed on this connection.  Receive-side numbers are already
+    the peer's and need no mapping.
+    """
+
+    local_port: int
+    remote_ip: "Ipv4Address"
+    remote_port: int
+    state: str  # TcpState value
+    failover: bool
+    # Send side (peer-visible numbering).
+    iss: int
+    snd_una: int
+    snd_max: int
+    snd_wnd: int
+    send_data: bytes
+    send_next_offset: int
+    fin_pending: bool
+    fin_seq: Optional[int]
+    fin_in_flight: bool
+    fin_acked: bool
+    # Receive side.
+    irs: int
+    rcv_nxt: int
+    recv_pending: bytes  # in-order bytes the application has not read yet
+    recv_window: int
+    fin_received: bool
+    # Sizing / options.
+    mss: int
+    send_capacity: int
+    recv_capacity: int
+    min_rto: float
+    # Application stream positions, for warm-syncing the joiner's app:
+    # bytes the application has written / consumed on this connection.
+    stream_written: int = 0
+    stream_read: int = 0
 
 
 class TcpConnection:
@@ -872,3 +923,86 @@ class TcpConnection:
         behaviour for a simulated stack (documented in DESIGN.md).
         """
         self.local_ip = new_ip
+
+    def export_state(self, map_seq: Optional[Callable[[int], int]] = None) -> TcpSnapshot:
+        """Export this TCB as a :class:`TcpSnapshot` (reintegration).
+
+        ``map_seq`` translates send-side sequence numbers into the
+        peer-visible numbering (the bridge's Δseq); identity when the TCB
+        already speaks the peer's space (a promoted secondary).  Only
+        :data:`TRANSFERABLE_STATES` can be exported — a closing stream is
+        not worth adopting.
+        """
+        if self.state not in TRANSFERABLE_STATES:
+            raise ValueError(f"cannot export {self}: state {self.state.value}")
+        if map_seq is None:
+            map_seq = lambda seq: seq  # noqa: E731 - identity numbering
+        recv = self.recv_buffer
+        pending = recv.snapshot_readable() if recv is not None else b""
+        return TcpSnapshot(
+            local_port=self.local_port,
+            remote_ip=self.remote_ip,
+            remote_port=self.remote_port,
+            state=self.state.value,
+            failover=self.failover,
+            iss=map_seq(self.iss),
+            snd_una=map_seq(self.snd_una),
+            snd_max=map_seq(self.snd_max),
+            snd_wnd=self.snd_wnd,
+            send_data=bytes(self.send_buffer._data),
+            send_next_offset=self.send_buffer.next_offset,
+            fin_pending=self._fin_pending,
+            fin_seq=map_seq(self._fin_seq) if self._fin_seq is not None else None,
+            fin_in_flight=self._fin_in_flight,
+            fin_acked=self._fin_acked,
+            irs=self.irs,
+            rcv_nxt=self.rcv_nxt,
+            recv_pending=pending,
+            recv_window=recv.window if recv is not None else 0,
+            fin_received=self.fin_received,
+            mss=self.mss,
+            send_capacity=self.send_buffer.capacity,
+            recv_capacity=self.recv_buffer_size,
+            min_rto=self.rto.min_rto,
+            stream_written=self._total_written,
+            stream_read=(recv.total_received - recv.readable_bytes) if recv else 0,
+        )
+
+    def install_state(self, snapshot: TcpSnapshot) -> None:
+        """Adopt a snapshot exported from another replica.
+
+        The connection must be freshly constructed (CLOSED, never opened).
+        Afterwards it behaves exactly as if it had lived through the
+        handshake and every exchanged byte: in-flight data retransmits on
+        RTO, unsent data transmits, pending bytes are readable.
+        """
+        if self.state != TcpState.CLOSED or self.established_event.triggered:
+            raise ValueError(f"install_state requires a fresh connection, not {self}")
+        state = TcpState(snapshot.state)
+        if state not in TRANSFERABLE_STATES:
+            raise ValueError(f"cannot install snapshot in state {snapshot.state}")
+        self.state = state
+        self.iss = snapshot.iss
+        self.irs = snapshot.irs
+        self.snd_una = snapshot.snd_una
+        self.snd_max = snapshot.snd_max
+        self.snd_wnd = snapshot.snd_wnd
+        self.mss = min(self.mss, snapshot.mss)
+        self.send_buffer.restore(snapshot.send_data, snapshot.send_next_offset)
+        self.recv_buffer = ReceiveBuffer(
+            snapshot.rcv_nxt, capacity=self.recv_buffer_size
+        )
+        self.recv_buffer.restore_readable(snapshot.recv_pending)
+        self._fin_pending = snapshot.fin_pending
+        self._fin_seq = snapshot.fin_seq
+        self._fin_in_flight = snapshot.fin_in_flight
+        self._fin_acked = snapshot.fin_acked
+        self.fin_received = snapshot.fin_received
+        self._total_written = snapshot.stream_written
+        self.established_event.succeed()
+        if self._needs_rtx_timer():
+            self._start_rtx_timer()
+        if self.send_buffer.unsent_bytes or (
+            self._fin_pending and not self._fin_in_flight
+        ):
+            self.sim.schedule(0, self._output)

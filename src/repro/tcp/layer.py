@@ -157,6 +157,52 @@ class TcpLayer:
         conn.open_active()
         return conn
 
+    def install_connection(
+        self,
+        snapshot,
+        local_ip: Optional[Ipv4Address] = None,
+        **options,
+    ) -> TcpConnection:
+        """Materialise a :class:`~repro.tcp.connection.TcpSnapshot` here.
+
+        This is the replica-reintegration primitive: a joiner adopts an
+        established connection exported by the survivor, keyed under its
+        own ``local_ip`` (the bridge translates addresses on the wire, so
+        the peer never sees the difference).  Returns the live connection,
+        already ESTABLISHED (or CLOSE_WAIT) with buffers reloaded.
+        """
+        if local_ip is None:
+            ips = self.local_ips()
+            if not ips:
+                raise OSError(f"{self.node_name}: no local IP")
+            local_ip = ips[0]
+        key = (local_ip, snapshot.local_port, snapshot.remote_ip, snapshot.remote_port)
+        if key in self.connections:
+            raise OSError(f"{self.node_name}: connection {key} already exists")
+        kwargs = dict(self.conn_defaults)
+        kwargs.update(options)
+        kwargs.setdefault("mss", snapshot.mss)
+        kwargs.setdefault("send_buffer_size", snapshot.send_capacity)
+        kwargs.setdefault("recv_buffer_size", snapshot.recv_capacity)
+        kwargs.setdefault("min_rto", snapshot.min_rto)
+        conn = TcpConnection(
+            self,
+            local_ip,
+            snapshot.local_port,
+            snapshot.remote_ip,
+            snapshot.remote_port,
+            failover=snapshot.failover,
+            **kwargs,
+        )
+        conn.install_state(snapshot)
+        self.connections[key] = conn
+        self._lingering.pop(key, None)
+        self.tracer.emit(
+            self.sim.now, "tcp.installed", self.node_name,
+            conn=str(conn), state=snapshot.state,
+        )
+        return conn
+
     # ------------------------------------------------------------------
     # segment demultiplexing
     # ------------------------------------------------------------------

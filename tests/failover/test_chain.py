@@ -173,3 +173,46 @@ def test_two_member_chain_equals_pair_semantics():
     data = pull(lan, size, crashes=[(0.040, 0)])
     assert data == bulk.pattern_bytes(size)
     assert lan.replicas[1].ip.owns(lan.server_ip)
+
+
+# ----------------------------------------------------------------------
+# splice-in: a restarted member rejoins at the tail, restoring K replicas
+# ----------------------------------------------------------------------
+
+
+def test_chain_splice_in_restores_tail_after_crash():
+    """Tail crashes mid-download, restarts, and splices back in as the
+    new tail; a *second* member then crashes and the restored redundancy
+    carries the byte-exact stream to the end."""
+    lan = ChainLan(replicas=3)
+    size = 2_500_000
+    blob = bulk.pattern_bytes(size)
+    tail = lan.replicas[2]
+
+    def resume_src(host, sock, resume):
+        def app():
+            if resume.written == 0 and resume.read < 4:
+                yield from sock.recv_exactly(4 - resume.read)
+            yield from sock.send_all(blob[resume.written:])
+            yield from sock.close_and_wait()
+        return app()
+
+    lan.sim.schedule(0.010, lan.chain.crash, tail)
+    lan.sim.schedule(0.110, tail.restart)
+    lan.sim.schedule(
+        0.140, lambda: lan.chain.splice_in(tail, resume_app=resume_src)
+    )
+    # Second failure after redundancy is back: the middle member dies.
+    lan.sim.schedule(0.280, lan.chain.crash, lan.replicas[1])
+
+    data = pull(lan, size, until=120.0)
+    assert data == blob
+
+    starts = lan.tracer.select(category="reintegration.start")
+    assert starts and starts[0].detail["case"] == "splice"
+    assert lan.tracer.select(category="reintegration.installed")
+    assert lan.tracer.select(category="reintegration.armed")
+    # The restarted host is live and holds the tail position again.
+    assert lan.chain.alive[tail.name]
+    assert lan.chain.hosts[-1] is tail
+    assert lan.tracer.select(category="tcp.rst_received", node="client") == []

@@ -26,9 +26,12 @@ from repro.harness.chaos import (
     HOST_FAULTS,
     PACKET_FAULTS,
     PACKET_POINTS,
+    REINTEGRATE_FAULTS,
+    REINTEGRATE_SIZE,
     CellSpec,
     host_fault_matrix,
     lifecycle_matrix,
+    reintegration_matrix,
     run_cell,
     run_matrix,
     summarize,
@@ -66,6 +69,10 @@ REPRESENTATIVE = [
     CellSpec("late", "partition"),
     CellSpec("teardown", "partition"),
     CellSpec("teardown", "crash-primary"),
+    # reintegration: mid-stream rejoin, and rejoin followed by a second
+    # crash of the original survivor
+    CellSpec("early", "crash-restart-reintegrate", size=REINTEGRATE_SIZE),
+    CellSpec("ramp", "reintegrate-crash-again", size=REINTEGRATE_SIZE),
 ]
 
 
@@ -95,6 +102,17 @@ def test_full_host_fault_matrix():
     _assert_all_ok(run_matrix(host_fault_matrix(seeds=(1, 2))))
 
 
+@pytest.mark.chaos
+def test_full_reintegration_matrix():
+    """The reintegration-point sweep: crash → restart → rejoin (and a
+    second crash) at the same eight lifetime fractions as the crash
+    sweep.  Every cell is invariant-checked and carries a replayable
+    fault-plane recipe; each must also actually have reintegrated."""
+    results = run_matrix(reintegration_matrix(seeds=(1,)))
+    _assert_all_ok(results)
+    assert all(r.reintegrations >= 1 for r in results), summarize(results)
+
+
 # ----------------------------------------------------------------------
 # CI smoke shard: a seeded random slice of the whole grid
 # ----------------------------------------------------------------------
@@ -104,6 +122,27 @@ def test_full_host_fault_matrix():
 def test_chaos_smoke_shard():
     seed = int(os.environ.get("CHAOS_SMOKE_SEED", "1"))
     count = int(os.environ.get("CHAOS_SMOKE_CELLS", "16"))
-    grid = lifecycle_matrix(seeds=(seed,)) + host_fault_matrix(seeds=(seed,))
+    grid = (
+        lifecycle_matrix(seeds=(seed,))
+        + host_fault_matrix(seeds=(seed,))
+        + reintegration_matrix(seeds=(seed,))
+    )
     shard = random.Random(seed).sample(grid, k=min(count, len(grid)))
-    _assert_all_ok(run_matrix(shard))
+    # The smoke shard always exercises the full crash → restart →
+    # reintegrate → crash-again lifecycle, whatever the sample drew.
+    if not any(s.fault == "reintegrate-crash-again" for s in shard):
+        shard.append(CellSpec(
+            "midpoint", "reintegrate-crash-again",
+            seed=seed, size=REINTEGRATE_SIZE,
+        ))
+    results = run_matrix(shard)
+    _assert_all_ok(results)
+    for result in results:
+        if result.spec.fault in REINTEGRATE_FAULTS:
+            # The flight recorder must have tiled a reintegration phase
+            # (quiesce → install → rearm → merge) for the rejoin.
+            assert result.reintegrations >= 1, result.describe()
+            assert result.reintegration_phases, result.describe()
+            assert set(result.reintegration_phases) == {
+                "quiesce", "install", "rearm", "merge",
+            }, result.describe()

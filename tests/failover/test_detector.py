@@ -84,3 +84,76 @@ def test_timeout_must_exceed_interval():
     with pytest.raises(ValueError):
         FaultDetector(lan.client, SERVER_IP_a(lan), on_failure=lambda: None,
                       interval=0.05, timeout=0.01)
+
+
+# ----------------------------------------------------------------------
+# lifecycle: stop / reset / detach / restart-safe ticks
+# ----------------------------------------------------------------------
+
+
+def test_stop_cancels_both_ticks():
+    lan, det_a, det_b, fired = build()
+    det_a.start()
+    det_b.start()
+    lan.run(until=0.5)
+    det_a.stop()
+    sent_at_stop = det_a.heartbeats_sent
+    # The peer dies while det_a is stopped: no detection, no sends.
+    lan.sim.schedule(0.6, lan.server.crash)
+    lan.run(until=2.0)
+    assert det_a.heartbeats_sent == sent_at_stop
+    assert fired["a"] == 0
+    assert not det_a.started
+
+
+def test_ticks_die_with_their_host_and_rearm_after_restart():
+    lan, det_a, det_b, fired = build(interval=0.01, timeout=0.05)
+    det_a.start()
+    det_b.start()
+    lan.sim.schedule(0.5, lan.client.crash)
+    lan.run(until=1.0)
+    # det_a lived on the crashed client: its ticks self-cancelled.
+    assert not det_a.started
+    lan.client.restart()
+    det_a.reset()
+    det_a.start()
+    t_restart = lan.sim.now
+    lan.run(until=t_restart + 1.0)
+    # Re-arming after a long dead period must not fire instantly off the
+    # stale pre-crash last_heard (the peer is alive and answering).
+    assert fired["a"] == 0
+    assert det_a.heartbeats_sent > 50
+
+
+def test_reset_clears_fired_for_reuse():
+    lan, det_a, det_b, fired = build(interval=0.01, timeout=0.05)
+    det_a.start()
+    det_b.start()
+    lan.sim.schedule(0.5, lan.server.crash)
+    lan.run(until=1.0)
+    assert det_a.fired
+    lan.server.restart()
+    det_a.reset()
+    det_b.reset()  # the peer's sender died with the crash; re-arm it too
+    assert not det_a.fired
+    det_a.start()
+    det_b.start()
+    lan.run(until=lan.sim.now + 1.0)
+    assert fired["a"] == 1  # the restarted peer answers; no second firing
+
+    lan.server.crash()
+    lan.run(until=lan.sim.now + 1.0)
+    assert fired["a"] == 2  # a fresh failure after reset fires again
+
+
+def test_detach_removes_heartbeat_handler():
+    lan, det_a, det_b, fired = build()
+    det_a.start()
+    det_b.start()
+    lan.run(until=0.3)
+    seen = det_a.heartbeats_received
+    assert seen > 0
+    det_a.detach()
+    lan.run(until=1.0)
+    assert det_a.heartbeats_received == seen
+    assert fired["a"] == 0

@@ -274,3 +274,93 @@ def test_empty_ack_fires_only_on_merged_advance(base, events):
             assert merge.last_sent_ack == merged or seq_le(
                 merged, merge.last_sent_ack
             )
+
+
+# ----------------------------------------------------------------------
+# reintegration cycles: Δseq and the re-seeded merge across 2^32 wrap
+# ----------------------------------------------------------------------
+
+_cycle_events = st.lists(
+    st.tuples(
+        st.sampled_from(["p", "s"]),
+        st.integers(min_value=0, max_value=9000),   # ack advance
+        st.integers(min_value=1, max_value=65535),  # advertised window
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@FAST
+@given(
+    iss_p=st.integers(min_value=0, max_value=SEQ_MOD - 1),
+    iss_s=st.integers(min_value=0, max_value=SEQ_MOD - 1),
+    offsets=st.lists(
+        st.integers(min_value=0, max_value=200_000), min_size=1, max_size=20
+    ),
+)
+def test_delta_seq_correct_across_reintegration_cycles(iss_p, iss_s, offsets):
+    """Δseq correctness through a failover + Case-A reintegration:
+
+    cycle 1 maps P-space to the client-visible S-space via Δseq = P_iss −
+    S_iss; after the takeover the survivor speaks S-space natively, so
+    the reintegration resume carries the identity Δseq and composition
+    must leave the wire numbering untouched — for any ISS pair, including
+    ones whose mapped values cross the 2^32 wrap."""
+    from repro.failover.delta import SeqOffset
+
+    d1 = SeqOffset(iss_p, iss_s)
+    d2 = SeqOffset.identity()  # cycle 2: survivor already in wire numbering
+    for n in offsets:
+        x = seq_add(iss_p, n)
+        wire = d1.p_to_s(x)
+        # Round-trip and order/stride preservation across the wrap.
+        assert d1.s_to_p(wire) == x
+        assert wire == seq_add(d1.p_to_s(iss_p), n)
+        # The second cycle's identity delta must not move the numbering.
+        assert d2.p_to_s(wire) == wire
+        assert d2.s_to_p(wire) == wire
+
+
+@FAST
+@given(
+    base=st.integers(min_value=SEQ_MOD - 50_000, max_value=SEQ_MOD - 1),
+    cycles=st.lists(_cycle_events, min_size=2, max_size=3),
+)
+def test_resume_merge_min_and_monotone_across_cycles(base, cycles):
+    """Min-merge invariants survive >= 2 consecutive failover +
+    reintegration cycles whose ACK levels cross the 2^32 wrap.
+
+    Each cycle re-seeds a fresh merge exactly as ``resume_merge`` does
+    (both sides updated with the snapshot ACK, which is then noted as
+    sent, so an idle resume provokes no spurious empty ACK).  Within and
+    across cycles the merged ACK never exceeds either replica's own ACK
+    and the emitted ACK level never regresses."""
+    ack = base
+    last_emitted = None
+    for events in cycles:
+        merge = AckWindowMerge()
+        merge.update_from_primary(ack, 65535)
+        merge.update_from_secondary(ack, 65535)
+        merge.note_sent(ack)
+        assert not merge.should_send_empty_ack()
+        ack_p = ack_s = ack
+        for side, advance, window in events:
+            if side == "p":
+                ack_p = seq_add(ack_p, advance)
+                merge.update_from_primary(ack_p, window)
+            else:
+                ack_s = seq_add(ack_s, advance)
+                merge.update_from_secondary(ack_s, window)
+            merged = merge.merged_ack()
+            assert seq_le(merged, ack_p) and seq_le(merged, ack_s)
+            assert merged in (ack_p, ack_s)
+            if last_emitted is not None:
+                assert seq_le(last_emitted, merged)
+            if merge.should_send_empty_ack():
+                merge.note_sent(merged)
+                last_emitted = merged
+        # Failover: the survivor (here: the secondary) is promoted and its
+        # own ACK level is where the next cycle's snapshot resumes.
+        assert seq_le(merge.merged_ack(), ack_s)
+        ack = ack_s

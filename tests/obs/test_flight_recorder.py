@@ -73,3 +73,62 @@ def test_failed_cell_describe_embeds_incident():
     assert "incident report:" in text
     assert "incident line 1" in text
     assert "incident line 2" in text
+
+
+# ----------------------------------------------------------------------
+# reintegration tilings and multi-crash phase breakdowns
+# ----------------------------------------------------------------------
+
+REINTEGRATION_PHASES = ("quiesce", "install", "rearm", "merge")
+
+
+@pytest.fixture(scope="module")
+def double_failover_result():
+    from repro.harness.chaos import REINTEGRATE_SIZE
+
+    spec = CellSpec(
+        point="early", fault="reintegrate-crash-again",
+        seed=8, size=REINTEGRATE_SIZE,
+    )
+    return run_cell(spec)
+
+
+def test_reintegration_breakdown_tiles_the_rejoin(double_failover_result):
+    result = double_failover_result
+    assert result.ok, result.describe()
+    recorder = FlightRecorder(result.tracer)
+    reints = recorder.reintegration_breakdowns()
+    assert len(reints) == 1
+    tiling = reints[0]
+    assert not tiling.aborted
+    assert tiling.complete_time is not None
+    assert [p.name for p in tiling.phases] == list(REINTEGRATION_PHASES)
+    # Phases tile: contiguous, non-negative, summing to the total.
+    for earlier, later in zip(tiling.phases, tiling.phases[1:]):
+        assert earlier.end == later.start
+    durations = tiling.durations()
+    assert all(d >= 0.0 for d in durations.values())
+    assert abs(sum(durations.values()) - tiling.total) < 1e-9
+
+
+def test_two_crashes_give_two_phase_breakdowns(double_failover_result):
+    result = double_failover_result
+    recorder = FlightRecorder(result.tracer)
+    breakdowns = recorder.phase_breakdowns()
+    assert len(breakdowns) == 2
+    # phase_breakdown() (singular) stays backward compatible: the first.
+    first = recorder.phase_breakdown()
+    assert first is not None
+    assert first.crash_time == breakdowns[0].crash_time
+    assert breakdowns[0].crash_time < breakdowns[1].crash_time
+    for breakdown in breakdowns:
+        assert set(breakdown.durations()) == set(PHASES)
+
+
+def test_incident_report_includes_reintegration_section(double_failover_result):
+    result = double_failover_result
+    recorder = FlightRecorder(result.tracer)
+    text = recorder.report(title="double failover")
+    assert "reintegration" in text
+    for phase in REINTEGRATION_PHASES:
+        assert phase in text

@@ -141,6 +141,11 @@ class ChaosLan(ReplicatedLan):
         self.plane.tap_nic(self.secondary.nic, point="nic:secondary")
         self.checker = InvariantChecker(tracer=self.tracer)
         self.checker.attach_primary_bridge(self.pair.primary_bridge)
+        # After a reintegration the survivor's (possibly brand-new) merging
+        # bridge must be checked too — every emission, from either epoch.
+        self.pair.on_reintegrated.append(
+            lambda pair: self.checker.attach_primary_bridge(pair.primary_bridge)
+        )
 
     def finish_checks(self, node: str = "client") -> None:
         """Run the end-of-run invariants that need no stream data."""
