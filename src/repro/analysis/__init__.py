@@ -1,0 +1,48 @@
+"""Static correctness analysis for the failover reproduction.
+
+``repro.analysis`` is an AST linter purpose-built for this codebase.  It
+encodes the correctness contract the paper's merge logic depends on as
+machine-checked rules (see DESIGN.md §8):
+
+* ``seq-arith`` — sequence numbers live in Z/2^32; raw ``+``/``-``/
+  ordering comparisons on seq-flavoured values outside
+  :mod:`repro.tcp.seqnum` are wrap bugs waiting to happen.
+* ``rng-source`` / ``wallclock`` / ``set-order`` — determinism: every
+  random draw must come from a seeded, named stream and nothing in the
+  simulation may read the wall clock or depend on set iteration order,
+  or chaos-matrix runs stop being bit-for-bit replayable.
+* ``sim-import`` / ``checksum-pair`` — sim-safety: the protocol layers
+  must not touch real sockets/threads/clocks, and bridge code that
+  rewrites TCP segment fields must fix the checksum in the same
+  function (the paper's RFC 1624 incremental update, §3.1).
+* ``handler-except`` — event/timer callbacks must not swallow errors
+  with bare ``except``.
+
+Run it with ``python -m repro.analysis [paths...]`` or ``python -m repro
+lint``.  Violations can be suppressed per line with a justified pragma::
+
+    something_odd()  # replint: allow(wallclock) -- bench reporting only
+
+or grandfathered in a checked-in baseline file (``lint-baseline.json``);
+both require a written reason, and unused pragmas are themselves flagged.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import FileContext, LintEngine, Violation, lint_paths, lint_source
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "LintEngine",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+]

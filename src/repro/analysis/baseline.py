@@ -1,0 +1,127 @@
+"""Grandfathered-violation baseline.
+
+The baseline is a checked-in JSON file listing violations that predate the
+linter and are consciously tolerated.  Every entry must carry a written
+``why`` — the baseline is documentation, not a mute button — and entries
+that no longer match anything are reported as stale so the file shrinks
+monotonically as the tree is cleaned up.
+
+Matching is by ``(path, rule, snippet)`` rather than line number, so
+unrelated edits shifting a file do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.engine import Violation, canonical_path
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    path: str
+    rule: str
+    snippet: str
+    why: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.path, self.rule, self.snippet)
+
+
+@dataclass
+class Baseline:
+    """A set of tolerated violations plus bookkeeping for staleness."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    source_path: Optional[str] = None
+
+    def filter(self, violations: List[Violation]) -> List[Violation]:
+        """Drop baselined violations; surface malformed/stale entries."""
+        problems: List[Violation] = []
+        index: Dict[Tuple[str, str, str], BaselineEntry] = {}
+        matched: Dict[Tuple[str, str, str], bool] = {}
+        for entry in self.entries:
+            if not entry.why.strip():
+                problems.append(Violation(
+                    self.source_path or DEFAULT_BASELINE_NAME, 0, 0, "baseline",
+                    f"baseline entry for {entry.path} [{entry.rule}]"
+                    " has no `why` justification",
+                ))
+            index[entry.key()] = entry
+            matched[entry.key()] = False
+        kept: List[Violation] = []
+        for violation in violations:
+            key = (violation.path, violation.rule, violation.snippet)
+            if key in index:
+                matched[key] = True
+            else:
+                kept.append(violation)
+        for key, seen in matched.items():
+            if not seen:
+                path, rule, snippet = key
+                problems.append(Violation(
+                    self.source_path or DEFAULT_BASELINE_NAME, 0, 0, "baseline",
+                    f"stale baseline entry: {path} [{rule}]"
+                    f" {snippet!r} no longer matches anything — remove it",
+                ))
+        return kept + problems
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "path": e.path,
+                    "rule": e.rule,
+                    "snippet": e.snippet,
+                    "why": e.why,
+                }
+                for e in self.entries
+            ],
+        }
+
+
+def load_baseline(path: str) -> Baseline:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    entries = [
+        BaselineEntry(
+            path=canonical_path(item["path"]),
+            rule=item["rule"],
+            snippet=item["snippet"],
+            why=item.get("why", ""),
+        )
+        for item in payload.get("entries", [])
+    ]
+    return Baseline(entries=entries, source_path=path)
+
+
+def baseline_from_violations(violations: List[Violation]) -> Baseline:
+    """Build a grandfather baseline from current findings (``--write-baseline``).
+
+    The generated ``why`` is a placeholder the author must replace; the
+    loader treats an empty/placeholder reason as a violation of its own.
+    """
+    entries = []
+    seen = set()
+    for violation in violations:
+        key = (violation.path, violation.rule, violation.snippet)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(BaselineEntry(
+            path=violation.path,
+            rule=violation.rule,
+            snippet=violation.snippet,
+            why="",
+        ))
+    return Baseline(entries=entries)

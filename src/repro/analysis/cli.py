@@ -1,0 +1,88 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    baseline_from_violations,
+    load_baseline,
+)
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST linter for seq-wrap arithmetic, determinism and"
+                    " sim-safety (see DESIGN.md §8).",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: src tests)")
+    parser.add_argument("--format", choices=("human", "json"), default="human")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE_NAME}"
+                             " if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", metavar="PATH", default=None,
+                        help="write current findings as a grandfather"
+                             " baseline (fill in each `why` by hand)")
+    parser.add_argument("--list-rules", action="store_true")
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return load_baseline(args.baseline)
+    if os.path.exists(DEFAULT_BASELINE_NAME):
+        return load_baseline(DEFAULT_BASELINE_NAME)
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.name:16} {rule_cls.description}")
+        return 0
+    paths = args.paths or ["src", "tests"]
+    engine = LintEngine(baseline=_resolve_baseline(args))
+    violations = engine.lint_paths(paths)
+    if args.write_baseline:
+        baseline = baseline_from_violations(violations)
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(baseline.entries)} baseline entries to"
+              f" {args.write_baseline}; document each `why` before"
+              " committing")
+        return 0
+    if args.format == "json":
+        payload = {
+            "checked_files": engine.files_checked,
+            "rules": [rule.name for rule in engine.rules],
+            "violations": [v.as_dict() for v in violations],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for violation in violations:
+            print(violation)
+        suffix = "" if engine.files_checked == 1 else "s"
+        status = "clean" if not violations else f"{len(violations)} violation(s)"
+        print(f"repro.analysis: {engine.files_checked} file{suffix} checked,"
+              f" {status}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

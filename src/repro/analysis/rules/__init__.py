@@ -1,0 +1,34 @@
+"""Rule registry.  ``ALL_RULES`` is the default rule set, ordered by
+rough severity (correctness first, hygiene last)."""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.determinism import RngSourceRule, SetOrderRule, WallclockRule
+from repro.analysis.rules.handler_hygiene import HandlerExceptRule
+from repro.analysis.rules.seq_arith import SeqArithRule
+from repro.analysis.rules.sim_safety import ChecksumPairRule, SimImportRule
+
+ALL_RULES: List[Type[Rule]] = [
+    SeqArithRule,
+    ChecksumPairRule,
+    SimImportRule,
+    RngSourceRule,
+    WallclockRule,
+    SetOrderRule,
+    HandlerExceptRule,
+]
+
+__all__ = [
+    "ALL_RULES",
+    "ChecksumPairRule",
+    "HandlerExceptRule",
+    "Rule",
+    "RngSourceRule",
+    "SeqArithRule",
+    "SetOrderRule",
+    "SimImportRule",
+    "WallclockRule",
+]

@@ -1,0 +1,72 @@
+"""Rule base class and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import FileContext, Violation
+
+#: The four deterministic-simulation layers (sim-safety scope).
+SIM_LAYERS: Tuple[str, ...] = (
+    "src/repro/sim/",
+    "src/repro/tcp/",
+    "src/repro/failover/",
+    "src/repro/net/",
+)
+
+
+class Rule:
+    """One analysis pass.  Subclasses set ``name`` and implement ``check``."""
+
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+def call_name(node: ast.Call) -> str:
+    """Trailing identifier of the called expression (`a.b.c()` -> `c`)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Reconstruct `a.b.c` for Name/Attribute chains ('' if not one)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def in_src(path: str) -> bool:
+    return path.startswith("src/repro/")
+
+
+def in_sim_layers(path: str) -> bool:
+    return any(path.startswith(layer) for layer in SIM_LAYERS)
+
+
+def enclosing_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every function/async-function definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def int_const(node: ast.AST) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None

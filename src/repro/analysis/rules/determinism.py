@@ -1,0 +1,179 @@
+"""Determinism rules: ``rng-source``, ``wallclock``, ``set-order``.
+
+The chaos matrix promises bit-for-bit replayable runs; these rules pin
+down the three ways simulation code silently breaks that promise:
+drawing randomness from anywhere but a seeded named stream, reading the
+wall clock, and letting set iteration order leak into scheduling or
+output.  They apply to ``src/repro`` only — tests may use seeded local
+generators freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.rules.base import Rule, dotted_name, in_src
+
+#: random-module functions that use the shared, implicitly-seeded global
+#: generator.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "expovariate", "gauss", "normalvariate",
+    "betavariate", "gammavariate", "lognormvariate", "paretovariate",
+    "weibullvariate", "vonmisesvariate", "triangular", "getrandbits",
+    "randbytes", "seed",
+})
+
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "time.process_time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today", "os.urandom",
+})
+
+
+class RngSourceRule(Rule):
+    """``random.Random(...)`` may only be constructed in ``sim/rng.py``."""
+
+    name = "rng-source"
+    description = (
+        "random.Random construction outside sim/rng.py, or module-level"
+        " random.* draws from the shared unseeded generator"
+    )
+
+    EXEMPT = ("src/repro/sim/rng.py",)
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path) and path not in self.EXEMPT
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        from_random: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    from_random.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in ("random.Random", "random.SystemRandom") or (
+                isinstance(node.func, ast.Name) and node.func.id in from_random
+                and node.func.id in ("Random", "SystemRandom")
+            ):
+                yield ctx.violation(
+                    node, self.name,
+                    "construct RNG streams through repro.sim.rng"
+                    " (RngRegistry.stream / seeded_rng / fork_rng), the one"
+                    " audited home of random.Random, so seed derivation"
+                    " stays centralized and replayable",
+                )
+            elif name.startswith("random.") and name.split(".", 1)[1] in _GLOBAL_RANDOM_FNS:
+                yield ctx.violation(
+                    node, self.name,
+                    f"`{name}` draws from the process-global generator and is"
+                    " not replay-stable; draw from a named RngRegistry stream",
+                )
+
+
+class WallclockRule(Rule):
+    """No wall-clock reads in simulation code.
+
+    Benchmark/reporting sites that genuinely need host time carry an
+    explicit ``# replint: allow(wallclock) -- <why>`` pragma.
+    """
+
+    name = "wallclock"
+    description = "wall-clock access (time.*, datetime.now, os.urandom) in src/repro"
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in ("time", "datetime"):
+                for alias in node.names:
+                    dotted = f"{node.module}.{alias.name}"
+                    if dotted in _WALLCLOCK_CALLS or alias.name in ("datetime", "date"):
+                        yield ctx.violation(
+                            node, self.name,
+                            f"importing `{dotted}` invites wall-clock reads;"
+                            " simulated code must use Simulator.now",
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _WALLCLOCK_CALLS:
+                    yield ctx.violation(
+                        node, self.name,
+                        f"`{name}()` reads the wall clock; simulation state"
+                        " must derive from Simulator.now (pragma"
+                        " allow(wallclock) for reporting-only sites)",
+                    )
+
+
+def _is_set_expr(node: ast.AST, local_sets: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in local_sets
+    return False
+
+
+class SetOrderRule(Rule):
+    """Unordered ``set`` iteration must not feed scheduling or output."""
+
+    name = "set-order"
+    description = (
+        "iterating a set (or sorting by id()) produces"
+        " interpreter-dependent order; sort by a stable key first"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # Track names bound to set expressions per function scope (plus
+        # module scope) — cheap flow-insensitive inference.
+        scopes: List[ast.AST] = [ctx.tree]
+        scopes.extend(
+            n for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            local_sets: Set[str] = set()
+            body = scope.body if hasattr(scope, "body") else []
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Assign) and _is_set_expr(node.value, set()):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                local_sets.add(target.id)
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    yield from self._check_node(ctx, node, local_sets)
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST, local_sets: Set[str]
+    ) -> Iterator[Violation]:
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter, local_sets):
+            yield ctx.violation(
+                node, self.name,
+                "iterating a set directly; wrap in sorted(...) so event"
+                " and output order are replay-stable",
+            )
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "key"
+                    and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id == "id"
+                ):
+                    yield ctx.violation(
+                        node, self.name,
+                        "ordering by id() depends on the allocator; use a"
+                        " stable domain key",
+                    )

@@ -1,0 +1,51 @@
+"""Rule ``handler-except``: callbacks must not swallow errors.
+
+Every event and timer callback in this system runs inside the simulation
+engine's dispatch loop; an exception that escapes is how the chaos
+matrix and the invariant checker learn that something broke.  A bare
+``except:`` (or an ``except Exception: pass``) in protocol code converts
+a detectable bug into a silent divergence between replicas — the
+worst possible failure mode for a determinism-based failover.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.rules.base import Rule, in_src
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Body does nothing but pass/continue (no logging, no re-raise)."""
+    return all(isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in handler.body)
+
+
+def _is_broad(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("Exception", "BaseException")
+
+
+class HandlerExceptRule(Rule):
+    name = "handler-except"
+    description = (
+        "bare `except:` anywhere, or `except Exception: pass` in src/repro"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.violation(
+                    node, self.name,
+                    "bare `except:` swallows every error (including"
+                    " KeyboardInterrupt); name the exception type",
+                )
+            elif in_src(ctx.path) and _is_broad(node.type) and _swallows(node):
+                yield ctx.violation(
+                    node, self.name,
+                    "`except Exception: pass` hides callback failures the"
+                    " invariant checker needs to see; handle or record the"
+                    " error",
+                )

@@ -1,0 +1,158 @@
+"""Rule ``seq-arith``: raw arithmetic on sequence-number values.
+
+TCP sequence numbers are points on the Z/2^32 circle.  ``a + b``,
+``a - b``, ``a < b`` and ``min``/``max`` over them are only correct near
+the origin; at wrap they silently invert, which in this codebase means a
+wrong Δseq, a wrong min-ACK merge, or a retransmission mistaken for new
+data.  All point arithmetic must go through :mod:`repro.tcp.seqnum`
+(``seq_add``/``seq_sub``/``seq_lt``/``seq_min``/``seq_between``/...),
+which is the single exempted module.
+
+A value is considered a sequence number when a snake_case component of
+its name says so (``seq``, ``ack``, ``iss``, ``rcv_nxt``, ``sent_hwm``,
+``frontier``, ...).  Distances returned by ``seq_sub`` are ordinary
+integers and deliberately *not* matched — names like ``offset``,
+``skip`` or ``overlap`` stay free.  Equality comparisons are allowed
+(identity on the circle is exact); only ordering and ``+``/``-``/``%``
+are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.rules.base import Rule, call_name, int_const
+
+#: snake_case components that mark a name as a point in sequence space.
+SEQ_COMPONENTS = frozenset({
+    "seq", "ack", "iss", "irs", "isn", "una", "nxt", "hwm", "frontier",
+})
+
+#: Components that veto the match: these names hold counts, flags or
+#: configuration, not sequence-space points, even though a seq-ish word
+#: appears in them (`use_min_ack`, `empty_acks_sent`, `_segs_since_ack`).
+STOP_COMPONENTS = frozenset({
+    "merging", "since", "use", "count", "dup", "dups", "empty",
+    "bytes", "length", "len", "option", "segs", "merge", "num", "mod",
+})
+
+#: Calls whose *result* is a sequence-space point.
+POINT_RETURNING_CALLS = frozenset({
+    "seq_add", "seq_max", "seq_min", "p_to_s", "s_to_p",
+})
+
+SEQ_MOD_NAMES = frozenset({"SEQ_MOD"})
+
+
+def is_seq_identifier(name: str) -> bool:
+    parts = [p for p in name.lower().strip("_").split("_") if p]
+    if any(p in STOP_COMPONENTS for p in parts):
+        return False
+    return any(p in SEQ_COMPONENTS for p in parts)
+
+
+def is_seq_expr(node: ast.AST) -> bool:
+    """Does this expression denote a sequence-space point?"""
+    if isinstance(node, ast.Name):
+        return is_seq_identifier(node.id)
+    if isinstance(node, ast.Attribute):
+        return is_seq_identifier(node.attr)
+    if isinstance(node, ast.Call):
+        return call_name(node) in POINT_RETURNING_CALLS
+    return False
+
+
+def _is_mod_2_32(node: ast.AST) -> bool:
+    """Match ``2 ** 32``, ``1 << 32``, ``0x100000000`` and ``SEQ_MOD``."""
+    if int_const(node) == (1 << 32):
+        return True
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = node.id if isinstance(node, ast.Name) else node.attr
+        if name in SEQ_MOD_NAMES:
+            return True
+    if isinstance(node, ast.BinOp):
+        left, right = int_const(node.left), int_const(node.right)
+        if isinstance(node.op, ast.Pow) and (left, right) == (2, 32):
+            return True
+        if isinstance(node.op, ast.LShift) and (left, right) == (1, 32):
+            return True
+    return False
+
+
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+class SeqArithRule(Rule):
+    name = "seq-arith"
+    description = (
+        "raw +/-/%%/ordering on sequence numbers outside repro.tcp.seqnum;"
+        " use seq_add/seq_sub/seq_lt/seq_min/seq_between"
+    )
+
+    #: Only this module may do raw modular arithmetic.
+    EXEMPT = ("src/repro/tcp/seqnum.py",)
+
+    def applies_to(self, path: str) -> bool:
+        return path not in self.EXEMPT
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp):
+                yield from self._check_binop(ctx, node)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_augassign(ctx, node)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_binop(self, ctx: FileContext, node: ast.BinOp) -> Iterator[Violation]:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if is_seq_expr(node.left) or is_seq_expr(node.right):
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                helper = "seq_add" if isinstance(node.op, ast.Add) else "seq_sub"
+                yield ctx.violation(
+                    node, self.name,
+                    f"raw `{op}` on a sequence number wraps incorrectly at"
+                    f" 2^32; use {helper}()",
+                )
+        elif isinstance(node.op, ast.Mod) and _is_mod_2_32(node.right):
+            yield ctx.violation(
+                node, self.name,
+                "hand-rolled `% 2**32`; use the repro.tcp.seqnum helpers",
+            )
+
+    def _check_augassign(self, ctx: FileContext, node: ast.AugAssign) -> Iterator[Violation]:
+        if isinstance(node.op, (ast.Add, ast.Sub)) and is_seq_expr(node.target):
+            helper = "seq_add" if isinstance(node.op, ast.Add) else "seq_sub"
+            yield ctx.violation(
+                node, self.name,
+                f"augmented assignment on a sequence number; use {helper}()",
+            )
+
+    def _check_compare(self, ctx: FileContext, node: ast.Compare) -> Iterator[Violation]:
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, _ORDERING_OPS):
+                continue
+            if is_seq_expr(operands[index]) or is_seq_expr(operands[index + 1]):
+                yield ctx.violation(
+                    node, self.name,
+                    "raw ordering comparison on sequence numbers is wrong"
+                    " across the 2^32 wrap; use seq_lt/seq_le/seq_gt/seq_ge"
+                    " (RFC 793 §3.3 window comparison)",
+                )
+                break
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Violation]:
+        if isinstance(node.func, ast.Name) and node.func.id in ("min", "max"):
+            if any(is_seq_expr(arg) for arg in node.args):
+                helper = "seq_min" if node.func.id == "min" else "seq_max"
+                yield ctx.violation(
+                    node, self.name,
+                    f"builtin {node.func.id}() picks the numerically"
+                    f" {'smaller' if node.func.id == 'min' else 'larger'}"
+                    f" value, not the modular one; use {helper}()",
+                )

@@ -1,0 +1,121 @@
+"""Sim-safety rules: ``sim-import`` and ``checksum-pair``.
+
+``sim-import`` keeps the deterministic layers (sim/tcp/failover/net)
+hermetic: no real sockets, threads or host clocks — everything flows
+through the discrete-event engine.
+
+``checksum-pair`` enforces the paper's §3.1 contract in bridge code:
+whenever a TCP segment's addressed fields are rewritten (Δseq shift,
+merged ACK/window, diverted ports), the checksum must be fixed in the
+same function — either incrementally (:func:`incremental_rewrite`,
+RFC 1624) or by resealing (:meth:`TcpSegment.sealed`, which the bridges'
+``_emit`` performs for every outgoing segment).  A bare
+``dataclasses.replace`` that escapes those paths would put a segment on
+the wire with a stale checksum, which the receiving TCP drops — a bug
+that only surfaces as a mysterious stall.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.rules.base import Rule, call_name, in_sim_layers
+
+#: Modules that reach outside the simulation.
+_FORBIDDEN_IMPORTS = frozenset({
+    "socket", "threading", "multiprocessing", "subprocess", "selectors",
+    "asyncio", "time",
+})
+
+#: ``replace(...)`` keywords that rewrite addressed TCP header fields.
+_SEGMENT_FIELDS = frozenset({
+    "seq", "ack", "window", "flags", "src_port", "dst_port",
+})
+
+#: Calls that fix or recompute the checksum.  ``_emit`` counts: both
+#: bridges seal every segment there (``segment.sealed(...)``) before it
+#: reaches the wire.
+_CHECKSUM_FIXUPS = frozenset({
+    "incremental_rewrite", "sealed", "compute_checksum", "_emit",
+})
+
+
+class SimImportRule(Rule):
+    name = "sim-import"
+    description = (
+        "real socket/threading/time imports in the deterministic layers"
+        " (sim, tcp, failover, net)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return in_sim_layers(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _FORBIDDEN_IMPORTS:
+                        yield ctx.violation(
+                            node, self.name,
+                            f"`import {alias.name}` in a deterministic layer;"
+                            " use the Simulator event loop instead of real"
+                            " I/O, threads or clocks",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _FORBIDDEN_IMPORTS:
+                    yield ctx.violation(
+                        node, self.name,
+                        f"`from {node.module} import ...` in a deterministic"
+                        " layer; use the Simulator event loop instead",
+                    )
+            elif isinstance(node, ast.Call) and call_name(node) == "sleep":
+                yield ctx.violation(
+                    node, self.name,
+                    "sleep() blocks the host; schedule with"
+                    " Simulator.call_later / process timeouts",
+                )
+
+
+class ChecksumPairRule(Rule):
+    name = "checksum-pair"
+    description = (
+        "segment header rewrite via replace(...) without a checksum fixup"
+        " (incremental_rewrite/sealed/_emit) in the same function"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/failover/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for scope in ast.walk(ctx.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            rewrites = []
+            fixed = False
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in _CHECKSUM_FIXUPS:
+                    fixed = True
+                elif name == "replace" and any(
+                    kw.arg in _SEGMENT_FIELDS for kw in node.keywords
+                ):
+                    rewrites.append(node)
+            if fixed:
+                continue
+            for node in rewrites:
+                fields = sorted(
+                    kw.arg for kw in node.keywords if kw.arg in _SEGMENT_FIELDS
+                )
+                yield ctx.violation(
+                    node, self.name,
+                    f"replace(..., {', '.join(fields)}) rewrites addressed"
+                    " header fields but this function never fixes the"
+                    " checksum; pair it with incremental_rewrite()/.sealed()"
+                    " or emit via _emit (paper §3.1, RFC 1624)",
+                )

@@ -12,18 +12,29 @@ A bridge interposes between the host's TCP and IP layers through two hooks
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.net.addresses import Ipv4Address
 from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
 from repro.obs.metrics import NULL_METRICS
 from repro.tcp.segment import TcpSegment
 
+if TYPE_CHECKING:  # net.host imports tcp; keep the bridge layer cycle-free
+    from repro.failover.options import FailoverConfig
+    from repro.net.host import Host
+    from repro.sim.trace import Tracer
+
 
 class BridgeBase:
     """Shared plumbing for the primary and secondary bridges."""
 
-    def __init__(self, host, config, tracer=None, bridge_cost: float = 15e-6):
+    def __init__(
+        self,
+        host: "Host",
+        config: "FailoverConfig",
+        tracer: Optional["Tracer"] = None,
+        bridge_cost: float = 15e-6,
+    ):
         self.host = host
         self.sim = host.sim
         self.config = config
@@ -75,5 +86,5 @@ class BridgeBase:
             Ipv4Datagram(src=src_ip, dst=dst_ip, protocol=IPPROTO_TCP, payload=segment)
         )
 
-    def _trace(self, category: str, **detail) -> None:
+    def _trace(self, category: str, **detail: Any) -> None:
         self.tracer.emit(self.sim.now, category, self.host.name, **detail)

@@ -35,7 +35,7 @@ Failures:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable, List, Optional
+from typing import Callable, Dict, Generator, Iterable, List, Optional
 
 import dataclasses
 
@@ -43,11 +43,12 @@ from repro.failover.delta import SeqOffset
 from repro.failover.detector import FaultDetector
 from repro.failover.options import FailoverConfig
 from repro.failover.primary import PrimaryBridge
-from repro.failover.reintegration import export_resumable_connections
+from repro.failover.reintegration import ResumeApp, export_resumable_connections
 from repro.failover.takeover import rebind_failover_connections
 from repro.net.addresses import Ipv4Address
 from repro.net.host import Host
 from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
+from repro.sim.trace import Tracer
 from repro.tcp.segment import TcpSegment, incremental_rewrite
 
 
@@ -63,12 +64,12 @@ class ChainBridge(PrimaryBridge):
 
     def __init__(
         self,
-        host,
-        config,
+        host: Host,
+        config: FailoverConfig,
         downstream_ip: Optional[Ipv4Address],
         upstream_ip: Ipv4Address,
         service_ip: Ipv4Address,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
         bridge_cost: float = 15e-6,
         emit_cost: float = 25e-6,
     ):
@@ -208,7 +209,7 @@ class ReplicatedChain:
         self.takeover_resume_delay = takeover_resume_delay
         self.config = FailoverConfig(failover_ports)
         self.alive = {host.name: True for host in hosts}
-        self.bridges: dict = {}
+        self.bridges: Dict[str, ChainBridge] = {}
         self.detectors: List[FaultDetector] = []
         self._apps: List[object] = []
         self._app_factory: Optional[Callable[[Host], Generator]] = None
@@ -281,7 +282,9 @@ class ReplicatedChain:
     # failure handling: each survivor splices its own links
     # ------------------------------------------------------------------
 
-    def _make_failure_handler(self, observer: Host, failed: Host):
+    def _make_failure_handler(
+        self, observer: Host, failed: Host
+    ) -> Callable[[], None]:
         def handler() -> None:
             self._on_failure(observer, failed)
 
@@ -323,8 +326,8 @@ class ReplicatedChain:
         self,
         host: Host,
         install_delay: float = 200e-6,
-        resume_app=None,
-        warm_sync=None,
+        resume_app: Optional[ResumeApp] = None,
+        warm_sync: Optional[Callable[[Host, Host], None]] = None,
     ) -> ChainBridge:
         """Append ``host`` as the new tail, resuming established connections.
 

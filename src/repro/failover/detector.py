@@ -27,10 +27,14 @@ The detector is re-armable, which replica reintegration depends on:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.addresses import Ipv4Address
 from repro.net.packet import IPPROTO_HEARTBEAT, HeartbeatPayload, Ipv4Datagram
+
+if TYPE_CHECKING:
+    from repro.net.host import Host
+    from repro.sim.trace import Tracer
 
 
 class FaultDetector:
@@ -38,12 +42,12 @@ class FaultDetector:
 
     def __init__(
         self,
-        host,
+        host: "Host",
         peer_ip: Ipv4Address,
         on_failure: Callable[[], None],
         interval: float = 0.010,
         timeout: float = 0.050,
-        tracer=None,
+        tracer: Optional["Tracer"] = None,
     ):
         if timeout <= interval:
             raise ValueError("timeout must exceed the heartbeat interval")

@@ -28,7 +28,7 @@ the key is stable across the three traffic sources.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set, Tuple
 
 from repro.failover.bridge import BridgeBase
 from repro.failover.delta import SeqOffset
@@ -45,6 +45,11 @@ from repro.tcp.segment import (
     incremental_rewrite,
 )
 from repro.tcp.seqnum import seq_add, seq_gt, seq_lt, seq_max, seq_sub
+
+if TYPE_CHECKING:
+    from repro.failover.options import FailoverConfig
+    from repro.net.host import Host
+    from repro.sim.trace import Tracer
 
 BridgeKey = Tuple[Ipv4Address, int, int]  # (peer ip, peer port, local port)
 
@@ -149,10 +154,10 @@ class PrimaryBridge(BridgeBase):
 
     def __init__(
         self,
-        host,
-        config,
+        host: "Host",
+        config: "FailoverConfig",
         secondary_ip: Ipv4Address,
-        tracer=None,
+        tracer: Optional["Tracer"] = None,
         bridge_cost: float = 15e-6,
         emit_cost: float = 25e-6,
         ack_merging: bool = True,

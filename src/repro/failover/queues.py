@@ -18,7 +18,7 @@ deterministic; it is detected byte-for-byte and reported as
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.tcp.seqnum import seq_add, seq_lt, seq_sub
@@ -56,7 +56,7 @@ class OutputQueue:
         # the replicas (§4 case 4) while later segments still arrive, so
         # the queue must reassemble around the hole until the
         # retransmission fills it.
-        self._pending: dict = {}
+        self._pending: Dict[int, bytes] = {}
         self.bytes_enqueued = 0
         self.duplicates_discarded = 0
         self.gaps_buffered = 0

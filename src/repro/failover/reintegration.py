@@ -46,7 +46,7 @@ original secondary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Generator, List, Optional, Set, Tuple
 
 from repro.failover.delta import SeqOffset
 from repro.failover.options import FailoverConfig
@@ -61,6 +61,10 @@ from repro.tcp.connection import (
     TRANSFERABLE_STATES,
 )
 from repro.tcp.socket_api import SimSocket
+
+if TYPE_CHECKING:
+    from repro.net.host import Host
+    from repro.sim.trace import Tracer
 
 
 @dataclass
@@ -108,10 +112,10 @@ class ReintegrationResult:
 
 
 def export_resumable_connections(
-    survivor,
+    survivor: "Host",
     config: FailoverConfig,
     bridge: Optional[PrimaryBridge],
-):
+) -> Tuple[List[TcpSnapshot], List[ConnectionResume], List[BridgeKey]]:
     """Snapshot the survivor's resumable failover TCBs.
 
     Returns ``(snapshots, resumes, bypass_keys)``.  A connection resumes
@@ -172,20 +176,20 @@ def export_resumable_connections(
 
 
 def perform_reintegration(
-    survivor,
-    joiner,
+    survivor: "Host",
+    joiner: "Host",
     config: FailoverConfig,
     service_ip: Ipv4Address,
     primary_bridge: Optional[PrimaryBridge] = None,
     install_delay: float = 200e-6,
     resume_app: Optional[ResumeApp] = None,
-    warm_sync: Optional[Callable] = None,
+    warm_sync: Optional[Callable[["Host", "Host"], None]] = None,
     on_armed: Optional[Callable[[ReintegrationResult], None]] = None,
     bridge_cost: float = 15e-6,
     emit_cost: float = 25e-6,
     ack_merging: bool = True,
     window_merging: bool = True,
-    tracer=None,
+    tracer: Optional["Tracer"] = None,
 ) -> ReintegrationResult:
     """Re-admit ``joiner`` as the live secondary of ``survivor``.
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Iterable, List, Optional
 
 from repro.failover.detector import FaultDetector
+from repro.net.addresses import Ipv4Address, MacAddress
 from repro.failover.options import FailoverConfig
 from repro.failover.primary import PrimaryBridge
 from repro.failover.reintegration import (
@@ -207,7 +208,7 @@ class ReplicatedServerPair:
         self._secondary_failed()
 
     @property
-    def service_ip(self):
+    def service_ip(self) -> Ipv4Address:
         """The address clients connect to (survives every role change)."""
         return self.primary_ip
 
@@ -215,8 +216,10 @@ class ReplicatedServerPair:
     # step-down fencing (false suspicion)
     # ------------------------------------------------------------------
 
-    def _make_fence_handler(self, host: Host):
-        def handler(ip, mac) -> None:
+    def _make_fence_handler(
+        self, host: Host
+    ) -> Callable[[Ipv4Address, MacAddress], None]:
+        def handler(ip: Ipv4Address, mac: MacAddress) -> None:
             self._host_fenced(host)
 
         return handler

@@ -19,12 +19,17 @@ bridge is inert and the secondary "behaves like any standard TCP server."
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.net.addresses import Ipv4Address
 from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
 from repro.failover.bridge import BridgeBase
 from repro.tcp.segment import TcpSegment, incremental_rewrite
+
+if TYPE_CHECKING:
+    from repro.failover.options import FailoverConfig
+    from repro.net.host import Host
+    from repro.sim.trace import Tracer
 
 
 class SecondaryBridge(BridgeBase):
@@ -32,10 +37,10 @@ class SecondaryBridge(BridgeBase):
 
     def __init__(
         self,
-        host,
-        config,
+        host: "Host",
+        config: "FailoverConfig",
         primary_ip: Ipv4Address,
-        tracer=None,
+        tracer: Optional["Tracer"] = None,
         bridge_cost: float = 15e-6,
     ):
         super().__init__(host, config, tracer=tracer, bridge_cost=bridge_cost)

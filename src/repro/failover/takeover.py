@@ -22,11 +22,14 @@ see DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.net.addresses import Ipv4Address
 from repro.failover.options import FailoverConfig
 from repro.failover.secondary import SecondaryBridge
+
+if TYPE_CHECKING:
+    from repro.net.host import Host
 
 
 def perform_ip_takeover(
@@ -65,7 +68,7 @@ def perform_ip_takeover(
 
 
 def rebind_failover_connections(
-    host, config: FailoverConfig, old_ip: Ipv4Address, new_ip: Ipv4Address
+    host: "Host", config: FailoverConfig, old_ip: Ipv4Address, new_ip: Ipv4Address
 ) -> None:
     """Re-home failover TCBs (and only those) onto a taken-over address.
 

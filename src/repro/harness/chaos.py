@@ -50,7 +50,7 @@ from repro.tcp.socket_api import ListeningSocket, SimSocket
 # Client ISS pinned so payload byte ~4k crosses the 32-bit wrap: the
 # chaos matrix stresses wraparound arithmetic in every single cell.
 CLIENT_ISS = 0xFFFF_F000
-STREAM_START = (CLIENT_ISS + 1) % (1 << 32)
+STREAM_START = seq_add(CLIENT_ISS, 1)
 
 DEFAULT_SIZE = 120_000
 PORT = 80

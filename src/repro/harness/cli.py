@@ -18,6 +18,12 @@ Observability (the flight recorder / pcap plane)::
     python -m repro obs report          # phase breakdown of a seeded failover
     python -m repro obs pcap --out fo   # fo.wire.pcap + fo.divert.pcap
 
+Static analysis (the correctness contract, DESIGN.md §8)::
+
+    python -m repro lint                # == python -m repro.analysis src tests
+    python -m repro lint --format=json src tests
+    python -m repro lint --list-rules
+
 Every experiment command also writes a machine-readable
 ``BENCH_<name>.json`` artifact when ``--bench-dir`` (or the
 ``REPRO_BENCH_DIR`` environment variable) is set.
@@ -343,6 +349,12 @@ COMMANDS = {
 
 
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The linter owns its own argparse surface; hand over before ours.
+        from repro.analysis.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the DSN'03 TCP-failover paper's experiments.",

@@ -40,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.tcp.seqnum import seq_le, seq_max, seq_sub
+from repro.tcp.seqnum import seq_diff, seq_le, seq_max
 
 
 @dataclass
@@ -168,8 +168,12 @@ class InvariantChecker:
         if client_acked_seq is None:
             return 0
         # snd_una also covers SYN (+1 before any payload) and FIN (+1 at
-        # the end); clamp to the payload range.
-        acked = max(0, min(seq_sub(client_acked_seq, stream_start), len(blob)))
+        # the end); clamp to the payload range.  The difference must be
+        # *signed* (seq_diff, not seq_sub): before the SYN is acknowledged
+        # snd_una sits one behind stream_start, and the unsigned distance
+        # 2^32-1 would clamp to len(blob) — claiming the whole stream was
+        # acked when nothing ever was.
+        acked = max(0, min(seq_diff(client_acked_seq, stream_start), len(blob)))
         if delivered < acked:
             self.violations.append(Violation(
                 now, "acked-byte-lost",

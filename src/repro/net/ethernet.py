@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 from repro.net.packet import EthernetFrame
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.engine import Simulator
+from repro.sim.rng import seeded_rng
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:
@@ -50,7 +51,7 @@ class EthernetSegment:
         self.propagation_delay = propagation_delay
         self.collision_prob = collision_prob
         self.tracer = tracer or Tracer(record=False)
-        self.rng = rng or random.Random(0)
+        self.rng = rng or seeded_rng(0)
         metrics = metrics or NULL_METRICS
         self._m_frames = metrics.counter("eth.frames", segment=name)
         self._m_bytes = metrics.counter("eth.bytes", segment=name)

@@ -28,6 +28,7 @@ from repro.net.packet import IPPROTO_HEARTBEAT, IPPROTO_TCP, Ipv4Datagram
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, spawn
+from repro.sim.rng import fork_rng, seeded_rng
 from repro.sim.trace import Tracer
 from repro.tcp.connection import ConnectionReset
 from repro.tcp.layer import TcpLayer
@@ -53,7 +54,7 @@ class Cpu:
     ):
         self.sim = sim
         self.jitter = jitter
-        self.rng = rng or random.Random(0)
+        self.rng = rng or seeded_rng(0)
         self.spike_prob = spike_prob
         self.spike_cost = spike_cost
         self._busy_until = 0.0
@@ -109,7 +110,7 @@ class Host:
         self.metrics = metrics or NULL_METRICS
         # Default seed derives from the host name so two hosts never share
         # RNG state by accident (distinct ISS choices matter to the bridge).
-        self.rng = rng or random.Random(zlib.crc32(name.encode()))
+        self.rng = rng or seeded_rng(zlib.crc32(name.encode()))
         self.rx_segment_cost = rx_segment_cost
         self.rx_byte_cost = rx_byte_cost
         self.tx_segment_cost = tx_segment_cost
@@ -123,7 +124,7 @@ class Host:
         self.cpu = Cpu(
             sim,
             jitter=cpu_jitter,
-            rng=random.Random(self.rng.getrandbits(64)),
+            rng=fork_rng(self.rng),
             spike_prob=cpu_spike_prob,
             spike_cost=cpu_spike_cost,
             metrics=self.metrics,
@@ -138,7 +139,7 @@ class Host:
             local_ips=self.ip.owned_ips,
             transmit=self.transport_out,
             tracer=self.tracer,
-            rng=random.Random(self.rng.getrandbits(64)),
+            rng=fork_rng(self.rng),
             metrics=self.metrics,
         )
         self.ip.register_protocol(IPPROTO_TCP, self._tcp_datagram)

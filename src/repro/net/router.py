@@ -27,6 +27,9 @@ class Router(Host):
         name: str,
         mac: MacAddress,
         tracer: Optional[Tracer] = None,
+        # Inject a named stream from the testbed's RngRegistry (see
+        # repro.harness.topology); the Host base derives a stable
+        # name-keyed default via repro.sim.rng otherwise.
         rng: Optional[random.Random] = None,
         forwarding_cost: float = 15e-6,
         gratuitous_apply_delay: float = 0.0,

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 from repro.net.ip import PointToPointInterface
 from repro.net.packet import Ipv4Datagram
 from repro.sim.engine import Simulator
+from repro.sim.rng import fork_rng, seeded_rng
 from repro.sim.trace import Tracer
 
 
@@ -140,10 +141,10 @@ class WanLink:
         self.sim = sim
         self.name = name
         tracer = tracer or Tracer(record=False)
-        rng = rng or random.Random(0)
+        rng = rng or seeded_rng(0)
         # Split the RNG so the two directions decorrelate but stay seeded.
-        rng_a = random.Random(rng.getrandbits(64))
-        rng_b = random.Random(rng.getrandbits(64))
+        rng_a = fork_rng(rng)
+        rng_b = fork_rng(rng)
         self.a_to_b = WanDirection(
             sim, f"{name}.a2b", bandwidth_bps, propagation_delay, loss_prob,
             rng_a, tracer, cross_load=cross_load,

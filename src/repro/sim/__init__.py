@@ -12,7 +12,7 @@ kernel, so complete runs are deterministic given a seed.
 
 from repro.sim.engine import Simulator, Timer
 from repro.sim.process import Event, Process, Queue, Sleep
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, fork_rng, seeded_rng
 from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
@@ -20,6 +20,8 @@ __all__ = [
     "Process",
     "Queue",
     "RngRegistry",
+    "fork_rng",
+    "seeded_rng",
     "Simulator",
     "Sleep",
     "Timer",

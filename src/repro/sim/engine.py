@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # the sim core stays import-free of the obs plane
+    from repro.obs.metrics import MetricsRegistry
 
 
 class SimulationError(RuntimeError):
@@ -79,7 +82,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list = []
+        self._queue: List[Tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
         self._running = False
         self._events_processed = 0
@@ -88,7 +91,7 @@ class Simulator:
         self._m_events = None
         self._m_queue_peak = None
 
-    def set_metrics(self, metrics) -> None:
+    def set_metrics(self, metrics: "MetricsRegistry") -> None:
         """Attach a :class:`repro.obs.metrics.MetricsRegistry`.
 
         Publishes ``sim.events`` (callbacks executed) and

@@ -15,6 +15,29 @@ import random
 from typing import Dict
 
 
+def seeded_rng(seed: int) -> random.Random:
+    """The one sanctioned way to build a ``random.Random`` outside a registry.
+
+    Components that accept an optional injected stream (host, Ethernet
+    segment, WAN link, TCP layer) fall back to this for a standalone
+    default.  Keeping the construction here — the single module the
+    ``rng-source`` lint rule exempts — means every generator in the
+    simulation is seeded and auditable in one place.
+    """
+    return random.Random(seed)
+
+
+def fork_rng(parent: random.Random) -> random.Random:
+    """Derive an independent child generator from a parent stream.
+
+    The child's seed is drawn *from the parent*, so the derivation is a
+    pure function of the parent's seed and draw position: replay-stable,
+    and two forks of the same parent decorrelate (host CPU jitter vs the
+    TCP layer's ISS choice, the two directions of a WAN pipe, ...).
+    """
+    return random.Random(parent.getrandbits(64))
+
+
 class RngRegistry:
     """Factory of deterministic ``random.Random`` streams.
 
@@ -33,7 +56,7 @@ class RngRegistry:
             return existing
         digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
         seed = int.from_bytes(digest[:8], "big")
-        stream = random.Random(seed)
+        stream = seeded_rng(seed)
         self._streams[name] = stream
         return stream
 

@@ -11,14 +11,15 @@ establishment) silently requires.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.addresses import Ipv4Address
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.sim.engine import Simulator
 from repro.sim.process import Queue
+from repro.sim.rng import seeded_rng
 from repro.sim.trace import Tracer
-from repro.tcp.connection import TcpConnection, TcpState
+from repro.tcp.connection import TcpConnection, TcpSnapshot, TcpState
 from repro.tcp.segment import FLAG_ACK, FLAG_RST, TcpSegment
 
 ConnKey = Tuple[Ipv4Address, int, Ipv4Address, int]
@@ -63,7 +64,7 @@ class TcpLayer:
         self.local_ips = local_ips
         self._transmit = transmit
         self.tracer = tracer or Tracer(record=False)
-        self.rng = rng or random.Random(0)
+        self.rng = rng or seeded_rng(0)
         self.conn_defaults = conn_defaults or {}
         self.metrics = metrics or NULL_METRICS
         # Pre-bound instruments: per-segment paths stay one branch when
@@ -134,7 +135,7 @@ class TcpLayer:
         local_ip: Optional[Ipv4Address] = None,
         local_port: Optional[int] = None,
         failover: bool = False,
-        **options,
+        **options: Any,
     ) -> TcpConnection:
         """Open an active connection (SYN is sent immediately)."""
         if local_ip is None:
@@ -159,9 +160,9 @@ class TcpLayer:
 
     def install_connection(
         self,
-        snapshot,
+        snapshot: TcpSnapshot,
         local_ip: Optional[Ipv4Address] = None,
-        **options,
+        **options: Any,
     ) -> TcpConnection:
         """Materialise a :class:`~repro.tcp.connection.TcpSnapshot` here.
 

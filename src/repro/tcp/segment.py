@@ -24,7 +24,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.net.addresses import Ipv4Address
-from repro.tcp.seqnum import SEQ_MOD, seq_add
+from repro.tcp.seqnum import seq_add, seq_valid
 
 FLAG_FIN = 0x01
 FLAG_SYN = 0x02
@@ -79,7 +79,7 @@ class TcpSegment:
     checksum: int = 0
 
     def __post_init__(self) -> None:
-        if not 0 <= self.seq < SEQ_MOD or not 0 <= self.ack < SEQ_MOD:
+        if not seq_valid(self.seq) or not seq_valid(self.ack):
             raise ValueError("sequence/ack number out of 32-bit range")
         if not 0 <= self.window <= 0xFFFF:
             raise ValueError("window out of 16-bit range")
@@ -143,7 +143,7 @@ class TcpSegment:
     def header_sum(self, src_ip: Ipv4Address, dst_ip: Ipv4Address) -> int:
         """Folded sum of pseudo-header, header and options (not payload)."""
         total = (
-            src_ip.value
+            src_ip.value  # replint: allow(seq) -- one's-complement folding: seq/ack enter the mod-65535 checksum domain as 32-bit words, not sequence points
             + dst_ip.value
             + 6  # protocol
             + self.wire_size  # TCP length in pseudo-header

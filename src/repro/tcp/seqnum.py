@@ -12,6 +12,11 @@ SEQ_MOD = 1 << 32
 _HALF = 1 << 31
 
 
+def seq_valid(value: int) -> bool:
+    """Is ``value`` a representable sequence number (in [0, 2^32))?"""
+    return 0 <= value < SEQ_MOD
+
+
 def seq_add(a: int, b: int) -> int:
     """a + b (mod 2^32)."""
     return (a + b) % SEQ_MOD

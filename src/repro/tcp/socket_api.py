@@ -17,7 +17,7 @@ send buffer — matching the paper's definition of "send time" in Figure 3,
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.net.addresses import Ipv4Address
 from repro.tcp.connection import ConnectionReset, TcpConnection
@@ -42,7 +42,7 @@ class SimSocket:
         remote_port: int,
         local_port: Optional[int] = None,
         failover: bool = False,
-        **options,
+        **options: Any,
     ) -> "SimSocket":
         """Open an active connection from ``host`` (SYN goes out now)."""
         conn = host.tcp.connect(

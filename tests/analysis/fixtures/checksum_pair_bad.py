@@ -1,0 +1,15 @@
+# Segment header rewrites with no checksum fixup in the same function.
+# Linted under a pretend src/repro/failover path.
+
+from dataclasses import replace
+
+
+def divert(segment, new_seq, send):
+    adjusted = replace(segment, seq=new_seq)  # checksum now stale
+    send(adjusted)
+    return adjusted
+
+
+def remap_ports(segment, port, send):
+    rewritten = replace(segment, src_port=port, dst_port=port)
+    send(rewritten)

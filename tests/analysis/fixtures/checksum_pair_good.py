@@ -1,0 +1,30 @@
+# Header rewrites correctly paired with a checksum fixup.
+
+from dataclasses import replace
+
+from repro.tcp.segment import incremental_rewrite
+
+
+def divert(segment, old_src, old_dst, new_seq):
+    # RFC 1624 incremental update (paper §3.1).
+    return incremental_rewrite(segment, old_src, old_dst, seq=new_seq)
+
+
+def reseal(segment, new_ack, src_ip, dst_ip):
+    adjusted = replace(segment, ack=new_ack)
+    return adjusted.sealed(src_ip, dst_ip)
+
+
+class Bridge:
+    def forward(self, bc, segment, new_seq):
+        adjusted = replace(segment, seq=new_seq)
+        self._emit(bc, adjusted)  # _emit seals every outgoing segment
+
+    def _emit(self, bc, segment):
+        raise NotImplementedError
+
+
+def payload_only(datagram, data):
+    # Rewriting non-addressed fields (here: a datagram's payload) does
+    # not touch the TCP checksum inputs the rule guards.
+    return replace(datagram, payload=data)

@@ -1,0 +1,19 @@
+# Exceptions named, handled or recorded — never silently dropped.
+
+
+class ConnectionReset(Exception):
+    pass
+
+
+def timer_callback(conn, tracer):
+    try:
+        conn.tick()
+    except ConnectionReset:
+        tracer.emit(0.0, "tcp.rst", conn.name)
+
+
+def process_step(proc):
+    try:
+        proc.advance()
+    except Exception as exc:
+        proc.crash(exc)  # the failure is recorded, not swallowed

@@ -1,0 +1,24 @@
+# Unsanctioned randomness: linted under a pretend src/repro path.
+
+import random
+from random import Random
+
+
+def jitter():
+    return random.random()  # process-global generator
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def reseed():
+    random.seed(1234)
+
+
+def build_stream():
+    return random.Random(42)  # construction outside sim/rng.py
+
+
+def build_stream_imported():
+    return Random(7)

@@ -1,0 +1,16 @@
+# Sanctioned randomness: injected streams and the sim.rng factories.
+
+from repro.sim.rng import RngRegistry, fork_rng, seeded_rng
+
+
+def jitter(rng):
+    return rng.random()  # an injected, already-seeded stream
+
+
+def build(registry: RngRegistry):
+    wan = registry.stream("wan")
+    return fork_rng(wan)
+
+
+def standalone_default(rng=None):
+    return rng or seeded_rng(0)

@@ -1,0 +1,33 @@
+# Raw sequence arithmetic in every shape the rule must catch.
+
+
+def shift(seq, delta):
+    return seq + delta  # wraps wrong at 2^32
+
+
+def retreat(snd_nxt):
+    return snd_nxt - 1
+
+
+def acceptable(ack, snd_una, snd_nxt):
+    return snd_una < ack and ack <= snd_nxt  # RFC 793 needs modular compare
+
+
+def merged(ack_p, ack_s):
+    return min(ack_p, ack_s)  # numeric min, not the modular earlier-of
+
+
+def latest(seq_a, seq_b):
+    return max(seq_a, seq_b)
+
+
+def manual_mod(value):
+    return value % (2 ** 32)  # hand-rolled wrap
+
+
+def manual_mod_shift(value):
+    return value % (1 << 32)
+
+
+def advance(buffer, count):
+    buffer.rcv_nxt += count  # augmented assign on a seq point

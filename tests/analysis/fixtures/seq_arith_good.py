@@ -1,0 +1,38 @@
+# The same operations done correctly through repro.tcp.seqnum — plus
+# the distance idioms the rule must NOT flag.
+
+from repro.tcp.seqnum import seq_add, seq_le, seq_lt, seq_min, seq_sub
+
+
+def shift(seq, delta):
+    return seq_add(seq, delta)
+
+
+def acceptable(ack, snd_una, snd_nxt):
+    return seq_lt(snd_una, ack) and seq_le(ack, snd_nxt)
+
+
+def merged(ack_p, ack_s):
+    return seq_min(ack_p, ack_s)
+
+
+def distances_are_plain_ints(seq, frontier, payload):
+    # seq_sub returns a forward distance: ordinary comparisons and
+    # arithmetic on it are fine and must not be flagged.
+    overlap = seq_sub(frontier, seq)
+    if overlap > 0:
+        checked = min(overlap, len(payload))
+        return checked + 1
+    return 0
+
+
+def counters_with_seqish_words(merge, conn):
+    # Names like use_min_ack / empty_acks_sent / _segs_since_ack hold
+    # flags and counts, not sequence points.
+    if merge.use_min_ack:
+        merge.empty_acks_sent += 1
+    return conn._segs_since_ack >= 2
+
+
+def equality_is_exact(seq_a, seq_b):
+    return seq_a == seq_b or seq_a != seq_b

@@ -1,0 +1,16 @@
+# Set iteration order leaking into behaviour.
+
+
+def schedule(sim, events):
+    pending = set(events)
+    for event in pending:  # interpreter-dependent order
+        sim.call_later(0.0, event)
+
+
+def emit_all(hosts):
+    for host in {h.name for h in hosts}:  # set comprehension, same problem
+        print(host)
+
+
+def tiebreak(conns):
+    return sorted(conns, key=id)  # allocator-dependent ordering

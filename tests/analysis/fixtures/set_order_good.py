@@ -1,0 +1,15 @@
+# Stable iteration: sets are sorted (or only used for membership).
+
+
+def schedule(sim, events):
+    pending = set(events)
+    for event in sorted(pending):
+        sim.call_later(0.0, event)
+
+
+def membership_is_fine(fenced, address):
+    return address in fenced
+
+
+def tiebreak(conns):
+    return sorted(conns, key=lambda c: c.key)

@@ -1,0 +1,10 @@
+# The deterministic alternative: everything through the engine.
+
+
+def serve(sim, host, deliver):
+    sim.call_later(1.0, deliver)
+    return host.spawn(_run(host), name="server")
+
+
+def _run(host):
+    yield 1.0

@@ -1,0 +1,22 @@
+# Wall-clock reads: linted under a pretend src/repro/obs path (so the
+# sim-import rule stays out of the way and only `wallclock` fires).
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def precise():
+    return time.perf_counter()
+
+
+def label():
+    return datetime.now()
+
+
+def token():
+    return os.urandom(8)

@@ -1,0 +1,11 @@
+# Simulated time everywhere; one justified wall-clock site.
+
+import time
+
+
+def stamp(sim):
+    return sim.now
+
+
+def bench_wall_seconds():
+    return time.perf_counter()  # replint: allow(wallclock) -- reports host wall time of the benchmark run itself; never feeds simulated state

@@ -1,0 +1,114 @@
+"""Baseline semantics: grandfathering, staleness, why-required, round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    BaselineEntry,
+    baseline_from_violations,
+    load_baseline,
+)
+from repro.analysis.engine import LintEngine, Violation
+
+
+def _violation(path="src/repro/tcp/fake.py", rule="seq-arith",
+               snippet="return seq + 1", line=2):
+    return Violation(path=path, line=line, col=4, rule=rule,
+                     message="m", snippet=snippet)
+
+
+def test_matching_entry_is_dropped():
+    baseline = Baseline(entries=[BaselineEntry(
+        path="src/repro/tcp/fake.py", rule="seq-arith",
+        snippet="return seq + 1", why="pre-dates the linter",
+    )])
+    assert baseline.filter([_violation()]) == []
+
+
+def test_match_ignores_line_numbers():
+    baseline = Baseline(entries=[BaselineEntry(
+        path="src/repro/tcp/fake.py", rule="seq-arith",
+        snippet="return seq + 1", why="pre-dates the linter",
+    )])
+    # The file shifted by 40 lines; the entry still matches.
+    assert baseline.filter([_violation(line=42)]) == []
+
+
+def test_non_matching_violation_survives():
+    baseline = Baseline(entries=[BaselineEntry(
+        path="src/repro/tcp/fake.py", rule="seq-arith",
+        snippet="return seq + 1", why="pre-dates the linter",
+    )])
+    other = _violation(snippet="return seq - 1")
+    kept = baseline.filter([_violation(), other])
+    assert other in kept
+
+
+def test_stale_entry_is_reported():
+    baseline = Baseline(entries=[BaselineEntry(
+        path="src/repro/gone.py", rule="seq-arith",
+        snippet="return seq + 1", why="pre-dates the linter",
+    )])
+    kept = baseline.filter([])
+    assert len(kept) == 1
+    assert kept[0].rule == "baseline"
+    assert "stale" in kept[0].message
+
+
+def test_entry_without_why_is_reported():
+    baseline = Baseline(entries=[BaselineEntry(
+        path="src/repro/tcp/fake.py", rule="seq-arith",
+        snippet="return seq + 1", why="  ",
+    )])
+    kept = baseline.filter([_violation()])
+    assert [v.rule for v in kept] == ["baseline"]
+    assert "no `why`" in kept[0].message
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 999, "entries": []}))
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+def test_round_trip_through_disk(tmp_path):
+    generated = baseline_from_violations([_violation(), _violation()])
+    assert len(generated.entries) == 1  # deduplicated by (path, rule, snippet)
+    generated.entries[0].why = "documented by hand"
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(generated.as_dict(), indent=2))
+    loaded = load_baseline(str(path))
+    assert loaded.source_path == str(path)
+    assert loaded.filter([_violation()]) == []
+
+
+def test_loader_canonicalises_entry_paths(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": BASELINE_VERSION,
+        "entries": [{
+            "path": "/checkout/src/repro/tcp/fake.py",
+            "rule": "seq-arith",
+            "snippet": "return seq + 1",
+            "why": "pre-dates the linter",
+        }],
+    }))
+    loaded = load_baseline(str(path))
+    assert loaded.filter([_violation()]) == []
+
+
+def test_engine_applies_baseline_on_tree_walk(tmp_path):
+    victim = tmp_path / "src" / "repro" / "tcp"
+    victim.mkdir(parents=True)
+    (victim / "fake.py").write_text("def f(seq):\n    return seq + 1\n")
+    baseline = Baseline(entries=[BaselineEntry(
+        path="src/repro/tcp/fake.py", rule="seq-arith",
+        snippet="return seq + 1", why="pre-dates the linter",
+    )])
+    engine = LintEngine(baseline=baseline)
+    assert engine.lint_paths([str(tmp_path / "src")]) == []
+    assert engine.files_checked == 1

@@ -1,0 +1,178 @@
+"""Engine mechanics: pragmas, dedupe, path canonicalisation, parse errors."""
+
+from repro.analysis import lint_source
+from repro.analysis.engine import canonical_path, parse_pragmas
+
+SRC = "src/repro/tcp/fake.py"
+
+
+def _rules(violations):
+    return [v.rule for v in violations]
+
+
+# -- pragma suppression --------------------------------------------------
+
+
+def test_same_line_pragma_suppresses():
+    source = (
+        "def bump(seq):\n"
+        "    return seq + 1  # replint: allow(seq-arith) -- fixture\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_standalone_pragma_covers_next_line():
+    source = (
+        "def bump(seq):\n"
+        "    # replint: allow(seq-arith) -- fixture\n"
+        "    return seq + 1\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_standalone_pragma_does_not_leak_past_next_line():
+    source = (
+        "def bump(seq):\n"
+        "    # replint: allow(seq-arith) -- fixture\n"
+        "    first = seq + 1\n"
+        "    return seq + 2\n"
+    )
+    assert _rules(lint_source(source, SRC)) == ["seq-arith"]
+
+
+def test_file_allow_pragma_covers_whole_file():
+    source = (
+        "# replint: file-allow(seq-arith) -- fixture\n"
+        "def bump(seq):\n"
+        "    a = seq + 1\n"
+        "    return seq + 2\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_pragma_alias_spellings():
+    source = (
+        "def bump(seq):\n"
+        "    return seq + 1  # replint: allow(seq) -- fixture\n"
+    )
+    assert lint_source(source, SRC) == []
+
+
+def test_pragma_suppresses_only_named_rule():
+    source = (
+        "def bump(seq):\n"
+        "    return seq + 1  # replint: allow(wallclock) -- wrong rule\n"
+    )
+    # The seq-arith finding survives, and the pragma itself is flagged as
+    # unused — a stale suppression is noise that must be removed.
+    assert sorted(_rules(lint_source(source, SRC))) == ["pragma", "seq-arith"]
+
+
+def test_reasonless_pragma_is_a_violation():
+    source = (
+        "def bump(seq):\n"
+        "    return seq + 1  # replint: allow(seq-arith)\n"
+    )
+    assert _rules(lint_source(source, SRC)) == ["pragma"]
+
+
+def test_unused_pragma_is_a_violation():
+    source = "x = 1  # replint: allow(seq-arith) -- nothing here\n"
+    violations = lint_source(source, SRC)
+    assert _rules(violations) == ["pragma"]
+    assert "unused" in violations[0].message
+
+
+def test_pragma_in_string_literal_is_ignored():
+    source = 'doc = "say # replint: allow(seq-arith) to suppress"\n'
+    assert lint_source(source, SRC) == []
+
+
+def test_pragma_in_docstring_is_ignored():
+    source = '"""Use ``# replint: allow(seq-arith) -- why`` inline."""\n'
+    assert lint_source(source, SRC) == []
+
+
+def test_malformed_pragma_is_reported():
+    source = "x = 1  # replint: allow seq-arith\n"
+    violations = lint_source(source, SRC)
+    assert _rules(violations) == ["pragma"]
+    assert "unparseable" in violations[0].message
+
+
+def test_multi_rule_pragma():
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp(seq):\n"
+        "    # replint: allow(seq-arith, wallclock) -- fixture\n"
+        "    return seq + time.time()\n"
+    )
+    assert lint_source(source, "src/repro/obs/fake.py") == []
+
+
+def test_parse_pragmas_returns_positions():
+    source = "a = 1\nb = 2  # replint: allow(seq-arith) -- why\n"
+    pragmas, problems = parse_pragmas(source, SRC)
+    assert problems == []
+    assert len(pragmas) == 1
+    assert pragmas[0].line == 2
+    assert pragmas[0].rules == ("seq-arith",)
+    assert not pragmas[0].standalone
+    assert not pragmas[0].file_scope
+
+
+# -- dedupe, ordering, parse failures ------------------------------------
+
+
+def test_nested_binop_chain_reports_once():
+    source = "def bump(seq):\n    return seq + 1 + 2\n"
+    violations = lint_source(source, SRC)
+    assert _rules(violations) == ["seq-arith"]
+
+
+def test_violations_sorted_by_position():
+    source = (
+        "def f(seq, ack):\n"
+        "    b = ack - 1\n"
+        "    a = seq + 1\n"
+        "    return a, b\n"
+    )
+    violations = lint_source(source, SRC)
+    assert [v.line for v in violations] == [2, 3]
+
+
+def test_syntax_error_becomes_violation():
+    violations = lint_source("def broken(:\n", SRC)
+    assert _rules(violations) == ["syntax"]
+
+
+def test_violation_str_and_dict_round_trip():
+    violations = lint_source("def f(seq):\n    return seq + 1\n", SRC)
+    (violation,) = violations
+    assert str(violation).startswith(f"{SRC}:2:")
+    as_dict = violation.as_dict()
+    assert as_dict["rule"] == "seq-arith"
+    assert as_dict["snippet"] == "return seq + 1"
+
+
+# -- path canonicalisation -----------------------------------------------
+
+
+def test_canonical_path_anchors_src():
+    assert (
+        canonical_path("/somewhere/repo/src/repro/tcp/layer.py")
+        == "src/repro/tcp/layer.py"
+    )
+
+
+def test_canonical_path_anchors_tests():
+    assert (
+        canonical_path("/somewhere/repo/tests/tcp/test_layer.py")
+        == "tests/tcp/test_layer.py"
+    )
+
+
+def test_canonical_path_strips_leading_dot_slash():
+    assert canonical_path("./scripts/tool.py") == "scripts/tool.py"

@@ -1,0 +1,97 @@
+"""Per-rule fixture corpus tests.
+
+Every rule has a *bad* fixture that must produce at least one finding (all
+of that rule — no collateral noise from other rules) and a *good* fixture
+showing the sanctioned idiom, which must lint clean.  The fixtures live in
+``fixtures/`` (excluded from tree walks) and are linted through
+``lint_source`` under a pretend path chosen so the rule's scope applies.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (fixture stem, rule name, pretend path the fixture is linted under)
+CASES = [
+    ("seq_arith", "seq-arith", "src/repro/tcp/fake.py"),
+    ("rng", "rng-source", "src/repro/net/fake.py"),
+    ("wallclock", "wallclock", "src/repro/obs/fake.py"),
+    ("set_order", "set-order", "src/repro/sim/fake.py"),
+    ("sim_import", "sim-import", "src/repro/net/fake.py"),
+    ("checksum_pair", "checksum-pair", "src/repro/failover/fake.py"),
+    ("handler_except", "handler-except", "src/repro/failover/fake.py"),
+]
+
+
+def _lint_fixture(stem: str, pretend_path: str):
+    source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
+    return lint_source(source, pretend_path)
+
+
+@pytest.mark.parametrize(
+    "stem,rule,pretend", CASES, ids=[c[1] for c in CASES]
+)
+def test_bad_fixture_fails(stem, rule, pretend):
+    violations = _lint_fixture(f"{stem}_bad", pretend)
+    assert violations, f"{stem}_bad.py produced no findings"
+    assert {v.rule for v in violations} == {rule}, [str(v) for v in violations]
+
+
+@pytest.mark.parametrize(
+    "stem,rule,pretend", CASES, ids=[c[1] for c in CASES]
+)
+def test_good_fixture_is_clean(stem, rule, pretend):
+    violations = _lint_fixture(f"{stem}_good", pretend)
+    assert violations == [], [str(v) for v in violations]
+
+
+# -- targeted scope/behaviour checks ------------------------------------
+
+
+def test_seq_arith_exempts_seqnum_module():
+    source = "def seq_add(a, b):\n    return (a + b) % 2 ** 32\n"
+    assert lint_source(source, "src/repro/tcp/seqnum.py") == []
+    assert lint_source(source, "src/repro/tcp/buffers.py") != []
+
+
+def test_seq_arith_flags_every_bad_site():
+    source = (FIXTURES / "seq_arith_bad.py").read_text(encoding="utf-8")
+    violations = _lint_fixture("seq_arith_bad", "src/repro/tcp/fake.py")
+    # Each function in the fixture demonstrates one distinct bad pattern.
+    assert len(violations) >= source.count("def ")
+
+
+def test_determinism_rules_do_not_apply_to_tests():
+    source = "import random\nrng = random.Random(1234)\n"
+    assert lint_source(source, "tests/net/test_fake.py") == []
+    assert lint_source(source, "src/repro/net/fake.py") != []
+
+
+def test_rng_rule_exempts_the_rng_module():
+    source = "import random\n\n\ndef make(seed):\n    return random.Random(seed)\n"
+    assert lint_source(source, "src/repro/sim/rng.py") == []
+
+
+def test_sim_import_scope_is_the_deterministic_layers():
+    source = "import threading\n"
+    for layer in ("sim", "tcp", "failover", "net"):
+        assert lint_source(source, f"src/repro/{layer}/fake.py") != [], layer
+    assert lint_source(source, "src/repro/harness/fake.py") == []
+
+
+def test_bare_except_is_flagged_even_in_tests():
+    source = "try:\n    pass\nexcept:\n    pass\n"
+    assert any(
+        v.rule == "handler-except"
+        for v in lint_source(source, "tests/tcp/test_fake.py")
+    )
+
+
+def test_swallowed_exception_is_src_only():
+    source = "try:\n    pass\nexcept Exception:\n    pass\n"
+    assert lint_source(source, "tests/tcp/test_fake.py") == []
+    assert lint_source(source, "src/repro/tcp/fake.py") != []

@@ -133,7 +133,7 @@ def test_upload_survives_drops_of_wrap_straddling_segments(
     sequence comparisons straddle zero.  Delivery must stay exact and
     every §2 invariant must hold."""
     size = 40_000
-    iss = (SEQ_MOD + wrap_offset) % SEQ_MOD
+    iss = (SEQ_MOD + wrap_offset) % SEQ_MOD  # replint: allow(seq) -- normalising a possibly-negative strategy draw into [0, 2^32), not stream arithmetic
     stream_start = seq_add(iss, 1)
     wrap_byte = (-wrap_offset) % size  # offset of the byte at seq 0
     lan = ChaosLan(seed=seed, failover_ports=(PORT,))

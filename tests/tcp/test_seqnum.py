@@ -1,4 +1,5 @@
 """Property tests for 32-bit sequence arithmetic (invariant 6 of DESIGN.md)."""
+# replint: file-allow(seq) -- this file is the oracle for the seqnum helpers; it must state the modular ground truth with raw arithmetic, or the tests would be circular
 
 from hypothesis import given
 from hypothesis import strategies as st
