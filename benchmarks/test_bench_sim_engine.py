@@ -1,0 +1,98 @@
+"""Simulator scheduling-throughput guard.
+
+The cluster capacity runs push hundreds of thousands of timers through
+one ``Simulator``; most retransmission timers are cancelled by the ACK
+long before their deadline.  This benchmark drives two synthetic loads —
+a plain schedule/fire loop and a churn loop where 95% of timers are
+cancelled — and asserts the scheduler sustains a floor throughput, so a
+regression in the hot loop (or in the lazy heap compaction that keeps
+cancelled entries from dominating) fails the build.
+"""
+
+import time
+
+from benchmarks.conftest import FULL, print_table, write_artifact
+from repro.sim.engine import Simulator
+
+EVENTS = 200_000 if FULL else 50_000
+# Floors are deliberately loose (~5-10x below observed) so they only trip
+# on algorithmic regressions, not machine noise.
+MIN_FIRE_RATE = 100_000.0  # events/sec, schedule+fire
+MIN_CHURN_RATE = 50_000.0  # timers/sec, schedule+cancel-heavy
+
+
+def _noop():
+    return None
+
+
+def run_fire_loop():
+    """Schedule EVENTS timers and fire them all."""
+    sim = Simulator()
+    for i in range(EVENTS):
+        sim.schedule(float(i) * 1e-6, _noop)
+    sim.run()
+    assert sim.events_processed == EVENTS
+    return sim
+
+
+def run_churn_loop():
+    """Schedule EVENTS timers, cancel 95% of them, fire the rest.
+
+    Without lazy compaction the heap holds every dead entry until run()
+    pops it; with compaction the queue shrinks as cancellations dominate.
+    """
+    sim = Simulator()
+    live = 0
+    timers = []
+    for i in range(EVENTS):
+        t = sim.schedule(1.0 + float(i) * 1e-6, _noop)
+        if i % 20 == 0:
+            live += 1
+        else:
+            timers.append(t)
+    for t in timers:
+        t.cancel()
+    assert sim.pending_events < EVENTS // 2, "compaction did not shrink the heap"
+    sim.run()
+    assert sim.events_processed == live
+    return sim
+
+
+def test_bench_sim_engine(benchmark):
+    def experiment():
+        out = {}
+        start = time.perf_counter()  # replint: allow(wallclock) -- benchmark harness measures host-CPU throughput
+        run_fire_loop()
+        out["fire_rate"] = EVENTS / (time.perf_counter() - start)  # replint: allow(wallclock) -- benchmark harness measures host-CPU throughput
+        start = time.perf_counter()  # replint: allow(wallclock) -- benchmark harness measures host-CPU throughput
+        churn_sim = run_churn_loop()
+        out["churn_rate"] = EVENTS / (time.perf_counter() - start)  # replint: allow(wallclock) -- benchmark harness measures host-CPU throughput
+        out["compactions"] = churn_sim.compactions
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "Simulator scheduling throughput",
+        ["load", "rate (ops/s)", "floor"],
+        [
+            ("schedule+fire", f"{results['fire_rate']:.0f}", f"{MIN_FIRE_RATE:.0f}"),
+            ("95% churn", f"{results['churn_rate']:.0f}", f"{MIN_CHURN_RATE:.0f}"),
+        ],
+    )
+    write_artifact(
+        "sim_engine",
+        {"events": EVENTS},
+        [
+            {"label": "fire", "metrics": {"events_per_sec": results["fire_rate"]}},
+            {
+                "label": "churn",
+                "metrics": {
+                    "timers_per_sec": results["churn_rate"],
+                    "compactions": float(results["compactions"]),
+                },
+            },
+        ],
+    )
+    assert results["compactions"] >= 1
+    assert results["fire_rate"] > MIN_FIRE_RATE, results
+    assert results["churn_rate"] > MIN_CHURN_RATE, results

@@ -16,9 +16,11 @@ from repro.net.host import Host
 from repro.tcp.socket_api import ListeningSocket, SimSocket
 
 
-def reply_server(host: Host, port: int, max_requests: int = None) -> Generator:
+def reply_server(
+    host: Host, port: int, max_requests: int = None, backlog: int = 16
+) -> Generator:
     """Serve requests forever: each 4-byte request encodes the reply size."""
-    listening = ListeningSocket.listen(host, port)
+    listening = ListeningSocket.listen(host, port, backlog=backlog)
     served = 0
     while max_requests is None or served < max_requests:
         sock = yield from listening.accept()
@@ -40,6 +42,20 @@ def _serve_one(sock: SimSocket) -> Generator:
             break
         yield from sock.send_all(pattern_bytes(size, salt=size & 0xFF))
     yield from sock.close_and_wait()
+
+
+def resume_reply_server(host: Host, sock: SimSocket, resume) -> Generator:
+    """Warm-start a replica of :func:`_serve_one` on a reintegrating host.
+
+    The request/reply protocol is quiescent at exchange boundaries: each
+    request is 4 bytes (delivered in one segment) and each reply is
+    produced by a single ``send_all`` call, so a reintegration snapshot's
+    stream offsets always land between exchanges.  Reply bytes that were
+    in flight at snapshot time travel inside the installed TCB and need
+    no regeneration — the replica just re-enters the serve loop and
+    regenerates everything from the snapshot position onward.
+    """
+    return _serve_one(sock)
 
 
 def request_once(

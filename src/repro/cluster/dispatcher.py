@@ -1,0 +1,235 @@
+"""The virtual-service dispatcher: one advertised IP, N shards behind it.
+
+A :class:`VirtualService` turns a forwarding host (a
+:class:`repro.net.router.Router`) into an L4 load balancer.  The host
+owns the advertised **virtual IP** on the front LAN and has one leg on
+each shard LAN; the service installs itself as the host's IP rx-tap and
+NATs in both directions:
+
+* client → VIP: pick the shard by rendezvous hash of the client side of
+  the 4-tuple (pinned in a flow table so every later segment of the flow
+  — including retransmissions during a shard's failover — lands on the
+  same shard), rewrite ``dst`` from the VIP to the shard's service
+  address, and let the normal forwarding path carry it onto the shard
+  LAN;
+* shard → client: rewrite ``src`` from the shard service address back to
+  the VIP, so the client only ever converses with the advertised IP.
+
+Both rewrites use :func:`repro.tcp.segment.incremental_rewrite`, the
+same RFC 1624-style checksum fixup the failover bridge uses — the
+receiving TCP revalidates every checksum, so a NAT bug here is loudly
+visible, not silently absorbed.
+
+Failover stays **shard-local by construction**: the shard's service
+address never changes when its secondary takes over (§5 moves the
+address between replicas, not to a new one), so the dispatcher's flow
+table and backend map need no updates — only the shard-LAN ARP entry
+moves, via the same gratuitous ARP the paper's router honours after
+interval T (modelled by the host's ``gratuitous_apply_delay``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.hashing import choose_shard, flow_key
+from repro.net.addresses import Ipv4Address
+from repro.net.host import Host
+from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.tcp.segment import FLAG_ACK, FLAG_SYN, TcpSegment, incremental_rewrite
+
+#: (client ip value, client port) — the dispatcher-side flow identity.
+FlowId = Tuple[int, int]
+
+
+class FlowEntry:
+    """Pinned placement of one client flow."""
+
+    __slots__ = ("shard_id", "last_seen")
+
+    def __init__(self, shard_id: str, last_seen: float):
+        self.shard_id = shard_id
+        self.last_seen = last_seen
+
+
+class VirtualService:
+    """L4 NAT steering for one advertised service address."""
+
+    def __init__(
+        self,
+        host: Host,
+        virtual_ip: Ipv4Address,
+        service_port: int,
+        backends: Dict[str, Ipv4Address],
+        metrics: Optional[MetricsRegistry] = None,
+        flow_idle_timeout: float = 30.0,
+        max_flows: int = 65536,
+    ):
+        if not backends:
+            raise ValueError("VirtualService needs at least one backend shard")
+        if not host.ip.forwarding:
+            raise ValueError(
+                f"{host.name}: dispatcher host must have IP forwarding enabled"
+            )
+        self.host = host
+        self.sim = host.sim
+        self.virtual_ip = virtual_ip
+        self.service_port = service_port
+        self.backends: Dict[str, Ipv4Address] = dict(backends)
+        self._backend_ip_values = {ip.value for ip in self.backends.values()}
+        self.flow_idle_timeout = flow_idle_timeout
+        self.max_flows = max_flows
+        self.flows: Dict[FlowId, FlowEntry] = {}
+        self.new_flows: Dict[str, int] = {sid: 0 for sid in self.backends}
+        self.segments_in = 0
+        self.segments_out = 0
+        self.segments_dropped = 0
+        metrics = metrics or NULL_METRICS
+        self._m_in = metrics.counter("dispatcher.segments_in")
+        self._m_out = metrics.counter("dispatcher.segments_out")
+        self._m_flows = metrics.gauge("dispatcher.flows")
+        host.ip.set_rx_tap(self._tap)
+
+    # ------------------------------------------------------------------
+    # placement view
+    # ------------------------------------------------------------------
+
+    def shard_of(self, client_ip: Ipv4Address, client_port: int) -> Optional[str]:
+        """Which shard this client flow is (or would be) steered to."""
+        entry = self.flows.get((client_ip.value, client_port))
+        if entry is not None:
+            return entry.shard_id
+        return choose_shard(
+            flow_key(client_ip, client_port), list(self.backends)
+        )
+
+    def flow_count(self) -> int:
+        return len(self.flows)
+
+    def add_backend(self, shard_id: str, service_ip: Ipv4Address) -> None:
+        """Admit a shard to the steering set (new flows only; pins hold)."""
+        self.backends[shard_id] = service_ip
+        self._backend_ip_values.add(service_ip.value)
+        self.new_flows.setdefault(shard_id, 0)
+
+    def remove_backend(self, shard_id: str) -> None:
+        """Drop a shard from the steering set.
+
+        Existing pinned flows keep their placement (their segments still
+        rewrite toward the shard's address — tearing down live
+        connections is the fleet's decision, not the dispatcher's); only
+        *new* flows re-steer, and by the rendezvous property exactly the
+        removed shard's keys move.
+        """
+        ip = self.backends.pop(shard_id, None)
+        if ip is not None and not any(
+            other.value == ip.value for other in self.backends.values()
+        ):
+            self._backend_ip_values.discard(ip.value)
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+
+    def _tap(self, datagram: Ipv4Datagram) -> Optional[Ipv4Datagram]:
+        if datagram.protocol != IPPROTO_TCP or not isinstance(
+            datagram.payload, TcpSegment
+        ):
+            return datagram
+        segment = datagram.payload
+        if (
+            datagram.dst == self.virtual_ip
+            and segment.dst_port == self.service_port
+        ):
+            return self._steer_inbound(datagram, segment)
+        if (
+            datagram.src.value in self._backend_ip_values
+            and segment.src_port == self.service_port
+        ):
+            return self._rewrite_return(datagram, segment)
+        return datagram
+
+    def _steer_inbound(
+        self, datagram: Ipv4Datagram, segment: TcpSegment
+    ) -> Optional[Ipv4Datagram]:
+        flow_id = (datagram.src.value, segment.src_port)
+        entry = self.flows.get(flow_id)
+        is_initial_syn = bool(segment.flags & FLAG_SYN) and not (
+            segment.flags & FLAG_ACK
+        )
+        if entry is None or is_initial_syn:
+            shard_id = choose_shard(
+                flow_key(datagram.src, segment.src_port), list(self.backends)
+            )
+            if entry is None:
+                self._maybe_prune()
+                entry = FlowEntry(shard_id, self.sim.now)
+                self.flows[flow_id] = entry
+                self.new_flows[shard_id] = self.new_flows.get(shard_id, 0) + 1
+                self._m_flows.set(len(self.flows))
+            else:
+                # A fresh SYN reuses a lingering flow id: re-steer it so a
+                # closed-and-reopened client port follows the current
+                # backend set.
+                entry.shard_id = shard_id
+                entry.last_seen = self.sim.now
+        entry.last_seen = self.sim.now
+        target = self.backends.get(entry.shard_id)
+        if target is None:
+            # Pinned to a shard that has since been removed from the
+            # placement: count the drop; the client's retransmission
+            # machinery is the recovery path.
+            self.segments_dropped += 1
+            return None
+        self.segments_in += 1
+        self._m_in.inc()
+        rewritten = incremental_rewrite(
+            segment, old_src=datagram.src, old_dst=self.virtual_ip, new_dst=target
+        )
+        return Ipv4Datagram(
+            src=datagram.src,
+            dst=target,
+            protocol=IPPROTO_TCP,
+            payload=rewritten,
+            ttl=datagram.ttl,
+        )
+
+    def _rewrite_return(
+        self, datagram: Ipv4Datagram, segment: TcpSegment
+    ) -> Optional[Ipv4Datagram]:
+        self.segments_out += 1
+        self._m_out.inc()
+        rewritten = incremental_rewrite(
+            segment,
+            old_src=datagram.src,
+            old_dst=datagram.dst,
+            new_src=self.virtual_ip,
+        )
+        return Ipv4Datagram(
+            src=self.virtual_ip,
+            dst=datagram.dst,
+            protocol=IPPROTO_TCP,
+            payload=rewritten,
+            ttl=datagram.ttl,
+        )
+
+    def _maybe_prune(self) -> None:
+        """Evict idle flows once the table is full (lazy, allocation-time)."""
+        if len(self.flows) < self.max_flows:
+            return
+        cutoff = self.sim.now - self.flow_idle_timeout
+        stale: List[FlowId] = [
+            flow_id
+            for flow_id, entry in self.flows.items()
+            if entry.last_seen < cutoff
+        ]
+        for flow_id in stale:
+            del self.flows[flow_id]
+        self._m_flows.set(len(self.flows))
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualService({self.virtual_ip}:{self.service_port},"
+            f" shards={len(self.backends)}, flows={len(self.flows)})"
+        )

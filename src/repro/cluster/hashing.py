@@ -1,0 +1,56 @@
+"""Rendezvous (highest-random-weight) hashing for shard steering.
+
+Why rendezvous and not a hash ring: the property the cluster plane needs
+is *minimal remapping under shard loss* — when shard ``k`` disappears,
+only the keys that preferred ``k`` move (each to its second choice), and
+every key that preferred a surviving shard keeps its placement.  HRW
+gives exactly that with no virtual-node bookkeeping.
+
+Scores come from SHA-256, not Python's ``hash()``: the built-in hash is
+salted per process (PYTHONHASHSEED), which would silently break the
+replay-a-run-from-its-seed contract everything else in this repository
+upholds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.net.addresses import Ipv4Address
+
+
+def flow_key(client_ip: Ipv4Address, client_port: int) -> bytes:
+    """Steering key for one client flow.
+
+    The client side of the 4-tuple fully identifies a flow at the
+    dispatcher: the destination side (virtual IP, service port) is the
+    same for every flow it steers.
+    """
+    return b"%d:%d" % (client_ip.value, client_port)
+
+
+def rendezvous_score(key: bytes, shard_id: str) -> int:
+    """Deterministic 64-bit weight of ``shard_id`` for ``key``."""
+    digest = hashlib.sha256(key + b"|" + shard_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def choose_shard(key: bytes, shard_ids: Sequence[str]) -> str:
+    """Pick the highest-scoring shard for ``key``.
+
+    Ties (astronomically unlikely with 64-bit scores, but determinism
+    must not hinge on luck) break toward the lexicographically smallest
+    shard id, independent of the order ``shard_ids`` was passed in.
+    """
+    if not shard_ids:
+        raise ValueError("choose_shard needs at least one shard")
+    best = None
+    best_score = -1
+    for shard_id in sorted(shard_ids):
+        score = rendezvous_score(key, shard_id)
+        if score > best_score:
+            best = shard_id
+            best_score = score
+    assert best is not None
+    return best

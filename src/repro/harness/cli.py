@@ -298,6 +298,83 @@ def cmd_reintegrate(args) -> None:
     _write_bench(args, "reintegration", {}, bench_rows, phases=phases)
 
 
+def cmd_cluster(args) -> None:
+    """E12: sharded fleet capacity through a failover storm."""
+    from repro.cluster import capacity_bench_rows, run_capacity
+
+    result = run_capacity(
+        shards=args.shards,
+        clients=args.clients,
+        sessions=args.sessions,
+        seed=args.seed,
+        ramp=args.ramp,
+        hold_for=args.hold,
+        storm_at=args.storm_at,
+        storm_fraction=args.storm_fraction,
+    )
+    stats = result.stats
+    windows = result.latency_windows()
+    _table(
+        f"E12: {args.shards}-shard capacity through a "
+        f"{args.storm_fraction:.0%} primary storm",
+        ["window", "requests", "median", "p99"],
+        [
+            (label, w.count, f"{w.median*1e3:.2f}ms", f"{w.p99*1e3:.2f}ms")
+            for label, w in windows.items()
+        ],
+    )
+    populations = result.shard_populations()
+    _table(
+        "placement",
+        ["shard", "sessions", "killed", "failed over"],
+        [
+            (s.shard_id, populations[s.shard_id],
+             "X" if s.shard_id in result.killed else "",
+             "X" if s.pair.failed_over else "")
+            for s in result.fleet.shards
+        ],
+    )
+    print()
+    print(f"sessions: {stats.sessions_completed}/{stats.sessions_started} completed,"
+          f" {stats.sessions_failed} failed, {stats.corrupt_replies} corrupt replies")
+    print(f"concurrent at storm: {result.concurrent_at_storm}"
+          f" (peak {stats.peak_open})")
+    print(f"goodput: {result.goodput_bytes_per_s()/1e3:.0f} KB/s,"
+          f" {result.connections_per_s():.1f} conns/s")
+    misplaced = result.misplaced_failures()
+    print(f"failures outside killed shards: {len(misplaced)}")
+    for line in misplaced:
+        print(f"  {line}")
+    if result.checker is not None:
+        print(result.checker.report())
+    rows = capacity_bench_rows(result)
+    _write_bench(args, "cluster_capacity", rows["params"], rows["results"],
+                 stats=rows["stats"])
+
+
+def _obs_cluster_report(args) -> None:
+    """Fleet-rollup metrics view: per-shard registries merged and labelled."""
+    from repro.cluster import run_capacity
+
+    result = run_capacity(
+        shards=args.shards,
+        clients=args.clients,
+        sessions=args.sessions,
+        seed=args.seed,
+        ramp=args.ramp,
+        hold_for=args.hold,
+        storm_at=args.storm_at,
+        storm_fraction=args.storm_fraction,
+        enable_metrics=True,
+    )
+    merged = result.fleet.merged_metrics()
+    print(f"== cluster metrics rollup (shards={args.shards},"
+          f" sessions={args.sessions}, seed={args.seed},"
+          f" killed={','.join(result.killed)}) ==")
+    for line in merged.render().splitlines():
+        print(f"  {line}")
+
+
 def cmd_obs(args) -> None:
     """Flight-recorder / pcap views over one seeded failover run."""
     from repro.obs.metrics import MetricsRegistry
@@ -306,6 +383,9 @@ def cmd_obs(args) -> None:
     action = args.action or "report"
     if action not in ("report", "pcap"):
         raise SystemExit(f"unknown obs action {action!r} (expected report or pcap)")
+    if action == "report" and args.cluster:
+        _obs_cluster_report(args)
+        return
     registry = MetricsRegistry()
     result = experiments.measure_failover(
         total_bytes=args.bytes,
@@ -345,6 +425,7 @@ COMMANDS = {
     "ablation": cmd_ablation,
     "chain": cmd_chain,
     "reintegrate": cmd_reintegrate,
+    "cluster": cmd_cluster,
 }
 
 
@@ -375,7 +456,35 @@ def main(argv: List[str] = None) -> int:
                         help="pcap base path for `obs pcap`")
     parser.add_argument("--bench-dir", default=None,
                         help="write BENCH_*.json artifacts to this directory")
+    parser.add_argument("--cluster", action="store_true",
+                        help="for `obs report`: fleet metrics rollup")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count for cluster runs")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="client-host count for cluster runs")
+    parser.add_argument("--sessions", type=int, default=None,
+                        help="closed-loop session count for cluster runs")
+    parser.add_argument("--storm-fraction", type=float, default=0.25,
+                        help="fraction of primaries killed by the storm")
+    parser.add_argument("--storm-at", type=float, default=0.9,
+                        help="simulated time (s) of the storm")
+    parser.add_argument("--ramp", type=float, default=0.5,
+                        help="session arrival ramp window (s)")
+    parser.add_argument("--hold", type=float, default=1.6,
+                        help="per-session connection hold time (s)")
     args = parser.parse_args(argv)
+    cluster_run = args.experiment == "cluster" or (
+        args.experiment == "obs" and args.cluster
+    )
+    if args.shards is None:
+        args.shards = 8 if cluster_run and not args.quick else 4
+    if args.clients is None:
+        args.clients = 4
+    if args.sessions is None:
+        if cluster_run and not args.quick:
+            args.sessions = 256
+        else:
+            args.sessions = 64
     if args.trials is None:
         args.trials = 5 if args.quick else 20
     if args.bytes is None:

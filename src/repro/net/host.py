@@ -132,6 +132,10 @@ class Host:
         )
         self.nic = Nic(mac, name=f"{name}.nic")
         self.nic.set_receiver(self._frame_received)
+        # Additional NICs (multi-homed hosts: the cluster dispatcher has
+        # one leg on the front LAN and one per shard LAN).  ``self.nic``
+        # stays the first/primary card for single-homed callers.
+        self.nics: List[Nic] = [self.nic]
         self.ip = IpLayer(sim, name, tracer=self.tracer, forwarding=forwarding)
         self.tcp = TcpLayer(
             sim,
@@ -161,19 +165,37 @@ class Host:
     def attach_ethernet(
         self, segment: EthernetSegment, address: Ipv4Address, prefix_len: int = 24
     ) -> EthernetInterface:
-        """Join an Ethernet segment with the given address."""
-        self.nic.attach(segment)
+        """Join an Ethernet segment with the given address.
+
+        The first attachment uses the host's primary NIC; each further
+        attachment (multi-homed hosts, e.g. a dispatcher fronting several
+        shard LANs) brings up an additional card with a MAC derived from
+        the primary's, so fleet topologies stay collision-free without
+        every call site minting MACs.
+        """
+        if self.nic.segment is None:
+            nic = self.nic
+        else:
+            index = len(self.nics)
+            nic = Nic(
+                MacAddress(self.nic.mac.value + 0x0100_0000 * index),
+                name=f"{self.name}.nic{index}",
+            )
+            self.nics.append(nic)
+        nic.attach(segment)
         interface = EthernetInterface(
             self.sim,
-            self.nic,
+            nic,
             address,
             prefix_len,
             node_name=self.name,
             tracer=self.tracer,
             gratuitous_apply_delay=self.gratuitous_apply_delay,
         )
+        nic.set_receiver(lambda frame, _iface=interface: self._frame_received_on(_iface, frame))
         self.ip.add_interface(interface)
-        self._eth_interface = interface
+        if self._eth_interface is None:
+            self._eth_interface = interface
         interface.arp.conflict_callback = self._address_conflict
         return interface
 
@@ -238,6 +260,11 @@ class Host:
             return
         if self._eth_interface is not None:
             self.ip.frame_received(self._eth_interface, frame)
+
+    def _frame_received_on(self, interface: EthernetInterface, frame: object) -> None:
+        """Per-interface delivery for multi-homed hosts."""
+        if self.alive:
+            self.ip.frame_received(interface, frame)
 
     def datagram_from_wan(self, datagram: Ipv4Datagram) -> None:
         """Delivery callback for point-to-point links."""
@@ -339,9 +366,10 @@ class Host:
         return spawn(self.sim, generator, name=name or f"{self.name}.proc")
 
     def crash(self) -> None:
-        """Fail-stop: the host goes silent (NIC down, no deliveries)."""
+        """Fail-stop: the host goes silent (NICs down, no deliveries)."""
         self.alive = False
-        self.nic.up = False
+        for nic in self.nics:
+            nic.up = False
         self.tracer.emit(self.sim.now, "host.crash", self.name)
 
     def restart(self) -> None:
@@ -362,7 +390,8 @@ class Host:
         self.tcp.listeners.clear()
         self.tcp._lingering.clear()
         self.remove_bridge()
-        self.nic.promiscuous = False
+        for nic in self.nics:
+            nic.promiscuous = False
         if self._eth_interface is not None:
             # Addresses acquired by takeover are configuration, not
             # hardware: a reboot forgets them.
@@ -370,7 +399,8 @@ class Host:
             self._eth_interface.arp.fenced_ips.clear()
         self.fenced_ips.clear()
         self.alive = True
-        self.nic.up = True
+        for nic in self.nics:
+            nic.up = True
         self.tracer.emit(self.sim.now, "host.restart", self.name)
         for hook in list(self._restart_hooks):
             hook(self)

@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_registries,
 )
 
 # flight/pcap/bench import repro.net and repro.tcp, which themselves import
@@ -60,6 +61,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
+    "merge_registries",
     "PhaseBreakdown",
     "ReintegrationBreakdown",
     "export_pcaps",

@@ -223,6 +223,56 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
+def merge_registries(
+    sources: Dict[str, "MetricsRegistry"], label: str = "shard"
+) -> "MetricsRegistry":
+    """Fleet rollup: fold per-source registries into one labelled registry.
+
+    Each instrument from source ``s`` reappears in the result with an
+    added ``label=s`` label (so per-shard series stay distinguishable),
+    **plus** an aggregate instrument carrying ``label=all`` that sums
+    counters, sums gauge values (high watermark = max of sources — the
+    fleet never held more than the sum, and per-shard peaks are
+    preserved in the labelled series), and pools histogram samples so
+    fleet-level percentiles come from the union distribution.
+
+    ``sources`` maps a source name (e.g. ``"shard3"``) to its registry.
+    Insertion order of ``sources`` does not affect the result's
+    :meth:`~MetricsRegistry.snapshot`, which sorts by rendered key.
+    """
+    merged = MetricsRegistry(enabled=True)
+
+    def _labelled(key: LabelKey, value: str) -> Dict[str, object]:
+        labels: Dict[str, object] = dict(key[1])
+        labels[label] = value
+        return labels
+
+    for source_name, registry in sources.items():
+        for key, instrument in registry._instruments.items():
+            name = key[0]
+            if isinstance(instrument, Counter):
+                merged.counter(name, **_labelled(key, source_name)).inc(
+                    instrument.value
+                )
+                merged.counter(name, **_labelled(key, "all")).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                tagged = merged.gauge(name, **_labelled(key, source_name))
+                tagged.value = instrument.value
+                tagged.high_watermark = instrument.high_watermark
+                total = merged.gauge(name, **_labelled(key, "all"))
+                total.value += instrument.value
+                if instrument.high_watermark > total.high_watermark:
+                    total.high_watermark = instrument.high_watermark
+            elif isinstance(instrument, Histogram):
+                tagged = merged.histogram(name, **_labelled(key, source_name))
+                pooled = merged.histogram(name, **_labelled(key, "all"))
+                for hist in (tagged, pooled):
+                    hist.samples.extend(instrument.samples)
+                    hist.count += instrument.count
+                    hist.total += instrument.total
+    return merged
+
+
 #: Shared disabled registry — the default wired through constructors so
 #: instrumented code never needs a None check.
 NULL_METRICS = MetricsRegistry(enabled=False)

@@ -32,14 +32,24 @@ class Timer:
     which makes cleanup code straightforward.
     """
 
-    __slots__ = ("deadline", "_callback", "_args", "_cancelled", "_fired")
+    __slots__ = ("deadline", "_callback", "_args", "_cancelled", "_fired", "_sim")
 
-    def __init__(self, deadline: float, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        deadline: float,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.deadline = deadline
         self._callback = callback
         self._args = args
         self._cancelled = False
         self._fired = False
+        # Back-reference so cancellation can be accounted for lazily by
+        # the owning simulator's queue compaction (None for standalone
+        # timers constructed in tests).
+        self._sim = sim
 
     @property
     def active(self) -> bool:
@@ -56,8 +66,10 @@ class Timer:
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
-        if not self._fired:
+        if not self._fired and not self._cancelled:
             self._cancelled = True
+            if self._sim is not None:
+                self._sim._timer_cancelled()
 
     def _fire(self) -> None:
         if self._cancelled:
@@ -80,12 +92,20 @@ class Simulator:
         sim.run()
     """
 
+    #: Compaction only kicks in above this many cancelled entries, so small
+    #: queues never pay the heapify cost.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: List[Tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
         self._running = False
         self._events_processed = 0
+        # Cancelled timers stay in the heap until popped or compacted away;
+        # this counts how many of the queued entries are dead.
+        self._cancelled_pending = 0
+        self._compactions = 0
         # Optional observability hook (see set_metrics); None keeps the
         # hot loop to a single identity check per event.
         self._m_events = None
@@ -119,6 +139,16 @@ class Simulator:
         """Number of events still queued (including cancelled timers)."""
         return len(self._queue)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled timers still occupying heap slots."""
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """Number of lazy heap compactions performed so far."""
+        return self._compactions
+
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
@@ -131,9 +161,38 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={when} (now={self._now})"
             )
-        timer = Timer(when, callback, args)
+        timer = Timer(when, callback, args, sim=self)
         heapq.heappush(self._queue, (when, next(self._sequence), timer))
         return timer
+
+    def _timer_cancelled(self) -> None:
+        """Account for a cancellation; compact when dead entries dominate.
+
+        With tens of thousands of in-flight timers (retransmission timers
+        that almost always get cancelled by the ACK, detector timeouts
+        rearmed every heartbeat) the heap can fill up with dead entries
+        that ``run`` must pop and discard one by one.  Rebuilding the heap
+        is O(live) and amortises to O(1) per cancellation because we only
+        do it when at least half the queue is dead.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Entries keep their original ``(deadline, sequence)`` keys, so the
+        firing order of live timers — including insertion-order
+        tie-breaking — is unchanged.
+        """
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self._compactions += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Process events until the queue drains, ``until`` or ``max_events``.
@@ -153,6 +212,7 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 if timer.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self._now = when
                 timer._fire()
@@ -183,6 +243,7 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             if timer.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = when
             timer._fire()

@@ -77,7 +77,11 @@ class TcpLayer:
         self._m_rsts = self.metrics.counter("tcp.rsts_sent", host=node_name)
         self.connections: Dict[ConnKey, TcpConnection] = {}
         self.listeners: Dict[int, Listener] = {}
-        self._next_ephemeral = EPHEMERAL_PORT_START
+        # Instance attributes so tests can shrink the range and exercise
+        # exhaustion without 28k allocations.
+        self.ephemeral_port_start = EPHEMERAL_PORT_START
+        self.ephemeral_port_end = EPHEMERAL_PORT_END
+        self._next_ephemeral = self.ephemeral_port_start
         self.rsts_sent = 0
         # Recently-closed 4-tuples: key -> (expiry, snd_nxt, rcv_nxt).
         # A retransmitted FIN/data segment that arrives after a clean
@@ -98,21 +102,74 @@ class TcpLayer:
         bridge's Δseq absorbs the difference between the replicas."""
         return self.rng.randrange(1 << 32)
 
-    def allocate_ephemeral_port(self) -> int:
-        """Deterministic ephemeral allocation (see module docstring)."""
-        for _ in range(EPHEMERAL_PORT_END - EPHEMERAL_PORT_START):
+    def allocate_ephemeral_port(
+        self,
+        remote_ip: Optional[Ipv4Address] = None,
+        remote_port: Optional[int] = None,
+    ) -> int:
+        """Deterministic ephemeral allocation (see module docstring).
+
+        A port whose 4-tuple is still lingering in TIME_WAIT-style state
+        must not be reused toward the same remote endpoint: the peer would
+        see a SYN for a connection it may still hold state for, and our
+        linger record would swallow the handshake.  When the caller knows
+        the destination (``connect`` always does) only a matching lingering
+        remote blocks the port; without that context any lingering use of
+        the port blocks it.
+        """
+        self._prune_lingering()
+        span = self.ephemeral_port_end - self.ephemeral_port_start
+        for _ in range(span):
             port = self._next_ephemeral
             self._next_ephemeral += 1
-            if self._next_ephemeral >= EPHEMERAL_PORT_END:
-                self._next_ephemeral = EPHEMERAL_PORT_START
-            if not self._port_in_use(port):
-                return port
-        raise RuntimeError(f"{self.node_name}: ephemeral ports exhausted")
+            if self._next_ephemeral >= self.ephemeral_port_end:
+                self._next_ephemeral = self.ephemeral_port_start
+            if self._port_in_use(port):
+                continue
+            if self._port_lingering(port, remote_ip, remote_port):
+                continue
+            return port
+        active = sum(
+            1
+            for key in self.connections
+            if self.ephemeral_port_start <= key[1] < self.ephemeral_port_end
+        )
+        lingering = sum(
+            1
+            for key in self._lingering
+            if self.ephemeral_port_start <= key[1] < self.ephemeral_port_end
+        )
+        raise OSError(
+            f"{self.node_name}: ephemeral ports exhausted"
+            f" ({span} in range {self.ephemeral_port_start}-"
+            f"{self.ephemeral_port_end - 1}: {active} held by live"
+            f" connections, {lingering} lingering after close)"
+        )
+
+    def _prune_lingering(self) -> None:
+        """Drop linger records whose TIME_WAIT-style window has expired."""
+        now = self.sim.now
+        expired = [key for key, entry in self._lingering.items() if now >= entry[0]]
+        for key in expired:
+            del self._lingering[key]
 
     def _port_in_use(self, port: int) -> bool:
         if port in self.listeners:
             return True
         return any(key[1] == port for key in self.connections)
+
+    def _port_lingering(
+        self,
+        port: int,
+        remote_ip: Optional[Ipv4Address],
+        remote_port: Optional[int],
+    ) -> bool:
+        if remote_ip is None or remote_port is None:
+            return any(key[1] == port for key in self._lingering)
+        return any(
+            key[1] == port and key[2] == remote_ip and key[3] == remote_port
+            for key in self._lingering
+        )
 
     # ------------------------------------------------------------------
     # opening endpoints
@@ -144,7 +201,7 @@ class TcpLayer:
                 raise OSError(f"{self.node_name}: no local IP")
             local_ip = ips[0]
         if local_port is None:
-            local_port = self.allocate_ephemeral_port()
+            local_port = self.allocate_ephemeral_port(remote_ip, remote_port)
         key = (local_ip, local_port, remote_ip, remote_port)
         if key in self.connections:
             raise OSError(f"{self.node_name}: connection {key} already exists")

@@ -1,0 +1,36 @@
+"""Seeded workload generation for fleet-scale experiments.
+
+Two driver shapes, both drawing every random quantity through named
+:mod:`repro.sim.rng` streams so a run replays bit-for-bit from its seed:
+
+* :class:`~repro.workload.generator.ClosedLoopWorkload` — a fixed
+  population of think-time clients, each holding one connection and
+  issuing request/reply exchanges (the load shape behind the capacity
+  benchmark's concurrency floor);
+* :class:`~repro.workload.generator.OpenLoopWorkload` — Poisson arrivals
+  of one-shot sessions, the classic open-loop offered-load model (and
+  the connection-churn driver for the ephemeral-port regression).
+
+Flow sizes come from :mod:`repro.workload.distributions` — notably the
+bounded Pareto that gives request/reply traffic its heavy tail.
+
+The package deliberately knows nothing about the cluster plane: it takes
+client hosts, a destination address and a port.  :mod:`repro.cluster`
+composes the two.
+"""
+
+from repro.workload.distributions import BoundedPareto, Exponential, Fixed
+from repro.workload.generator import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    WorkloadStats,
+)
+
+__all__ = [
+    "BoundedPareto",
+    "ClosedLoopWorkload",
+    "Exponential",
+    "Fixed",
+    "OpenLoopWorkload",
+    "WorkloadStats",
+]

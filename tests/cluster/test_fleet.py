@@ -1,0 +1,149 @@
+"""ShardedFleet topology, shard-local failover, storms, fleet views."""
+
+import pytest
+
+from repro.cluster import ShardedFleet
+from repro.workload import ClosedLoopWorkload, Exponential, Fixed
+
+PORT = 8000
+
+
+def _running_fleet(**kwargs) -> ShardedFleet:
+    kwargs.setdefault("service_port", PORT)
+    fleet = ShardedFleet(**kwargs)
+    fleet.run_reply_service()
+    fleet.start_detectors()
+    return fleet
+
+
+def _workload(fleet, sessions=8, hold_for=0.4, think=0.01):
+    wl = ClosedLoopWorkload(
+        fleet.clients, fleet.virtual_ip, PORT, fleet.rng,
+        sessions=sessions, reply_sizes=Fixed(256),
+        think_times=Exponential(think), ramp=0.05, hold_for=hold_for,
+    )
+    wl.start()
+    return wl
+
+
+def test_fleet_validation():
+    with pytest.raises(ValueError):
+        ShardedFleet(shards=0)
+    with pytest.raises(ValueError):
+        ShardedFleet(shards=1, clients=0)
+    with pytest.raises(ValueError):
+        ShardedFleet(shards=1, clients=100)
+
+
+def test_topology_shape():
+    fleet = ShardedFleet(shards=3, clients=2)
+    assert len(fleet.shards) == 3
+    assert len(fleet.clients) == 2
+    # Dispatcher: one front leg + one per shard, distinct derived MACs.
+    assert len(fleet.dispatcher.nics) == 4
+    macs = {nic.mac.value for nic in fleet.dispatcher.nics}
+    assert len(macs) == 4
+    # Shard subnets are disjoint from the front LAN and each other.
+    service_ips = {str(s.service_ip) for s in fleet.shards}
+    assert service_ips == {"10.32.0.2", "10.33.0.2", "10.34.0.2"}
+    assert fleet.service.backends.keys() == {"s0", "s1", "s2"}
+
+
+def test_initial_health_view():
+    fleet = _running_fleet(shards=2, clients=1)
+    for entry in fleet.health():
+        assert entry["primary_alive"] and entry["secondary_alive"]
+        assert not entry["failed_over"]
+    assert fleet.failed_over_shards() == []
+    assert fleet.established_connections() == 0
+
+
+def test_single_shard_failover_is_shard_local():
+    fleet = _running_fleet(shards=2, clients=2, seed=9)
+    checker = fleet.attach_invariant_checker()
+    wl = _workload(fleet, sessions=8, hold_for=0.6)
+    # Let sessions establish, then kill one primary explicitly.
+    fleet.run(until=0.2)
+    assert wl.stats.open_now == 8
+    killed = fleet.storm(shard_ids=["s0"])
+    assert killed == ["s0"]
+    assert fleet.sim.run_until(lambda: wl.complete, timeout=20.0)
+    stats = wl.stats
+    assert stats.sessions_failed == 0
+    assert stats.corrupt_replies == 0
+    assert fleet.failed_over_shards() == ["s0"]
+    health = {h["shard"]: h for h in fleet.health()}
+    assert health["s0"]["failed_over"] and not health["s0"]["primary_alive"]
+    assert not health["s1"]["failed_over"] and health["s1"]["primary_alive"]
+    assert checker.ok, checker.report()
+
+
+def test_storm_kills_requested_fraction_deterministically():
+    fleet = _running_fleet(shards=8, clients=1, seed=1)
+    killed = fleet.storm(fraction=0.25)
+    assert len(killed) == 2
+    assert killed == sorted(killed)
+    # Same seed, same selection.
+    fleet2 = _running_fleet(shards=8, clients=1, seed=1)
+    assert fleet2.storm(fraction=0.25) == killed
+    # Different seed, eventually different selection (check a few).
+    others = [
+        _running_fleet(shards=8, clients=1, seed=s).storm(fraction=0.25)
+        for s in (2, 3, 4, 5)
+    ]
+    assert any(sel != killed for sel in others)
+
+
+def test_storm_fraction_rounds_up_to_at_least_one():
+    fleet = _running_fleet(shards=2, clients=1, seed=3)
+    assert len(fleet.storm(fraction=0.01)) == 1
+
+
+def test_survivor_tracking_through_failover():
+    fleet = _running_fleet(shards=2, clients=1, seed=11)
+    shard = fleet.shards[0]
+    assert shard.survivor() is shard.primary
+    fleet.storm(shard_ids=["s0"])
+    fleet.run(until=fleet.sim.now + 0.5)
+    assert shard.pair.failed_over
+    assert shard.survivor() is shard.secondary
+    # Service address survives on the secondary: dispatcher map unchanged.
+    assert shard.secondary.ip.owns(shard.service_ip)
+    assert fleet.service.backends["s0"] == shard.service_ip
+
+
+def test_merged_metrics_carries_shard_labels():
+    fleet = _running_fleet(shards=2, clients=1, seed=13, enable_metrics=True)
+    wl = _workload(fleet, sessions=4, hold_for=0.2)
+    assert fleet.sim.run_until(lambda: wl.complete, timeout=10.0)
+    merged = fleet.merged_metrics()
+    snapshot = merged.snapshot()
+    per_shard = [k for k in snapshot if "shard=s0" in k or "shard=s1" in k]
+    aggregates = [k for k in snapshot if "shard=all" in k]
+    assert per_shard and aggregates
+    # The front plane (dispatcher + clients) is rolled up too.
+    assert any("shard=front" in k for k in snapshot)
+    assert any(k.startswith("dispatcher.segments_in") for k in snapshot)
+
+
+def test_reintegration_restores_shard_redundancy():
+    fleet = _running_fleet(
+        shards=2, clients=1, seed=15, auto_reintegrate=True,
+    )
+    checker = fleet.attach_invariant_checker()
+    wl = _workload(fleet, sessions=4, hold_for=1.2, think=0.05)
+    fleet.run(until=0.2)
+    fleet.storm(shard_ids=["s1"])
+    shard = fleet.shards[1]
+    # The crashed box reboots shortly after; auto_reintegrate re-admits
+    # it as the shard's new live secondary.
+    fleet.sim.schedule(0.4, shard.primary.restart)
+    assert fleet.sim.run_until(
+        lambda: len(shard.pair.reintegrations) > 0, timeout=30.0
+    )
+    assert fleet.sim.run_until(lambda: wl.complete, timeout=30.0)
+    assert wl.stats.sessions_failed == 0
+    assert wl.stats.corrupt_replies == 0
+    health = {h["shard"]: h for h in fleet.health()}
+    assert health["s1"]["reintegrations"] == 1
+    assert checker.ok, checker.report()

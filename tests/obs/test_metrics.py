@@ -5,6 +5,7 @@ import pytest
 from repro.obs.metrics import (
     NULL_METRICS,
     MetricsRegistry,
+    merge_registries,
     percentile,
     stddev,
 )
@@ -94,3 +95,65 @@ def test_percentile_and_stddev_helpers():
     assert percentile(ordered, 0.5) == pytest.approx(2.5)
     assert stddev([5.0]) == 0.0
     assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.0)
+
+
+# -- fleet rollup -------------------------------------------------------------
+
+
+def _shard_registry(sent, rtx, latencies, depth):
+    reg = MetricsRegistry()
+    reg.counter("tcp.segments_sent", host="primary").inc(sent)
+    reg.counter("tcp.retransmits", host="primary").inc(rtx)
+    g = reg.gauge("cpu.backlog_peak")
+    g.set(depth)
+    h = reg.histogram("request.latency")
+    for value in latencies:
+        h.observe(value)
+    return reg
+
+
+def test_merge_registries_sums_counters_and_labels_sources():
+    merged = merge_registries({
+        "shard0": _shard_registry(10, 1, [0.1], 2.0),
+        "shard1": _shard_registry(20, 0, [0.2], 5.0),
+    })
+    snap = merged.snapshot()
+    assert snap["tcp.segments_sent{host=primary,shard=all}"] == 30
+    assert snap["tcp.segments_sent{host=primary,shard=shard0}"] == 10
+    assert snap["tcp.segments_sent{host=primary,shard=shard1}"] == 20
+    assert snap["tcp.retransmits{host=primary,shard=all}"] == 1
+
+
+def test_merge_registries_gauges_sum_values_max_watermark():
+    merged = merge_registries({
+        "a": _shard_registry(0, 0, [], 2.0),
+        "b": _shard_registry(0, 0, [], 5.0),
+    })
+    total = merged.gauge("cpu.backlog_peak", shard="all")
+    assert total.value == 7.0
+    assert total.high_watermark == 5.0  # per-source peak, not the sum
+
+
+def test_merge_registries_pools_histogram_samples():
+    merged = merge_registries({
+        "a": _shard_registry(0, 0, [0.1, 0.2], 0.0),
+        "b": _shard_registry(0, 0, [0.3, 0.4], 0.0),
+    })
+    pooled = merged.histogram("request.latency", shard="all")
+    assert pooled.count == 4
+    assert pooled.summary()["max"] == 0.4
+    per_shard = merged.histogram("request.latency", shard="a")
+    assert per_shard.count == 2
+
+
+def test_merge_registries_custom_label_and_order_independence():
+    shards = {
+        "s0": _shard_registry(1, 0, [0.1], 1.0),
+        "s1": _shard_registry(2, 0, [0.2], 2.0),
+    }
+    forward = merge_registries(shards, label="cell")
+    reverse = merge_registries(dict(reversed(list(shards.items()))), label="cell")
+    assert "tcp.segments_sent{cell=all,host=primary}" in forward.snapshot()
+    # Histogram sample order differs, so compare summaries, not raw lists.
+    fsnap, rsnap = forward.snapshot(), reverse.snapshot()
+    assert fsnap == rsnap

@@ -156,3 +156,78 @@ def test_not_reentrant():
     sim.schedule(1.0, recurse)
     sim.run()
     assert len(errors) == 1
+
+
+# -- lazy heap compaction -----------------------------------------------------
+
+
+def test_mass_cancellation_compacts_queue():
+    sim = Simulator()
+    keep = sim.schedule(1000.0, lambda: None)
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+    for t in timers:
+        t.cancel()
+    # Dead entries dominated the heap, so a compaction must have dropped them
+    # without waiting for run() to pop each one.
+    assert sim.compactions >= 1
+    assert sim.pending_events < 64
+    assert sim.cancelled_pending < 64
+    assert keep.active
+
+
+def test_small_queues_never_compact():
+    sim = Simulator()
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(32)]
+    for t in timers:
+        t.cancel()
+    assert sim.compactions == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_compaction_preserves_order_and_ties():
+    sim = Simulator()
+    order = []
+    # Interleave survivors with a dominating population of cancelled timers,
+    # including same-deadline survivors whose tie-break must survive heapify.
+    survivors = []
+    doomed = []
+    for i in range(200):
+        doomed.append(sim.schedule(1.0 + i * 0.001, order.append, f"dead{i}"))
+        if i % 20 == 0:
+            survivors.append((f"s{i}", sim.schedule(5.0, order.append, f"s{i}")))
+    for t in doomed:
+        t.cancel()
+    assert sim.compactions >= 1
+    sim.run()
+    assert order == [tag for tag, _t in survivors]
+
+
+def test_cancelled_pending_tracks_pops_without_compaction():
+    sim = Simulator()
+    live = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    dead = [sim.schedule(float(i + 1) + 0.5, lambda: None) for i in range(40)]
+    for t in dead:
+        t.cancel()
+    # 40 dead of 140 queued: below the domination threshold, no compaction.
+    assert sim.compactions == 0
+    assert sim.cancelled_pending == 40
+    sim.run()
+    assert sim.cancelled_pending == 0
+    assert sim.events_processed == len(live)
+
+
+def test_cancel_during_run_is_compaction_safe():
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(2.0 + i * 0.001, fired.append, i) for i in range(300)]
+
+    def kill_all():
+        for t in doomed:
+            t.cancel()
+
+    sim.schedule(1.0, kill_all)
+    sim.schedule(3.0, fired.append, "end")
+    sim.run()
+    assert fired == ["end"]
+    assert sim.cancelled_pending == 0

@@ -8,6 +8,29 @@ from repro.tcp.segment import FLAG_SYN, TcpSegment
 from tests.util import CLIENT_IP, SERVER_IP, TwoHostLan
 
 
+def _close_server_side(lan):
+    """Finish the termination handshake: close every accepted server TCB.
+
+    The server is the active closer, so it owns the TIME_WAIT; shrink its
+    MSL so the 2*MSL hold does not dwarf the client linger window under
+    test (a SYN arriving inside TIME_WAIT is ignored by design).
+    """
+    for conn in list(lan.server.tcp.connections.values()):
+        conn.msl = 0.05
+        conn.close()
+
+
+def _shutdown(lan, conns, start, settle=0.4):
+    """Close server side first so the clients are the passive closers and
+    deregister into linger state without a 2*MSL TIME_WAIT."""
+    _close_server_side(lan)
+    lan.run(until=start + settle / 2)
+    for conn in conns:
+        conn.close()
+    lan.run(until=start + settle)
+    return start + settle
+
+
 def test_listen_rejects_duplicate_port():
     lan = TwoHostLan()
     lan.server.tcp.listen(80)
@@ -37,6 +60,100 @@ def test_two_hosts_allocate_identical_ephemeral_sequences():
     a = [lan.client.tcp.allocate_ephemeral_port() for _ in range(5)]
     b = [lan.server.tcp.allocate_ephemeral_port() for _ in range(5)]
     assert a == b
+
+
+def test_ephemeral_allocation_skips_lingering_tuple():
+    """Churn regression: a TIME_WAIT-style 4-tuple must not be re-issued."""
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    conn = lan.client.tcp.connect(SERVER_IP, 80)
+    port = conn.local_port
+    lan.run(until=0.1)
+    _shutdown(lan, [conn], 0.1)
+    assert conn.key not in lan.client.tcp.connections  # closed cleanly
+    assert conn.key in lan.client.tcp._lingering
+    # The wrapped allocator comes back around to the same port number...
+    lan.client.tcp._next_ephemeral = port
+    # ...but toward the lingering remote it must be skipped.
+    c2 = lan.client.tcp.connect(SERVER_IP, 80)
+    assert c2.local_port != port
+    # Toward a different remote the port is fair game (distinct 4-tuple).
+    lan.client.tcp._next_ephemeral = port
+    assert lan.client.tcp.allocate_ephemeral_port(Ipv4Address("10.9.9.9"), 80) == port
+
+
+def test_ephemeral_allocation_without_remote_blocks_lingering_port():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    conn = lan.client.tcp.connect(SERVER_IP, 80)
+    port = conn.local_port
+    lan.run(until=0.1)
+    _shutdown(lan, [conn], 0.1)
+    lan.client.tcp._next_ephemeral = port
+    # No destination context: any lingering use of the port blocks it.
+    assert lan.client.tcp.allocate_ephemeral_port() != port
+
+
+def test_lingering_port_freed_after_expiry():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    conn = lan.client.tcp.connect(SERVER_IP, 80)
+    port = conn.local_port
+    lan.run(until=0.1)
+    end = _shutdown(lan, [conn], 0.1)
+    lan.run(until=end + lan.client.tcp.linger_duration + 0.1)
+    lan.client.tcp._next_ephemeral = port
+    assert lan.client.tcp.allocate_ephemeral_port(SERVER_IP, 80) == port
+    assert conn.key not in lan.client.tcp._lingering  # pruned
+
+
+def test_ephemeral_exhaustion_raises_clear_error():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    tcp = lan.client.tcp
+    tcp.ephemeral_port_start = 40000
+    tcp.ephemeral_port_end = 40004
+    tcp._next_ephemeral = 40000
+    conns = [lan.client.tcp.connect(SERVER_IP, 80) for _ in range(4)]
+    lan.run(until=0.1)
+    with pytest.raises(OSError, match="ephemeral ports exhausted"):
+        lan.client.tcp.connect(SERVER_IP, 80)
+    # The error says where the ports went.
+    with pytest.raises(OSError, match="4 held by live connections"):
+        lan.client.tcp.connect(SERVER_IP, 80)
+    _shutdown(lan, conns, 0.1)
+    # All four closed cleanly into linger state: still exhausted, but the
+    # diagnosis now points at the TIME_WAIT-style records.
+    with pytest.raises(OSError, match="4 lingering after close"):
+        lan.client.tcp.connect(SERVER_IP, 80)
+    # A different remote endpoint reuses the lingering ports immediately.
+    assert tcp.allocate_ephemeral_port(Ipv4Address("10.9.9.9"), 80) == 40000
+
+
+def test_churn_reuses_ports_without_tuple_collision():
+    """Sustained connect/close churn through a tiny port range stays clean."""
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80, backlog=32)
+    tcp = lan.client.tcp
+    tcp.ephemeral_port_start = 40000
+    tcp.ephemeral_port_end = 40008
+    tcp._next_ephemeral = 40000
+    tcp.linger_duration = 0.2
+    completed = 0
+    t = 0.0
+    for _round in range(6):
+        conns = [lan.client.tcp.connect(SERVER_IP, 80) for _ in range(4)]
+        t += 0.05
+        lan.run(until=t)
+        for conn in conns:
+            assert conn.state.name == "ESTABLISHED", conn
+        t = _shutdown(lan, conns, t)
+        t += 0.3  # let the linger windows expire before the next round
+        lan.run(until=t)
+        completed += len(conns)
+    assert completed == 24
+    assert lan.client.tcp.rsts_sent == 0
+    assert lan.server.tcp.rsts_sent == 0
 
 
 def test_duplicate_connect_same_tuple_rejected():
