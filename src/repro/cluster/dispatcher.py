@@ -30,8 +30,9 @@ interval T (modelled by the host's ``gratuitous_apply_delay``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
+from repro.cluster.flowtable import FlowEntry, FlowId, FlowTable
 from repro.cluster.hashing import choose_shard, flow_key
 from repro.net.addresses import Ipv4Address
 from repro.net.host import Host
@@ -39,18 +40,7 @@ from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.tcp.segment import FLAG_ACK, FLAG_SYN, TcpSegment, incremental_rewrite
 
-#: (client ip value, client port) — the dispatcher-side flow identity.
-FlowId = Tuple[int, int]
-
-
-class FlowEntry:
-    """Pinned placement of one client flow."""
-
-    __slots__ = ("shard_id", "last_seen")
-
-    def __init__(self, shard_id: str, last_seen: float):
-        self.shard_id = shard_id
-        self.last_seen = last_seen
+__all__ = ["FlowEntry", "FlowId", "FlowTable", "VirtualService"]
 
 
 class VirtualService:
@@ -80,7 +70,7 @@ class VirtualService:
         self._backend_ip_values = {ip.value for ip in self.backends.values()}
         self.flow_idle_timeout = flow_idle_timeout
         self.max_flows = max_flows
-        self.flows: Dict[FlowId, FlowEntry] = {}
+        self.flows: FlowTable = FlowTable()
         self.new_flows: Dict[str, int] = {sid: 0 for sid in self.backends}
         self.segments_in = 0
         self.segments_out = 0
@@ -97,9 +87,9 @@ class VirtualService:
 
     def shard_of(self, client_ip: Ipv4Address, client_port: int) -> Optional[str]:
         """Which shard this client flow is (or would be) steered to."""
-        entry = self.flows.get((client_ip.value, client_port))
-        if entry is not None:
-            return entry.shard_id
+        slot = self.flows.slot_of((client_ip.value, client_port))
+        if slot >= 0:
+            return self.flows.shard_at(slot)
         return choose_shard(
             flow_key(client_ip, client_port), list(self.backends)
         )
@@ -154,28 +144,28 @@ class VirtualService:
         self, datagram: Ipv4Datagram, segment: TcpSegment
     ) -> Optional[Ipv4Datagram]:
         flow_id = (datagram.src.value, segment.src_port)
-        entry = self.flows.get(flow_id)
+        flows = self.flows
+        slot = flows.slot_of(flow_id)
         is_initial_syn = bool(segment.flags & FLAG_SYN) and not (
             segment.flags & FLAG_ACK
         )
-        if entry is None or is_initial_syn:
+        if slot < 0 or is_initial_syn:
             shard_id = choose_shard(
                 flow_key(datagram.src, segment.src_port), list(self.backends)
             )
-            if entry is None:
+            if slot < 0:
                 self._maybe_prune()
-                entry = FlowEntry(shard_id, self.sim.now)
-                self.flows[flow_id] = entry
+                slot = flows.pin(flow_id, shard_id, self.sim.now)
                 self.new_flows[shard_id] = self.new_flows.get(shard_id, 0) + 1
-                self._m_flows.set(len(self.flows))
+                self._m_flows.set(len(flows))
             else:
                 # A fresh SYN reuses a lingering flow id: re-steer it so a
                 # closed-and-reopened client port follows the current
                 # backend set.
-                entry.shard_id = shard_id
-                entry.last_seen = self.sim.now
-        entry.last_seen = self.sim.now
-        target = self.backends.get(entry.shard_id)
+                flows.reassign(slot, shard_id, self.sim.now)
+        else:
+            flows.touch(slot, self.sim.now)
+        target = self.backends.get(flows.shard_at(slot))
         if target is None:
             # Pinned to a shard that has since been removed from the
             # placement: count the drop; the client's retransmission
@@ -218,14 +208,7 @@ class VirtualService:
         """Evict idle flows once the table is full (lazy, allocation-time)."""
         if len(self.flows) < self.max_flows:
             return
-        cutoff = self.sim.now - self.flow_idle_timeout
-        stale: List[FlowId] = [
-            flow_id
-            for flow_id, entry in self.flows.items()
-            if entry.last_seen < cutoff
-        ]
-        for flow_id in stale:
-            del self.flows[flow_id]
+        self.flows.evict_idle(self.sim.now - self.flow_idle_timeout)
         self._m_flows.set(len(self.flows))
 
     def __repr__(self) -> str:

@@ -14,6 +14,24 @@ two queues — Figure 2 of the paper is exactly one `enqueue` + one
 A divergence between the streams means the application was not
 deterministic; it is detected byte-for-byte and reported as
 :class:`PayloadMismatch`.
+
+This is the bridge's hottest per-segment path, so the implementation is
+zero-copy where the old one materialised bytes:
+
+* overlap verification compares ``memoryview`` byte ranges instead of
+  building a ``bytes(...)`` copy of the stored run;
+* suffix extension appends ``memoryview(payload)[overlap:]`` directly to
+  the backing ``bytearray`` instead of slicing a new ``bytes`` object;
+* ``pop`` advances a consumed-offset cursor instead of ``del data[:n]``
+  (which memmoves the whole tail); the front is compacted lazily once
+  the dead prefix dominates, keeping pops O(1) amortised.
+
+Invariant for the memoryview discipline: every view over the backing
+``bytearray`` is statement-local (created, compared, and dropped inside a
+single expression), so no buffer export is alive when the bytearray is
+resized — resizing an exported bytearray raises ``BufferError``.  The
+``data`` property hands out a fresh view per call; callers must not hold
+it across a mutating call (``enqueue``/``pop``/``drain``).
 """
 
 from __future__ import annotations
@@ -37,6 +55,10 @@ class OutputQueue:
     """
 
     MAX_PENDING_CHUNKS = 256
+    # Compact the consumed front only once it is both big enough to be
+    # worth a memmove and at least half the buffer, so each retained byte
+    # is moved O(1) times amortised.
+    COMPACT_MIN_CONSUMED = 4096
 
     def __init__(
         self,
@@ -50,8 +72,9 @@ class OutputQueue:
         self._m_enqueued = metrics.counter("queue.bytes_enqueued", host=host, queue=name)
         self._m_dups = metrics.counter("queue.duplicates_discarded", host=host, queue=name)
         self._m_gaps = metrics.counter("queue.gaps_buffered", host=host, queue=name)
-        self.base_seq = initial_seq  # seq of data[0]
-        self.data = bytearray()
+        self.base_seq = initial_seq  # seq of the first unconsumed byte
+        self._data = bytearray()
+        self._consumed = 0  # dead prefix of _data already popped out
         # Above-frontier chunks: a diverted segment can be lost between
         # the replicas (§4 case 4) while later segments still arrive, so
         # the queue must reassemble around the hole until the
@@ -62,12 +85,21 @@ class OutputQueue:
         self.gaps_buffered = 0
 
     def __len__(self) -> int:
-        return len(self.data)
+        return len(self._data) - self._consumed
+
+    @property
+    def data(self) -> memoryview:
+        """The unconsumed bytes as a zero-copy view.
+
+        Valid only until the next mutating call; use ``bytes(q.data)``
+        to snapshot.
+        """
+        return memoryview(self._data)[self._consumed :]
 
     @property
     def frontier(self) -> int:
         """Sequence number of the next byte we have never stored."""
-        return seq_add(self.base_seq, len(self.data))
+        return seq_add(self.base_seq, len(self))
 
     def enqueue(self, seq: int, payload: bytes) -> int:
         """Add payload at ``seq``; overlap with existing bytes is verified
@@ -90,24 +122,27 @@ class OutputQueue:
         overlap = seq_sub(frontier, seq)
         if overlap > 0:
             check = min(overlap, len(payload))
-            stored_start = len(self.data) - overlap
-            expected = bytes(self.data[stored_start : stored_start + check])
+            stored_start = len(self) - overlap
             # Overlap entirely below base_seq (already matched and popped)
             # cannot be verified any more; only verify what we still hold.
-            if stored_start >= 0 and expected != payload[:check]:
-                raise PayloadMismatch(
-                    f"{self.name}: replica streams diverge at seq {seq}"
-                )
+            if stored_start >= 0:
+                lo = self._consumed + stored_start
+                if memoryview(self._data)[lo : lo + check] != memoryview(payload)[:check]:
+                    raise PayloadMismatch(
+                        f"{self.name}: replica streams diverge at seq {seq}"
+                    )
             if overlap >= len(payload):
                 self.duplicates_discarded += len(payload)
                 self._m_dups.inc(len(payload))
                 return 0
-            payload = payload[overlap:]
-        self.data.extend(payload)
-        self.bytes_enqueued += len(payload)
-        self._m_enqueued.inc(len(payload))
-        added = len(payload) + self._drain_pending()
-        return added
+            fresh = len(payload) - overlap
+            self._data += memoryview(payload)[overlap:]
+        else:
+            fresh = len(payload)
+            self._data += payload
+        self.bytes_enqueued += fresh
+        self._m_enqueued.inc(fresh)
+        return fresh + self._drain_pending()
 
     def _drain_pending(self) -> int:
         """Fold buffered above-frontier chunks that became contiguous."""
@@ -128,28 +163,34 @@ class OutputQueue:
                 self.duplicates_discarded += len(payload)
                 self._m_dups.inc(len(payload))
                 continue
-            fresh = payload[skip:]
-            self.data.extend(fresh)
-            self.bytes_enqueued += len(fresh)
-            self._m_enqueued.inc(len(fresh))
-            added += len(fresh)
+            fresh = len(payload) - skip
+            self._data += memoryview(payload)[skip:]
+            self.bytes_enqueued += fresh
+            self._m_enqueued.inc(fresh)
+            added += fresh
         return added
 
     def pop(self, count: int) -> bytes:
         """Remove and return ``count`` bytes from the front."""
-        if count > len(self.data):
-            raise ValueError(f"{self.name}: popping {count} of {len(self.data)}")
-        out = bytes(self.data[:count])
-        del self.data[:count]
+        if count > len(self):
+            raise ValueError(f"{self.name}: popping {count} of {len(self)}")
+        lo = self._consumed
+        out = bytes(memoryview(self._data)[lo : lo + count])
+        consumed = lo + count
         self.base_seq = seq_add(self.base_seq, count)
+        if consumed >= self.COMPACT_MIN_CONSUMED and consumed * 2 >= len(self._data):
+            del self._data[:consumed]
+            consumed = 0
+        self._consumed = consumed
         return out
 
     def drain(self) -> Tuple[int, bytes]:
         """Remove everything; returns (first seq, bytes).  Used by the §6
         secondary-failure flush."""
         seq = self.base_seq
-        out = bytes(self.data)
-        self.data.clear()
+        out = bytes(memoryview(self._data)[self._consumed :])
+        self._data.clear()
+        self._consumed = 0
         self.base_seq = seq_add(seq, len(out))
         return seq, out
 
@@ -168,6 +209,8 @@ def match_prefix(p_queue: OutputQueue, s_queue: OutputQueue) -> Optional[Tuple[i
         raise PayloadMismatch(
             f"queue fronts diverge: {p_queue.base_seq} vs {s_queue.base_seq}"
         )
+    # memoryview == memoryview compares contents without materialising
+    # either side; both views are statement-local (see module docstring).
     if p_queue.data[:count] != s_queue.data[:count]:
         raise PayloadMismatch(
             f"replica payloads diverge at seq {p_queue.base_seq}"

@@ -7,16 +7,44 @@ broken by insertion order, which keeps runs deterministic.
 Time is a float measured in **seconds** of simulated time.  All network
 latencies, transmission delays and protocol timers in this repository are
 expressed in seconds.
+
+Storage for pending timers lives behind the :class:`EventQueue` interface
+with two interchangeable backends:
+
+* ``"wheel"`` (default) — the hierarchical timer wheel in
+  :mod:`repro.sim.wheel`, O(1) amortised schedule/cancel and bulk disposal
+  of cancelled timers during slot cascades;
+* ``"heap"`` — the classic binary heap with lazy compaction of cancelled
+  entries (:class:`HeapEventQueue`), kept as a fallback and as the
+  reference implementation for the differential equivalence suite
+  (``tests/differential/``).
+
+Both backends are observationally identical: same firing order, same
+timestamps, same counter semantics — the property the differential test
+plane exists to prove.  Select per instance (``Simulator(scheduler=...)``)
+or process-wide with the ``REPRO_SIM_SCHEDULER`` environment variable.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+import os
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # the sim core stays import-free of the obs plane
     from repro.obs.metrics import MetricsRegistry
+
+
+#: One stored timer: ``(deadline, insertion order, timer)``.  Tuples sort
+#: lexicographically and insertion order is unique, so comparisons never
+#: reach the Timer object — the same tie-break the original heap used.
+Entry = Tuple[float, int, "Timer"]
+
+#: Environment override for the default scheduler backend.
+SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
+
+DEFAULT_SCHEDULER = "wheel"
 
 
 class SimulationError(RuntimeError):
@@ -38,7 +66,7 @@ class Timer:
         self,
         deadline: float,
         callback: Callable[..., None],
-        args: tuple,
+        args: Tuple[Any, ...],
         sim: Optional["Simulator"] = None,
     ):
         self.deadline = deadline
@@ -82,6 +110,145 @@ class Timer:
         return f"Timer(deadline={self.deadline:.9f}, {state})"
 
 
+class EventQueue:
+    """Interface for pending-timer storage (a scheduler backend).
+
+    The contract the differential suite enforces on every implementation:
+
+    * :meth:`peek` returns the earliest **live** entry in ``(deadline,
+      insertion order)`` order without removing it, disposing of any
+      cancelled entries it encounters on the way (decrementing
+      ``cancelled_pending`` for each);
+    * :meth:`pop` removes the entry the immediately-preceding ``peek``
+      returned;
+    * ``len()`` counts every stored entry, cancelled ones included;
+    * cancellation is O(1) via :meth:`on_cancel`, which compacts dead
+      entries away only once they exceed ``COMPACT_DEAD_RATIO`` of the
+      queue (and at least ``COMPACT_MIN_CANCELLED`` of them exist), so
+      total compaction work stays bounded by a constant multiple of the
+      number of cancellations (see ``compaction_work``).
+    """
+
+    #: Human-readable backend name (``"heap"`` / ``"wheel"``).
+    backend: str = ""
+
+    #: Compaction only kicks in above this many cancelled entries, so small
+    #: queues never pay the rebuild cost.
+    COMPACT_MIN_CANCELLED = 64
+
+    #: ...and only once dead entries make up at least this fraction of the
+    #: queue.  Each compaction then examines at most ``1/ratio`` entries per
+    #: cancellation since the previous one, which amortises to O(1).
+    COMPACT_DEAD_RATIO = 0.5
+
+    def __init__(self) -> None:
+        #: Cancelled timers still occupying storage.
+        self.cancelled_pending = 0
+        #: Number of compaction passes performed.
+        self.compactions = 0
+        #: Total entries examined across all compactions — the measurable
+        #: bound the amortisation test asserts on.
+        self.compaction_work = 0
+        # Cache the class-level policy knobs on the instance: on_cancel is
+        # on the cancellation hot path and instance reads are cheaper.
+        self._compact_min = self.COMPACT_MIN_CANCELLED
+        self._compact_ratio = self.COMPACT_DEAD_RATIO
+
+    def push(self, entry: Entry) -> None:
+        raise NotImplementedError
+
+    def peek(self) -> Optional[Entry]:
+        raise NotImplementedError
+
+    def pop(self) -> Entry:
+        raise NotImplementedError
+
+    def compact(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def on_cancel(self) -> None:
+        """Account for a cancellation; compact once dead entries dominate.
+
+        With tens of thousands of in-flight timers (retransmission timers
+        that almost always get cancelled by the ACK, detector timeouts
+        rearmed every heartbeat) storage can fill up with dead entries.
+        Disposal is O(live) per pass and amortises to O(1) per
+        cancellation because a pass only runs when at least
+        ``COMPACT_DEAD_RATIO`` of the stored entries are dead.
+        """
+        cancelled = self.cancelled_pending + 1
+        self.cancelled_pending = cancelled
+        if cancelled >= self._compact_min and cancelled >= self._compact_ratio * len(self):
+            self.compact()
+
+
+class HeapEventQueue(EventQueue):
+    """The classic binary-heap backend with lazy compaction.
+
+    Cancelled timers stay in the heap until popped or compacted away;
+    ``cancelled_pending`` counts how many of the queued entries are dead.
+    """
+
+    backend = "heap"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: List[Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: Entry) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def peek(self) -> Optional[Entry]:
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2]._cancelled:
+                heapq.heappop(heap)
+                self.cancelled_pending -= 1
+                continue
+            return head
+        return None
+
+    def pop(self) -> Entry:
+        return heapq.heappop(self._heap)
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Entries keep their original ``(deadline, sequence)`` keys, so the
+        firing order of live timers — including insertion-order
+        tie-breaking — is unchanged.
+        """
+        self.compaction_work += len(self._heap)
+        self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
+        heapq.heapify(self._heap)
+        self.cancelled_pending = 0
+        self.compactions += 1
+
+
+def _make_queue(scheduler: Union[str, EventQueue, None]) -> EventQueue:
+    """Resolve a backend spec (instance, name, or None for the default)."""
+    if isinstance(scheduler, EventQueue):
+        return scheduler
+    if scheduler is None:
+        scheduler = os.environ.get(SCHEDULER_ENV, "") or DEFAULT_SCHEDULER
+    if scheduler == "heap":
+        return HeapEventQueue()
+    if scheduler == "wheel":
+        from repro.sim.wheel import TimerWheel
+
+        return TimerWheel()
+    raise SimulationError(
+        f"unknown scheduler backend {scheduler!r} (expected 'heap' or 'wheel')"
+    )
+
+
 class Simulator:
     """Discrete-event scheduler with a simulated clock.
 
@@ -90,26 +257,25 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.5, print, "fires at t=1.5")
         sim.run()
+
+    ``scheduler`` selects the timer-storage backend: ``"wheel"`` (default),
+    ``"heap"``, or an :class:`EventQueue` instance.  When omitted, the
+    ``REPRO_SIM_SCHEDULER`` environment variable is consulted first.
     """
 
-    #: Compaction only kicks in above this many cancelled entries, so small
-    #: queues never pay the heapify cost.
-    COMPACT_MIN_CANCELLED = 64
+    #: Backwards-compatible alias (the threshold now lives on EventQueue).
+    COMPACT_MIN_CANCELLED = EventQueue.COMPACT_MIN_CANCELLED
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: Union[str, EventQueue, None] = None) -> None:
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Timer]] = []
+        self._queue: EventQueue = _make_queue(scheduler)
         self._sequence = itertools.count()
         self._running = False
         self._events_processed = 0
-        # Cancelled timers stay in the heap until popped or compacted away;
-        # this counts how many of the queued entries are dead.
-        self._cancelled_pending = 0
-        self._compactions = 0
         # Optional observability hook (see set_metrics); None keeps the
         # hot loop to a single identity check per event.
-        self._m_events = None
-        self._m_queue_peak = None
+        self._m_events: Optional[Any] = None
+        self._m_queue_peak: Optional[Any] = None
 
     def set_metrics(self, metrics: "MetricsRegistry") -> None:
         """Attach a :class:`repro.obs.metrics.MetricsRegistry`.
@@ -121,6 +287,7 @@ class Simulator:
         self._m_queue_peak = metrics.gauge("sim.queue_depth_peak")
 
     def _note_event(self) -> None:
+        assert self._m_events is not None and self._m_queue_peak is not None
         self._m_events.inc()
         self._m_queue_peak.set(len(self._queue))
 
@@ -128,6 +295,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def scheduler_backend(self) -> str:
+        """Name of the active timer-storage backend."""
+        return self._queue.backend
 
     @property
     def events_processed(self) -> int:
@@ -141,13 +313,18 @@ class Simulator:
 
     @property
     def cancelled_pending(self) -> int:
-        """Cancelled timers still occupying heap slots."""
-        return self._cancelled_pending
+        """Cancelled timers still occupying storage."""
+        return self._queue.cancelled_pending
 
     @property
     def compactions(self) -> int:
-        """Number of lazy heap compactions performed so far."""
-        return self._compactions
+        """Number of lazy compaction passes performed so far."""
+        return self._queue.compactions
+
+    @property
+    def compaction_work(self) -> int:
+        """Total entries examined by compaction — the amortisation bound."""
+        return self._queue.compaction_work
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
@@ -162,37 +339,11 @@ class Simulator:
                 f"cannot schedule at t={when} (now={self._now})"
             )
         timer = Timer(when, callback, args, sim=self)
-        heapq.heappush(self._queue, (when, next(self._sequence), timer))
+        self._queue.push((when, next(self._sequence), timer))
         return timer
 
     def _timer_cancelled(self) -> None:
-        """Account for a cancellation; compact when dead entries dominate.
-
-        With tens of thousands of in-flight timers (retransmission timers
-        that almost always get cancelled by the ACK, detector timeouts
-        rearmed every heartbeat) the heap can fill up with dead entries
-        that ``run`` must pop and discard one by one.  Rebuilding the heap
-        is O(live) and amortises to O(1) per cancellation because we only
-        do it when at least half the queue is dead.
-        """
-        self._cancelled_pending += 1
-        if (
-            self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
-            and self._cancelled_pending * 2 >= len(self._queue)
-        ):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify the survivors.
-
-        Entries keep their original ``(deadline, sequence)`` keys, so the
-        firing order of live timers — including insertion-order
-        tie-breaking — is unchanged.
-        """
-        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
-        heapq.heapify(self._queue)
-        self._cancelled_pending = 0
-        self._compactions += 1
+        self._queue.on_cancel()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Process events until the queue drains, ``until`` or ``max_events``.
@@ -204,18 +355,19 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
+        queue = self._queue
         processed = 0
         try:
-            while self._queue:
-                when, _seq, timer = self._queue[0]
+            while True:
+                head = queue.peek()
+                if head is None:
+                    break
+                when = head[0]
                 if until is not None and when > until:
                     break
-                heapq.heappop(self._queue)
-                if timer.cancelled:
-                    self._cancelled_pending -= 1
-                    continue
+                queue.pop()
                 self._now = when
-                timer._fire()
+                head[2]._fire()
                 self._events_processed += 1
                 if self._m_events is not None:
                     self._note_event()
@@ -237,16 +389,14 @@ class Simulator:
         deadline = self._now + timeout
         if predicate():
             return True
-        while self._queue:
-            when, _seq, timer = self._queue[0]
-            if when > deadline:
+        queue = self._queue
+        while True:
+            head = queue.peek()
+            if head is None or head[0] > deadline:
                 break
-            heapq.heappop(self._queue)
-            if timer.cancelled:
-                self._cancelled_pending -= 1
-                continue
-            self._now = when
-            timer._fire()
+            queue.pop()
+            self._now = head[0]
+            head[2]._fire()
             self._events_processed += 1
             if self._m_events is not None:
                 self._note_event()
@@ -257,10 +407,11 @@ class Simulator:
         return predicate()
 
     def _queue_has_work(self, until: float) -> bool:
-        return any(not t.cancelled and when <= until for when, _s, t in self._queue)
+        head = self._queue.peek()
+        return head is not None and head[0] <= until
 
     def __repr__(self) -> str:
         return (
             f"Simulator(now={self._now:.9f}, pending={len(self._queue)},"
-            f" processed={self._events_processed})"
+            f" processed={self._events_processed}, backend={self._queue.backend})"
         )

@@ -11,7 +11,7 @@ establishment) silently requires.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.net.addresses import Ipv4Address
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
@@ -21,8 +21,7 @@ from repro.sim.rng import seeded_rng
 from repro.sim.trace import Tracer
 from repro.tcp.connection import TcpConnection, TcpSnapshot, TcpState
 from repro.tcp.segment import FLAG_ACK, FLAG_RST, TcpSegment
-
-ConnKey = Tuple[Ipv4Address, int, Ipv4Address, int]
+from repro.tcp.table import ConnectionTable, ConnKey, LingerTable
 
 EPHEMERAL_PORT_START = 32768
 EPHEMERAL_PORT_END = 61000
@@ -75,7 +74,7 @@ class TcpLayer:
         self._m_rtx = self.metrics.counter("tcp.retransmits", host=node_name)
         self._m_fast_rtx = self.metrics.counter("tcp.fast_retransmits", host=node_name)
         self._m_rsts = self.metrics.counter("tcp.rsts_sent", host=node_name)
-        self.connections: Dict[ConnKey, TcpConnection] = {}
+        self.connections: ConnectionTable = ConnectionTable()
         self.listeners: Dict[int, Listener] = {}
         # Instance attributes so tests can shrink the range and exercise
         # exhaustion without 28k allocations.
@@ -90,7 +89,7 @@ class TcpLayer:
         # ACK was lost.  Pruned lazily — no timers, so an idle simulator
         # still quiesces.
         self.linger_duration = 2.0
-        self._lingering: Dict[ConnKey, Tuple[float, int, int]] = {}
+        self._lingering: LingerTable = LingerTable()
         self.linger_acks_sent = 0
 
     # ------------------------------------------------------------------
@@ -129,15 +128,11 @@ class TcpLayer:
             if self._port_lingering(port, remote_ip, remote_port):
                 continue
             return port
-        active = sum(
-            1
-            for key in self.connections
-            if self.ephemeral_port_start <= key[1] < self.ephemeral_port_end
+        active = self.connections.count_ports_in_range(
+            self.ephemeral_port_start, self.ephemeral_port_end
         )
-        lingering = sum(
-            1
-            for key in self._lingering
-            if self.ephemeral_port_start <= key[1] < self.ephemeral_port_end
+        lingering = self._lingering.count_ports_in_range(
+            self.ephemeral_port_start, self.ephemeral_port_end
         )
         raise OSError(
             f"{self.node_name}: ephemeral ports exhausted"
@@ -148,15 +143,10 @@ class TcpLayer:
 
     def _prune_lingering(self) -> None:
         """Drop linger records whose TIME_WAIT-style window has expired."""
-        now = self.sim.now
-        expired = [key for key, entry in self._lingering.items() if now >= entry[0]]
-        for key in expired:
-            del self._lingering[key]
+        self._lingering.prune(self.sim.now)
 
     def _port_in_use(self, port: int) -> bool:
-        if port in self.listeners:
-            return True
-        return any(key[1] == port for key in self.connections)
+        return port in self.listeners or self.connections.port_in_use(port)
 
     def _port_lingering(
         self,
@@ -164,12 +154,7 @@ class TcpLayer:
         remote_ip: Optional[Ipv4Address],
         remote_port: Optional[int],
     ) -> bool:
-        if remote_ip is None or remote_port is None:
-            return any(key[1] == port for key in self._lingering)
-        return any(
-            key[1] == port and key[2] == remote_ip and key[3] == remote_port
-            for key in self._lingering
-        )
+        return self._lingering.port_blocked(port, self.sim.now, remote_ip, remote_port)
 
     # ------------------------------------------------------------------
     # opening endpoints

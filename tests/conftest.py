@@ -6,6 +6,9 @@ and overridable from one place:
 * ``default`` — a dozen examples per property, enough to catch regressions
   in the tier-1 run without dominating its wall-clock.
 * ``thorough`` — the nightly / chaos-CI budget.
+* ``differential`` — the scheduler/queue equivalence plane's CI budget:
+  200 examples per property, derandomized so the differential job is
+  reproducible run-to-run.
 
 Select with ``HYPOTHESIS_PROFILE=thorough pytest ...``.
 """
@@ -26,6 +29,13 @@ settings.register_profile(
     "thorough",
     max_examples=100,
     deadline=None,
+    suppress_health_check=_SUPPRESS,
+)
+settings.register_profile(
+    "differential",
+    max_examples=200,
+    deadline=None,
+    derandomize=True,
     suppress_health_check=_SUPPRESS,
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

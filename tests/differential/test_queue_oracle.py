@@ -1,0 +1,190 @@
+"""Zero-copy OutputQueue vs a naive reference model.
+
+The reference (:class:`NaiveQueue`) works in *unwrapped offset space*
+with plain byte copies — no memoryviews, no consumed-offset cursor, no
+wrapped arithmetic — and mirrors only the queue's documented contract.
+Randomised traces of overlapping / duplicate / out-of-order enqueues
+(some with corrupted retransmissions), pops, and drains are replayed
+against both; every step must agree on the return value, on whether
+:class:`PayloadMismatch` is raised, and on the complete observable state
+(live bytes, base/frontier sequence numbers, counters).
+
+Traces start at arbitrary initial sequence numbers, weighted toward the
+2^32 boundary so the real queue's wrapped seq arithmetic is exercised
+against the reference's unwrapped offsets.
+"""
+# replint: file-allow(seq-arith) -- the reference model is deliberately an independent modular oracle in unwrapped offset space; wrap parity with the seqnum helpers is the property under test
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.failover.queues import OutputQueue, PayloadMismatch
+from repro.tcp.seqnum import SEQ_MOD
+
+
+class NaiveQueue:
+    """Reference model in unwrapped offset space (offset 0 = initial seq)."""
+
+    MAX_PENDING = OutputQueue.MAX_PENDING_CHUNKS
+
+    def __init__(self):
+        self.history = bytearray()  # every contiguous byte ever stored
+        self.consumed = 0
+        self.pending = {}  # offset -> bytes, insertion-ordered
+        self.dups = 0
+        self.gaps = 0
+        self.enqueued = 0
+
+    @property
+    def frontier(self):
+        return len(self.history)
+
+    def live(self):
+        return bytes(self.history[self.consumed :])
+
+    def __len__(self):
+        return len(self.history) - self.consumed
+
+    def enqueue(self, offset, payload):
+        if not payload:
+            return 0
+        if offset > self.frontier:
+            if len(self.pending) < self.MAX_PENDING and offset not in self.pending:
+                self.pending[offset] = payload
+                self.gaps += 1
+            return 0
+        overlap = self.frontier - offset
+        if overlap > 0:
+            check = min(overlap, len(payload))
+            if overlap <= len(self):  # overlap below consumed front: unverifiable
+                lo = self.frontier - overlap
+                if bytes(self.history[lo : lo + check]) != payload[:check]:
+                    raise PayloadMismatch("reference: streams diverge")
+            if overlap >= len(payload):
+                self.dups += len(payload)
+                return 0
+            payload = payload[overlap:]
+        self.history.extend(payload)
+        self.enqueued += len(payload)
+        return len(payload) + self._drain_pending()
+
+    def _drain_pending(self):
+        added = 0
+        while self.pending:
+            match = None
+            for offset in self.pending:
+                if offset <= self.frontier:
+                    match = offset
+                    break
+            if match is None:
+                return added
+            payload = self.pending.pop(match)
+            skip = self.frontier - match
+            if skip >= len(payload):
+                self.dups += len(payload)
+                continue
+            fresh = payload[skip:]
+            self.history.extend(fresh)
+            self.enqueued += len(fresh)
+            added += len(fresh)
+        return added
+
+    def pop(self, count):
+        if count > len(self):
+            raise ValueError("reference: over-pop")
+        lo = self.consumed
+        self.consumed = lo + count
+        return bytes(self.history[lo : lo + count])
+
+    def drain(self):
+        out = self.live()
+        offset = self.consumed
+        self.consumed = len(self.history)
+        return offset, out
+
+
+def _assert_same_state(q: OutputQueue, ref: NaiveQueue, initial_seq: int):
+    assert len(q) == len(ref)
+    assert bytes(q.data) == ref.live()
+    assert q.base_seq == (initial_seq + ref.consumed) % SEQ_MOD
+    assert q.frontier == (initial_seq + ref.frontier) % SEQ_MOD
+    assert q.duplicates_discarded == ref.dups
+    assert q.gaps_buffered == ref.gaps
+    assert q.bytes_enqueued == ref.enqueued
+
+
+_INITIAL_SEQ = st.one_of(
+    st.integers(0, SEQ_MOD - 1),
+    # Weight the 2^32 boundary: a short trace started here wraps.
+    st.integers(SEQ_MOD - 700, SEQ_MOD - 1),
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("enq"),
+            st.integers(0, 1 << 30),  # chunk start (mod stream length)
+            st.integers(1, 120),  # chunk length
+            st.one_of(st.none(), st.integers(0, 1 << 30)),  # corrupt position
+        ),
+        st.tuples(st.just("pop"), st.integers(0, 1 << 30)),
+        st.tuples(st.just("drain")),
+    ),
+    max_size=30,
+)
+
+
+@given(_INITIAL_SEQ, st.binary(min_size=1, max_size=600), _OPS)
+def test_trace_replay_matches_reference(initial_seq, stream, ops):
+    q = OutputQueue(initial_seq, "dut")
+    ref = NaiveQueue()
+    for op in ops:
+        if op[0] == "enq":
+            _, raw_start, raw_len, corrupt = op
+            start = raw_start % (len(stream) + 1)
+            chunk = bytearray(stream[start : start + raw_len])
+            if corrupt is not None and chunk:
+                chunk[corrupt % len(chunk)] ^= 0xFF
+            payload = bytes(chunk)
+            seq = (initial_seq + start) % SEQ_MOD
+            outcomes = []
+            for target, at in ((q, seq), (ref, start)):
+                try:
+                    outcomes.append(("ok", target.enqueue(at, payload)))
+                except PayloadMismatch:
+                    outcomes.append(("mismatch", None))
+            assert outcomes[0] == outcomes[1]
+        elif op[0] == "pop":
+            count = op[1] % (len(ref) + 1)
+            assert q.pop(count) == ref.pop(count)
+        else:
+            got_seq, got = q.drain()
+            ref_offset, want = ref.drain()
+            assert got == want
+            assert got_seq == (initial_seq + ref_offset) % SEQ_MOD
+        _assert_same_state(q, ref, initial_seq)
+
+
+@given(_INITIAL_SEQ, st.binary(min_size=1, max_size=400), _OPS)
+def test_over_pop_rejected_in_lockstep(initial_seq, stream, ops):
+    """pop(len + 1) must fail on both models at every point in a trace."""
+    q = OutputQueue(initial_seq, "dut")
+    ref = NaiveQueue()
+    for op in ops:
+        if op[0] == "enq":
+            start = op[1] % (len(stream) + 1)
+            payload = stream[start : start + op[2]]
+            if payload:
+                q.enqueue((initial_seq + start) % SEQ_MOD, payload)
+                ref.enqueue(start, payload)
+        elif op[0] == "pop":
+            count = op[1] % (len(ref) + 1)
+            q.pop(count)
+            ref.pop(count)
+        else:
+            q.drain()
+            ref.drain()
+        with pytest.raises(ValueError):
+            q.pop(len(ref) + 1)
+        _assert_same_state(q, ref, initial_seq)

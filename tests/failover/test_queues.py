@@ -119,6 +119,37 @@ def test_enqueue_across_wraparound():
     assert q.base_seq == 2
 
 
+@given(
+    st.integers(1, 120),  # stream length; start is chosen so it wraps
+    st.integers(0, 1 << 30),  # which byte of the retransmission to corrupt
+    st.binary(min_size=1, max_size=120),
+)
+def test_mismatched_retransmission_rejected_at_every_wrap_split_point(
+    length, corrupt_at, stream_seed
+):
+    """Overlap verification must reject a corrupted retransmission no
+    matter where its split point falls relative to the 2^32 seq wrap —
+    and accept the faithful one — at *every* split point of the stream."""
+    stream = (stream_seed * (length // len(stream_seed) + 1))[:length]
+    # Place the stream so the wrap boundary falls strictly inside it.
+    start = SEQ_MOD - (length // 2) - 1
+    q = OutputQueue(start)
+    q.enqueue(start, stream)
+    for split in range(length):
+        seq = (start + split) % SEQ_MOD  # replint: allow(seq-arith) -- independent modular oracle for the helpers under test
+        tail = bytearray(stream[split:])
+        tail[corrupt_at % len(tail)] ^= 0xFF
+        with pytest.raises(PayloadMismatch):
+            q.enqueue(seq, bytes(tail))
+        # The faithful retransmission at the same split point is absorbed
+        # as a pure duplicate, proving the rejection was the corruption.
+        dups_before = q.duplicates_discarded
+        assert q.enqueue(seq, stream[split:]) == 0
+        assert q.duplicates_discarded == dups_before + (length - split)
+        assert bytes(q.data) == stream
+        assert q.frontier == (start + length) % SEQ_MOD  # replint: allow(seq-arith) -- independent modular oracle for the helpers under test
+
+
 @given(st.data())
 def test_interleaved_segmentations_match_property(data):
     """Two different segmentations of the same stream, interleaved in any

@@ -231,3 +231,47 @@ def test_cancel_during_run_is_compaction_safe():
     sim.run()
     assert fired == ["end"]
     assert sim.cancelled_pending == 0
+
+
+def test_compaction_work_is_amortised_linear():
+    """The dead-ratio threshold bounds total rebuild work.
+
+    Cancelling every one of N timers triggers compactions only when dead
+    entries dominate, so the sweep sizes form a geometric series: total
+    compaction work stays O(N) (a naive compact-on-every-cancel policy
+    would be O(N^2)) and the number of rebuilds stays logarithmic.
+    """
+    total = 5_000
+    sim = Simulator()
+    keep = sim.schedule(float(total + 10), lambda: None)
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(total)]
+    for t in timers:
+        t.cancel()
+    assert sim.compaction_work <= 3 * total
+    assert 1 <= sim.compactions <= 10
+    assert keep.active
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_trace_streams_identical_across_backends(monkeypatch):
+    """Same seed + same program ⇒ identical sim.trace streams for heap
+    and wheel (the scheduler backend must be invisible to replay)."""
+    from tests.util import SERVER_IP, TwoHostLan
+
+    def trace_stream(backend):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", backend)
+        lan = TwoHostLan(seed=7)
+        assert lan.sim.scheduler_backend == backend
+        lan.server.tcp.listen(80)
+        conn = lan.client.tcp.connect(SERVER_IP, 80)
+        lan.run(until=0.5)
+        conn.write(b"x" * 20_000)
+        lan.run(until=2.0)
+        conn.close()
+        lan.run(until=5.0)
+        stream = [str(record) for record in lan.tracer.records]
+        assert stream  # a silent run would make the comparison vacuous
+        return stream
+
+    assert trace_stream("heap") == trace_stream("wheel")
