@@ -22,11 +22,28 @@ import os
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).parent / "baseline" / "BENCH_sim_engine.json"
+BASELINE_DIR = Path(__file__).parent / "baseline"
+DEFAULT_BASELINE = BASELINE_DIR / "BENCH_sim_engine.json"
 DEFAULT_TOLERANCE = 0.10
 
 # label -> metric -> hard floor, compared directly (machine-independent).
-RATIO_FLOORS = {"dispose:ratio": {"wheel_over_heap": 2.0}}
+RATIO_FLOORS = {
+    "dispose:ratio": {"wheel_over_heap": 2.0},
+    # Tracing at sample-rate 0 may cost at most 5% of untraced
+    # throughput (the obs-overhead acceptance bar).
+    "overhead:ratio": {"rate0_over_off": 0.95},
+}
+
+
+def default_baseline(fresh_path):
+    """Committed baseline matching the fresh artifact's filename, if any.
+
+    ``--fresh artifacts/BENCH_obs_overhead.json`` compares against
+    ``baseline/BENCH_obs_overhead.json`` without needing ``--baseline``;
+    unmatched names keep the historical sim-engine default.
+    """
+    candidate = BASELINE_DIR / Path(fresh_path).name
+    return candidate if candidate.exists() else DEFAULT_BASELINE
 
 
 def load_metrics(path):
@@ -73,7 +90,10 @@ def check(baseline_path, fresh_path, tolerance):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", required=True, help="freshly produced BENCH json")
-    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--baseline", default=None,
+                        help="baseline artifact (default: the committed"
+                             " baseline with the fresh file's name, falling"
+                             " back to BENCH_sim_engine.json)")
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -81,6 +101,9 @@ def main(argv=None):
         help="allowed fractional throughput regression (default 0.10)",
     )
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = str(default_baseline(args.fresh))
+        print(f"[guard] baseline: {args.baseline}")
     failures = check(args.baseline, args.fresh, args.tolerance)
     if failures:
         for failure in failures:

@@ -8,6 +8,7 @@ from typing import List, Type
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.determinism import RngSourceRule, SetOrderRule, WallclockRule
 from repro.analysis.rules.handler_hygiene import HandlerExceptRule
+from repro.analysis.rules.obs_passive import ObsPassiveRule
 from repro.analysis.rules.seq_arith import SeqArithRule
 from repro.analysis.rules.sim_safety import ChecksumPairRule, SimImportRule
 
@@ -15,6 +16,7 @@ ALL_RULES: List[Type[Rule]] = [
     SeqArithRule,
     ChecksumPairRule,
     SimImportRule,
+    ObsPassiveRule,
     RngSourceRule,
     WallclockRule,
     SetOrderRule,
@@ -25,6 +27,7 @@ __all__ = [
     "ALL_RULES",
     "ChecksumPairRule",
     "HandlerExceptRule",
+    "ObsPassiveRule",
     "Rule",
     "RngSourceRule",
     "SeqArithRule",

@@ -1,0 +1,119 @@
+"""The ``obs-passive`` rule: observability must only watch.
+
+Everything under ``src/repro/obs/`` is a read-only plane: it snapshots
+trace records, folds metrics, serialises frames and spans.  The moment
+an observer schedules an event, transmits a frame or flips a knob on a
+host, observation changes the experiment — runs with tracing on and off
+stop being byte-identical, which breaks the repo's central determinism
+contract (see DESIGN.md §11: artifacts must not depend on whether
+anyone is watching).
+
+Two patterns are flagged:
+
+* calls whose trailing name is a known simulation/state mutator
+  (scheduling, frame/segment injection, failover procedures, fault
+  drivers, dispatcher steering);
+* assignments (plain, augmented or subscripted) through an attribute of
+  a *function parameter* other than ``self``/``cls`` — an observer may
+  build and mutate its own objects, but writing through something it
+  was handed mutates state it does not own.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.rules.base import Rule, call_name
+
+#: Trailing call names that mutate simulation, network or failover
+#: state.  Grouped by the plane they belong to; any of them appearing in
+#: obs code means the observer is driving the experiment.
+_MUTATORS = frozenset({
+    # sim scheduling / process control
+    "schedule", "call_at", "call_later", "call_soon", "spawn",
+    "run", "run_until",
+    # network injection
+    "submit", "transmit", "send", "send_segment", "receive_segment",
+    "frame_arrived", "announce", "add_address",
+    # failover procedures
+    "install_bridge", "prepare_failover", "complete_failover",
+    "perform_ip_takeover", "perform_reintegration", "reintegrate",
+    # fault / fleet drivers
+    "crash", "restart", "storm", "kill", "partition",
+    # dispatcher steering
+    "pin", "reassign",
+})
+
+
+def _store_root(node: ast.AST) -> str:
+    """Root identifier of an attribute/subscript store target ('' if none).
+
+    ``sim.now = 0`` → ``sim``; ``host.tcp.connections[k] = v`` → ``host``;
+    ``plain = v`` → ``''`` (plain-name stores are local by definition).
+    """
+    saw_deref = False
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        saw_deref = True
+        node = node.value
+    if saw_deref and isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class ObsPassiveRule(Rule):
+    name = "obs-passive"
+    description = (
+        "observability code mutating sim/tcp/failover state (scheduling,"
+        " frame injection, writes through handed-in objects)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/obs/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in _MUTATORS:
+                    yield ctx.violation(
+                        node, self.name,
+                        f"`{name}(...)` mutates simulation state from the"
+                        " observability plane; obs code must only read"
+                        " (records, metrics, spans) — move the side effect"
+                        " into the layer that owns it",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_param_stores(ctx, node)
+
+    def _check_param_stores(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Violation]:
+        args = func.args
+        params: Set[str] = {
+            a.arg
+            for a in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *filter(None, (args.vararg, args.kwarg)),
+            )
+        }
+        params -= {"self", "cls"}
+        if not params:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            else:
+                continue
+            for target in targets:
+                root = _store_root(target)
+                if root in params:
+                    yield ctx.violation(
+                        node, self.name,
+                        f"write through parameter `{root}` mutates an object"
+                        " the observer was handed; obs code owns nothing it"
+                        " observes — copy into a local structure instead",
+                    )

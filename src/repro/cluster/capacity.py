@@ -136,6 +136,8 @@ def run_capacity(
     check_invariants: bool = True,
     enable_metrics: bool = False,
     run_until: Optional[float] = None,
+    span_sample_rate: float = 0.0,
+    max_spans: Optional[int] = None,
 ) -> CapacityResult:
     """One seeded capacity run through a failover storm."""
     if not 0 < storm_at:
@@ -148,6 +150,8 @@ def run_capacity(
         detector_interval=detector_interval,
         detector_timeout=detector_timeout,
         enable_metrics=enable_metrics,
+        span_sample_rate=span_sample_rate,
+        max_spans=max_spans,
     )
     checker = fleet.attach_invariant_checker() if check_invariants else None
     fleet.run_reply_service(backlog=max(64, sessions))
@@ -163,6 +167,7 @@ def run_capacity(
         think_times=think_times or Exponential(0.150),
         ramp=ramp,
         hold_for=hold_for,
+        spans=fleet.spans,
     )
     workload.start()
 
@@ -179,6 +184,10 @@ def run_capacity(
     finished_at = fleet.sim.now
     # Let straggling close handshakes and detector echoes drain.
     fleet.sim.run(until=finished_at + 1.0)
+    if fleet.spans.enabled:
+        # Flush spans the run cut off (failed sessions, open takeovers)
+        # so the export sees every sampled trace.
+        fleet.spans.abandon_open(fleet.sim.now)
 
     return CapacityResult(
         fleet=fleet,

@@ -38,6 +38,7 @@ from repro.net.addresses import Ipv4Address
 from repro.net.host import Host
 from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.spans import flow_key as span_flow_key
 from repro.tcp.segment import FLAG_ACK, FLAG_SYN, TcpSegment, incremental_rewrite
 
 __all__ = ["FlowEntry", "FlowId", "FlowTable", "VirtualService"]
@@ -149,10 +150,12 @@ class VirtualService:
         is_initial_syn = bool(segment.flags & FLAG_SYN) and not (
             segment.flags & FLAG_ACK
         )
+        steered = False
         if slot < 0 or is_initial_syn:
             shard_id = choose_shard(
                 flow_key(datagram.src, segment.src_port), list(self.backends)
             )
+            steered = True
             if slot < 0:
                 self._maybe_prune()
                 slot = flows.pin(flow_id, shard_id, self.sim.now)
@@ -174,6 +177,25 @@ class VirtualService:
             return None
         self.segments_in += 1
         self._m_in.inc()
+        spans = self.host.spans
+        if steered and spans.enabled:
+            # The NAT rewrite changes the flow's 4-tuple on the shard LAN:
+            # alias the shard-side key to the client-side trace so the
+            # shard replicas' spans join the same tree.
+            client_key = span_flow_key(
+                datagram.src, segment.src_port,
+                self.virtual_ip, segment.dst_port,
+            )
+            spans.alias_flow(
+                span_flow_key(
+                    datagram.src, segment.src_port, target, segment.dst_port
+                ),
+                client_key,
+            )
+            spans.flow_event(
+                client_key, "dispatcher.steer", self.sim.now, self.host.name,
+                shard=self.flows.shard_at(slot), backend=str(target),
+            )
         rewritten = incremental_rewrite(
             segment, old_src=datagram.src, old_dst=self.virtual_ip, new_dst=target
         )

@@ -42,6 +42,7 @@ from repro.net.ethernet import EthernetSegment
 from repro.net.host import Host
 from repro.net.router import Router
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS, merge_registries
+from repro.obs.spans import NULL_SPANS, SpanTracer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -71,6 +72,7 @@ def _make_host(
     rng: RngRegistry,
     metrics: Optional[MetricsRegistry],
     gratuitous_apply_delay: float = 0.0,
+    spans: Optional[SpanTracer] = None,
 ) -> Host:
     return Host(
         sim,
@@ -78,6 +80,7 @@ def _make_host(
         _fleet_mac(index),
         tracer=tracer,
         metrics=metrics,
+        spans=spans,
         rng=rng.stream(f"host.{name}"),
         rx_segment_cost=profile.rx_segment_cost,
         rx_byte_cost=profile.rx_byte_cost,
@@ -158,6 +161,8 @@ class ShardedFleet:
         conn_defaults: Optional[dict] = None,
         auto_reintegrate: bool = False,
         takeover_resume_delay: float = 200e-6,
+        span_sample_rate: float = 0.0,
+        max_spans: Optional[int] = None,
     ):
         if shards <= 0:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -170,6 +175,18 @@ class ShardedFleet:
         self.service_port = service_port
         self.virtual_ip = VIRTUAL_IP
         self.enable_metrics = enable_metrics
+        # Tracing at rate 0 is the shared NULL_SPANS: no "obs.spans" rng
+        # stream is ever created, so every other stream — and therefore
+        # every artifact — is bit-identical to a fleet built without
+        # tracing (registry streams are independently seed-derived).
+        if span_sample_rate > 0.0:
+            self.spans: SpanTracer = SpanTracer(
+                rng=self.rng.stream("obs.spans"),
+                sample_rate=span_sample_rate,
+                max_spans=max_spans,
+            )
+        else:
+            self.spans = NULL_SPANS
 
         def registry() -> MetricsRegistry:
             return MetricsRegistry() if enable_metrics else NULL_METRICS
@@ -185,6 +202,7 @@ class ShardedFleet:
             tracer=self.tracer,
             rng=self.rng.stream("ethernet.front"),
             metrics=self.front_metrics if enable_metrics else None,
+            spans=self.spans,
         )
         self.dispatcher = Router(
             self.sim,
@@ -193,6 +211,7 @@ class ShardedFleet:
             tracer=self.tracer,
             rng=self.rng.stream("host.dispatcher"),
             gratuitous_apply_delay=dispatcher_arp_delay,
+            spans=self.spans,
         )
         front_iface = self.dispatcher.attach_ethernet(
             self.front_segment, DISPATCHER_FRONT_IP
@@ -205,6 +224,7 @@ class ShardedFleet:
             client = _make_host(
                 self.sim, f"client{i}", 1 + i, CLIENT_PROFILE,
                 self.tracer, self.rng, self.front_metrics if enable_metrics else None,
+                spans=self.spans,
             )
             client.attach_ethernet(
                 self.front_segment, Ipv4Address(f"10.0.0.{1 + i}")
@@ -225,14 +245,17 @@ class ShardedFleet:
                 tracer=self.tracer,
                 rng=self.rng.stream(f"ethernet.shard{s}"),
                 metrics=shard_metrics if enable_metrics else None,
+                spans=self.spans,
             )
             primary = _make_host(
                 self.sim, f"p{s}", 100 + 2 * s, SERVER_PROFILE,
                 self.tracer, self.rng, shard_metrics if enable_metrics else None,
+                spans=self.spans,
             )
             secondary = _make_host(
                 self.sim, f"b{s}", 101 + 2 * s, SERVER_PROFILE,
                 self.tracer, self.rng, shard_metrics if enable_metrics else None,
+                spans=self.spans,
             )
             subnet = 32 + s
             primary.attach_ethernet(segment, Ipv4Address(f"10.{subnet}.0.2"))

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from repro.net.addresses import Ipv4Address
 from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.spans import NULL_SPANS
 from repro.tcp.segment import TcpSegment
 
 if TYPE_CHECKING:  # net.host imports tcp; keep the bridge layer cycle-free
@@ -40,6 +41,7 @@ class BridgeBase:
         self.config = config
         self.tracer = tracer or host.tracer
         self.metrics = getattr(host, "metrics", None) or NULL_METRICS
+        self.spans = getattr(host, "spans", None) or NULL_SPANS
         self.bridge_cost = bridge_cost
 
     # -- hooks to override ---------------------------------------------------

@@ -36,6 +36,7 @@ from repro.failover.merge import AckWindowMerge
 from repro.failover.queues import OutputQueue, PayloadMismatch, match_prefix
 from repro.net.addresses import Ipv4Address
 from repro.net.packet import IPPROTO_TCP, Ipv4Datagram
+from repro.obs.spans import FlowKey, flow_key as span_flow_key
 from repro.tcp.segment import (
     FLAG_ACK,
     FLAG_FIN,
@@ -258,7 +259,28 @@ class PrimaryBridge(BridgeBase):
         self.connections[key] = bc
         self._trace("bridge.p.conn_created", peer=f"{key[0]}:{key[1]}",
                     local_port=key[2], role=role)
+        if self.spans.enabled:
+            peer_key = self._span_key(bc)
+            # The secondary's diverted copies ride a rewritten 4-tuple
+            # (a_s:local → a_p:peer); alias it so the divert leg's TCP and
+            # Ethernet spans land in the same trace as the client leg.
+            self.spans.alias_flow(
+                span_flow_key(
+                    self.secondary_ip, bc.local_port, bc.local_ip, bc.peer_port
+                ),
+                peer_key,
+            )
+            self.spans.flow_event(
+                peer_key, "bridge.conn_created", self.sim.now, self.host.name,
+                role=role,
+            )
         return bc
+
+    def _span_key(self, bc: BridgeConnection) -> FlowKey:
+        """The peer-facing flow key this connection's spans attach to."""
+        return span_flow_key(
+            bc.peer_ip, bc.peer_port, bc.local_ip, bc.local_port
+        )
 
     def _from_primary_tcp(self, bc: BridgeConnection, segment: TcpSegment) -> None:
         if bc.broken:
@@ -497,6 +519,14 @@ class PrimaryBridge(BridgeBase):
             self.segments_merged += 1
             self._m_merged.inc()
             self._m_bytes_matched.inc(len(data))
+            if self.spans.enabled:
+                self.spans.flow_event(
+                    self._span_key(bc), "bridge.matched",
+                    self.sim.now, self.host.name,
+                    seq=seq, size=len(data),
+                    depth_p=len(bc.p_queue) if bc.p_queue is not None else 0,
+                    depth_s=len(bc.s_queue) if bc.s_queue is not None else 0,
+                )
             emitted = True
 
     def _emit_data(
@@ -630,6 +660,12 @@ class PrimaryBridge(BridgeBase):
             mss=bc.mss,
             role=bc.role,
         )
+        if self.spans.enabled:
+            self.spans.flow_event(
+                self._span_key(bc), "bridge.syn_merged",
+                self.sim.now, self.host.name,
+                delta=bc.delta.delta, mss=bc.mss, role=bc.role,
+            )
 
     def _reemit_syn(self, bc: BridgeConnection) -> None:
         """(Re)send the merged SYN / SYN-ACK with min-MSS and min-window."""
@@ -712,6 +748,11 @@ class PrimaryBridge(BridgeBase):
             bc.merge.note_sent(bc.merge.ack_p)
             self._trace("bridge.p.direct_catchup_ack", ack=bc.merge.ack_p)
         self._trace("bridge.p.flushed", bytes=len(data))
+        if self.spans.enabled:
+            self.spans.flow_event(
+                self._span_key(bc), "bridge.flushed",
+                self.sim.now, self.host.name, size=len(data),
+            )
 
     def _direct_emit_syn(self, bc: BridgeConnection) -> None:
         """Emit P's own SYN unmodified (secondary died pre-establishment)."""
@@ -905,6 +946,11 @@ class PrimaryBridge(BridgeBase):
         self.mismatches += 1
         self._m_mismatches.inc()
         self._trace("bridge.p.mismatch", error=str(exc), peer=str(bc.peer_ip))
+        if self.spans.enabled:
+            self.spans.flow_event(
+                self._span_key(bc), "bridge.mismatch",
+                self.sim.now, self.host.name, error=str(exc),
+            )
 
     def _delete(self, bc: BridgeConnection, reason: str) -> None:
         self.connections.pop(bc.key, None)

@@ -32,6 +32,7 @@ from repro.failover.reintegration import (
 from repro.failover.secondary import SecondaryBridge
 from repro.failover.takeover import perform_ip_takeover
 from repro.net.host import Host
+from repro.obs.spans import SpanContext
 
 
 class ReplicatedServerPair:
@@ -117,6 +118,8 @@ class ReplicatedServerPair:
         # invariant checkers use them to re-attach to the new bridge.
         self.on_reintegrated: List[Callable[["ReplicatedServerPair"], None]] = []
         self.reintegrations: List[ReintegrationResult] = []
+        # Open root span of an in-flight reintegration (closed in _rearm).
+        self._reintegrate_ctx: Optional[SpanContext] = None
         # Step-down fencing: if a host of this pair fences an address
         # (it was falsely suspected and a peer took over), silence its
         # failover plane too — detector and bridge.
@@ -310,6 +313,14 @@ class ReplicatedServerPair:
                 if survivor.ip.owns(standby) and standby != service:
                     survivor.eth_interface.remove_address(standby)
 
+        # One trace spans the whole re-admission: quiesce/copy through the
+        # install event that rearms the pair (finished in _rearm).
+        reintegrate_ctx = survivor.spans.trace_root(
+            "failover.reintegrate", survivor.sim.now, survivor.name,
+            survivor=survivor.name, joiner=joiner.name,
+        )
+        self._reintegrate_ctx = reintegrate_ctx
+
         result = perform_reintegration(
             survivor,
             joiner,
@@ -330,6 +341,13 @@ class ReplicatedServerPair:
 
     def _rearm(self, result: ReintegrationResult, survivor: Host, joiner: Host) -> None:
         """Runs inside the install event: swap roles, re-create detectors."""
+        ctx = self._reintegrate_ctx
+        if ctx is not None:
+            survivor.spans.finish(
+                ctx, survivor.sim.now,
+                resumed=result.resumed, bypassed=result.bypassed,
+            )
+            self._reintegrate_ctx = None
         self.primary = survivor
         self.secondary = joiner
         self.secondary_ip = joiner.ip.primary_address()

@@ -47,6 +47,12 @@ def perform_ip_takeover(
     config = bridge.config
     old_ip = host.ip.primary_address()
 
+    # Takeover is a trace of its own: its spans attribute the §5 phases
+    # (silence → announce → resume) even when no sampled flow crosses it.
+    takeover_ctx = host.spans.trace_root(
+        "failover.takeover", host.sim.now, host.name, ip=str(primary_ip)
+    )
+
     # Steps 1-4: silence the bridge and stop snooping/translating.
     bridge.prepare_failover()
 
@@ -56,10 +62,15 @@ def perform_ip_takeover(
     rebind_failover_connections(host, config, old_ip, primary_ip)
     interface.arp.announce(primary_ip)
     host.tracer.emit(host.sim.now, "takeover.announced", host.name, ip=str(primary_ip))
+    host.spans.event(
+        takeover_ctx, "failover.announced", host.sim.now, host.name,
+        ip=str(primary_ip),
+    )
 
     def resume() -> None:
         bridge.complete_failover(primary_ip)
         host.tracer.emit(host.sim.now, "takeover.complete", host.name)
+        host.spans.finish(takeover_ctx, host.sim.now)
 
     if resume_delay > 0:
         host.sim.schedule(resume_delay, resume)

@@ -375,14 +375,59 @@ def _obs_cluster_report(args) -> None:
         print(f"  {line}")
 
 
+def _obs_timeline(args) -> None:
+    """Causal trace view: tree + per-layer cost rollup of a storm cell."""
+    from repro.cluster import run_capacity
+    from repro.obs.spans import render_trace_tree
+    from repro.obs.trace_export import validate_trace_doc, write_chrome_trace
+
+    result = run_capacity(
+        shards=args.shards,
+        clients=args.clients,
+        sessions=args.sessions,
+        seed=args.seed,
+        ramp=args.ramp,
+        hold_for=args.hold,
+        storm_at=args.storm_at,
+        storm_fraction=args.storm_fraction,
+        span_sample_rate=args.sample_rate,
+    )
+    tracer = result.fleet.spans
+    spans = tracer.finished_spans()
+    print(f"== causal timeline (shards={args.shards}, sessions={args.sessions},"
+          f" seed={args.seed}, killed={','.join(result.killed)}) ==")
+    print(f"sampled {tracer.traces_sampled}/{tracer.traces_started} traces"
+          f" ({args.sample_rate:g} head-based), {len(spans)} spans")
+    print()
+    print(render_trace_tree(spans, max_traces=args.max_traces))
+    print()
+    print("per-layer cost rollup:")
+    for line in tracer.layer_rollup().render().splitlines():
+        print(f"  {line}")
+    if args.export:
+        doc = write_chrome_trace(args.export, spans)
+        errors = validate_trace_doc(doc)
+        if errors:
+            raise SystemExit("trace-event schema violations:\n  "
+                             + "\n  ".join(errors))
+        print()
+        print(f"wrote {args.export} ({len(doc['traceEvents'])} events,"
+              f" schema ok)")
+
+
 def cmd_obs(args) -> None:
-    """Flight-recorder / pcap views over one seeded failover run."""
+    """Flight-recorder / pcap / timeline views over one seeded run."""
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.pcap import export_pcaps
 
     action = args.action or "report"
-    if action not in ("report", "pcap"):
-        raise SystemExit(f"unknown obs action {action!r} (expected report or pcap)")
+    if action not in ("report", "pcap", "timeline"):
+        raise SystemExit(
+            f"unknown obs action {action!r} (expected report, pcap or timeline)"
+        )
+    if action == "timeline":
+        _obs_timeline(args)
+        return
     if action == "report" and args.cluster:
         _obs_cluster_report(args)
         return
@@ -442,7 +487,7 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument("experiment", choices=[*COMMANDS, "all", "obs"])
     parser.add_argument("action", nargs="?", default=None,
-                        help="for obs: report (default) or pcap")
+                        help="for obs: report (default), pcap or timeline")
     parser.add_argument("--quick", action="store_true",
                         help="fewer sweep points / smaller streams")
     parser.add_argument("--trials", type=int, default=None)
@@ -458,6 +503,14 @@ def main(argv: List[str] = None) -> int:
                         help="write BENCH_*.json artifacts to this directory")
     parser.add_argument("--cluster", action="store_true",
                         help="for `obs report`: fleet metrics rollup")
+    parser.add_argument("--sample-rate", type=float, default=1.0,
+                        help="head-based trace sampling rate for "
+                             "`obs timeline` (0 disables tracing)")
+    parser.add_argument("--export", default=None,
+                        help="for `obs timeline`: write a Perfetto-loadable "
+                             "Chrome trace-event JSON file here")
+    parser.add_argument("--max-traces", type=int, default=3,
+                        help="trace trees to render in `obs timeline`")
     parser.add_argument("--shards", type=int, default=None,
                         help="shard count for cluster runs")
     parser.add_argument("--clients", type=int, default=None,

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.net.packet import EthernetFrame
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.spans import NULL_SPANS, SpanTracer, flow_key
 from repro.sim.engine import Simulator
 from repro.sim.rng import seeded_rng
 from repro.sim.trace import Tracer
@@ -44,6 +45,7 @@ class EthernetSegment:
         tracer: Optional[Tracer] = None,
         rng: Optional[random.Random] = None,
         metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanTracer] = None,
     ):
         self.sim = sim
         self.name = name
@@ -51,6 +53,7 @@ class EthernetSegment:
         self.propagation_delay = propagation_delay
         self.collision_prob = collision_prob
         self.tracer = tracer or Tracer(record=False)
+        self.spans = spans or NULL_SPANS
         self.rng = rng or seeded_rng(0)
         metrics = metrics or NULL_METRICS
         self._m_frames = metrics.counter("eth.frames", segment=name)
@@ -102,6 +105,20 @@ class EthernetSegment:
         self._busy_until = start + tx_time
         self._pending += 1
         deliver_at = start + tx_time + self.propagation_delay
+        if self.spans.enabled:
+            # Both ends of the hop are known now; record it complete.
+            # Duck-typed so this module stays TCP-import-free: a TCP
+            # datagram's payload carries the port pair we key traces by.
+            datagram = frame.payload
+            seg = getattr(datagram, "payload", None)
+            if seg is not None and hasattr(seg, "src_port"):
+                self.spans.flow_record_span(
+                    flow_key(datagram.src, seg.src_port,
+                             datagram.dst, seg.dst_port),
+                    "eth.hop", start, deliver_at, self.name,
+                    size=frame.wire_size,
+                    collided=delay_extra > 0.0,
+                )
         if self.fault_filter is not None:
 
             def deliver(extra_delay: float, copy: EthernetFrame) -> None:

@@ -26,6 +26,7 @@ from repro.net.ip import EthernetInterface, IpLayer, PointToPointInterface
 from repro.net.nic import Nic
 from repro.net.packet import IPPROTO_HEARTBEAT, IPPROTO_TCP, Ipv4Datagram
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.spans import NULL_SPANS, SpanTracer
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, spawn
 from repro.sim.rng import fork_rng, seeded_rng
@@ -103,11 +104,13 @@ class Host:
         forwarding: bool = False,
         gratuitous_apply_delay: float = 0.0,
         metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanTracer] = None,
     ):
         self.sim = sim
         self.name = name
         self.tracer = tracer or Tracer(record=False)
         self.metrics = metrics or NULL_METRICS
+        self.spans = spans or NULL_SPANS
         # Default seed derives from the host name so two hosts never share
         # RNG state by accident (distinct ISS choices matter to the bridge).
         self.rng = rng or seeded_rng(zlib.crc32(name.encode()))
@@ -145,6 +148,7 @@ class Host:
             tracer=self.tracer,
             rng=fork_rng(self.rng),
             metrics=self.metrics,
+            spans=self.spans,
         )
         self.ip.register_protocol(IPPROTO_TCP, self._tcp_datagram)
         # Back-reference for the socket facade's write-cost accounting.

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.net.addresses import MacAddress
 from repro.net.host import Host
+from repro.obs.spans import SpanTracer
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -33,6 +34,7 @@ class Router(Host):
         rng: Optional[random.Random] = None,
         forwarding_cost: float = 15e-6,
         gratuitous_apply_delay: float = 0.0,
+        spans: Optional[SpanTracer] = None,
     ):
         super().__init__(
             sim,
@@ -44,6 +46,7 @@ class Router(Host):
             tx_segment_cost=forwarding_cost,
             forwarding=True,
             gratuitous_apply_delay=gratuitous_apply_delay,
+            spans=spans,
         )
         self.forwarding_cost = forwarding_cost
         self.ip.set_forward_defer(

@@ -11,7 +11,12 @@ Three pillars, all passive with respect to the simulation:
   Figures 3–6 are built from.
 * :mod:`repro.obs.pcap` — serialises traced frames into standard pcap
   files (one per logical interface: the client-visible wire and the
-  diverted P↔S path) openable in Wireshark/tshark.
+  diverted P↔S path, or one per Ethernet segment/NIC) openable in
+  Wireshark/tshark.
+* :mod:`repro.obs.spans` — deterministic, sampling-aware causal span
+  tracing stitched across layers by flow key, with
+  :mod:`repro.obs.trace_export` emitting Perfetto-compatible JSON and a
+  compact binary ring.
 
 :mod:`repro.obs.bench` writes the machine-readable ``BENCH_*.json``
 artifacts every benchmark run emits.
@@ -37,11 +42,23 @@ _LAZY = {
     "FlightRecorder": "repro.obs.flight",
     "PhaseBreakdown": "repro.obs.flight",
     "ReintegrationBreakdown": "repro.obs.flight",
+    "captured_segments": "repro.obs.pcap",
     "export_pcaps": "repro.obs.pcap",
     "read_pcap": "repro.obs.pcap",
     "write_pcap": "repro.obs.pcap",
     "validate_bench_doc": "repro.obs.bench",
     "write_bench_artifact": "repro.obs.bench",
+    "NOT_SAMPLED": "repro.obs.spans",
+    "NULL_SPANS": "repro.obs.spans",
+    "Span": "repro.obs.spans",
+    "SpanContext": "repro.obs.spans",
+    "SpanTracer": "repro.obs.spans",
+    "flow_key": "repro.obs.spans",
+    "chrome_trace": "repro.obs.trace_export",
+    "read_span_ring": "repro.obs.trace_export",
+    "validate_trace_doc": "repro.obs.trace_export",
+    "write_chrome_trace": "repro.obs.trace_export",
+    "write_span_ring": "repro.obs.trace_export",
 }
 
 
@@ -60,13 +77,25 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NOT_SAMPLED",
     "NULL_METRICS",
+    "NULL_SPANS",
     "merge_registries",
     "PhaseBreakdown",
     "ReintegrationBreakdown",
+    "Span",
+    "SpanContext",
+    "SpanTracer",
+    "captured_segments",
+    "chrome_trace",
     "export_pcaps",
+    "flow_key",
     "read_pcap",
+    "read_span_ring",
     "validate_bench_doc",
+    "validate_trace_doc",
     "write_bench_artifact",
+    "write_chrome_trace",
     "write_pcap",
+    "write_span_ring",
 ]

@@ -22,9 +22,12 @@ Layout notes:
   segment emits exactly once per delivered frame and which carry the
   frame object in their detail.
 
-Two logical interfaces are distinguished when exporting: ``wire`` (the
-client-visible LAN traffic, including ARP and heartbeats) and
-``divert`` (the P↔S diverted path, identified by the ORIG_DST option).
+Exports split frames into one capture per logical interface.  The
+default ``role`` split distinguishes ``wire`` (client-visible LAN
+traffic, including ARP and heartbeats) from ``divert`` (the P↔S
+diverted path, identified by the ORIG_DST option); the ``segment``
+split writes one capture per Ethernet segment — the multi-NIC view of
+the cluster's dispatcher host.
 """
 
 from __future__ import annotations
@@ -177,23 +180,49 @@ def classify_interface(frame: EthernetFrame) -> str:
 
 def captured_frames(tracer: Tracer) -> List[Tuple[float, EthernetFrame]]:
     """All frames recorded by the tracer (``eth.rx`` records with frames)."""
+    return [(when, frame) for when, _segment, frame in captured_segments(tracer)]
+
+
+def captured_segments(tracer: Tracer) -> List[Tuple[float, str, EthernetFrame]]:
+    """``(time, segment, frame)`` triples for every recorded frame.
+
+    The segment name is the ``eth.rx`` record's emitting node — each
+    Ethernet segment emits exactly one such record per delivered frame,
+    so on a multi-segment topology (the cluster's front LAN plus one
+    backend LAN per shard, all meeting at the dispatcher host) this
+    recovers which NIC saw the frame.
+    """
     out = []
     for record in tracer.select("eth.rx"):
         frame = record.detail.get("frame")
         if isinstance(frame, EthernetFrame):
-            out.append((record.time, frame))
+            out.append((record.time, record.node, frame))
     return out
 
 
-def export_pcaps(tracer: Tracer, base_path) -> Dict[str, int]:
-    """Write ``<base>.wire.pcap`` and ``<base>.divert.pcap`` from a tracer.
+def export_pcaps(tracer: Tracer, base_path, split: str = "role") -> Dict[str, int]:
+    """Write one ``<base>.<interface>.pcap`` per logical interface.
+
+    ``split`` picks what an "interface" means:
+
+    * ``"role"`` (default) — the two-host failover testbed view:
+      ``wire`` (client-visible LAN) vs ``divert`` (the P↔S path,
+      identified by the ORIG_DST option);
+    * ``"segment"`` — one capture per Ethernet segment, keyed by the
+      segment's name.  This is the multi-NIC view of the cluster's
+      dispatcher host, which straddles the front LAN and every backend
+      LAN: each NIC's traffic lands in its own file, the way a real
+      multi-homed capture (``tcpdump -i ethN``) would.
 
     Returns ``{interface: packet count}`` for the files written; an
     interface with no traffic produces no file.
     """
+    if split not in ("role", "segment"):
+        raise ValueError(f"split must be 'role' or 'segment', got {split!r}")
     by_interface: Dict[str, List[Tuple[float, EthernetFrame]]] = {}
-    for when, frame in captured_frames(tracer):
-        by_interface.setdefault(classify_interface(frame), []).append((when, frame))
+    for when, segment, frame in captured_segments(tracer):
+        interface = segment if split == "segment" else classify_interface(frame)
+        by_interface.setdefault(interface, []).append((when, frame))
     counts = {}
     for interface, packets in sorted(by_interface.items()):
         counts[interface] = write_pcap(f"{base_path}.{interface}.pcap", packets)

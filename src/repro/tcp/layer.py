@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.net.addresses import Ipv4Address
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.spans import NULL_SPANS, SpanTracer, flow_key
 from repro.sim.engine import Simulator
 from repro.sim.process import Queue
 from repro.sim.rng import seeded_rng
@@ -57,12 +58,14 @@ class TcpLayer:
         rng: Optional[random.Random] = None,
         conn_defaults: Optional[dict] = None,
         metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanTracer] = None,
     ):
         self.sim = sim
         self.node_name = node_name
         self.local_ips = local_ips
         self._transmit = transmit
         self.tracer = tracer or Tracer(record=False)
+        self.spans = spans or NULL_SPANS
         self.rng = rng or seeded_rng(0)
         self.conn_defaults = conn_defaults or {}
         self.metrics = metrics or NULL_METRICS
@@ -254,6 +257,12 @@ class TcpLayer:
         self, segment: TcpSegment, src_ip: Ipv4Address, dst_ip: Ipv4Address
     ) -> None:
         key = (dst_ip, segment.dst_port, src_ip, segment.src_port)
+        if self.spans.enabled:
+            self.spans.flow_event(
+                flow_key(src_ip, segment.src_port, dst_ip, segment.dst_port),
+                "tcp.rx", self.sim.now, self.node_name,
+                seq=segment.seq, size=len(segment.payload),
+            )
         conn = self.connections.get(key)
         if conn is not None:
             conn.segment_arrived(segment, src_ip)
@@ -350,6 +359,12 @@ class TcpLayer:
             self.sim.now, "tcp.tx", self.node_name,
             seg=repr(sealed), dst=str(dst_ip),
         )
+        if self.spans.enabled:
+            self.spans.flow_event(
+                flow_key(src_ip, sealed.src_port, dst_ip, sealed.dst_port),
+                "tcp.tx", self.sim.now, self.node_name,
+                seq=sealed.seq, size=len(sealed.payload),
+            )
         self._transmit(sealed, src_ip, dst_ip)
 
     def _linger_ack(

@@ -21,6 +21,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 from repro.apps.bulk import pattern_bytes
 from repro.net.addresses import Ipv4Address
 from repro.net.host import Host
+from repro.obs.spans import NULL_SPANS, SpanTracer, flow_key
 from repro.sim.rng import RngRegistry
 from repro.tcp.socket_api import SimSocket
 from repro.workload.distributions import Distribution, Exponential, Fixed
@@ -92,6 +93,7 @@ class ClosedLoopWorkload:
         ramp: float = 0.5,
         hold_for: float = 1.0,
         stream_name: str = "workload.arrivals",
+        spans: Optional[SpanTracer] = None,
     ):
         if not clients:
             raise ValueError("need at least one client host")
@@ -105,6 +107,7 @@ class ClosedLoopWorkload:
         self.think_times = think_times or Exponential(0.050)
         self.ramp = ramp
         self.hold_for = hold_for
+        self.spans = spans or NULL_SPANS
         self.stats = WorkloadStats()
         self._arrivals = rng.stream(stream_name)
         self._session_rngs = [
@@ -131,21 +134,43 @@ class ClosedLoopWorkload:
     def _session(self, client: Host, session_id: int) -> Generator:
         rng = self._session_rngs[session_id]
         stats = self.stats
+        spans = self.spans
         stats.sessions_started += 1
+        # Trace birth: the head-based sampling decision for this whole
+        # session's tree happens here, before the connection exists.
+        ctx = spans.trace_root(
+            "workload.session", client.sim.now, client.name,
+            session=session_id,
+        )
         sock = SimSocket.connect(client, self.service_ip, self.port)
         stats.session_flows[session_id] = (
             sock.conn.local_ip, sock.conn.local_port
         )
+        # Every layer that only sees segments (TCP, Ethernet, dispatcher,
+        # bridge) joins the trace through this flow-key binding.
+        spans.bind_flow(
+            flow_key(sock.conn.local_ip, sock.conn.local_port,
+                     self.service_ip, self.port),
+            ctx,
+        )
         stats.record_open()
         opened = True
         try:
+            connect_ctx = spans.start_span(
+                ctx, "workload.connect", client.sim.now, client.name
+            )
             yield from sock.wait_connected()
+            spans.finish(connect_ctx, client.sim.now)
             deadline = client.sim.now + self.hold_for
             while client.sim.now < deadline:
                 size = max(1, int(self.reply_sizes.sample(rng)))
                 started = client.sim.now
+                request_ctx = spans.start_span(
+                    ctx, "workload.request", started, client.name, size=size
+                )
                 yield from sock.send_all(struct.pack(">I", size))
                 reply = yield from sock.recv_exactly(size)
+                spans.finish(request_ctx, client.sim.now)
                 stats.requests_completed += 1
                 stats.latencies.append(
                     (client.sim.now, client.sim.now - started, session_id)
@@ -161,6 +186,7 @@ class ClosedLoopWorkload:
             opened = False
             yield from sock.close_and_wait()
             stats.sessions_completed += 1
+            spans.finish(ctx, client.sim.now)
         except ConnectionError as exc:
             stats.sessions_failed += 1
             stats.failures.append(f"session{session_id}: {exc}")
@@ -168,6 +194,7 @@ class ClosedLoopWorkload:
                 stats.record_close()
                 opened = False
             sock.abort()
+            spans.finish(ctx, client.sim.now, error=str(exc))
 
     @property
     def complete(self) -> bool:
@@ -195,6 +222,7 @@ class OpenLoopWorkload:
         arrivals: int = 100,
         reply_sizes: Optional[Distribution] = None,
         stream_name: str = "workload.open",
+        spans: Optional[SpanTracer] = None,
     ):
         if not clients:
             raise ValueError("need at least one client host")
@@ -206,6 +234,7 @@ class OpenLoopWorkload:
         self.rate = rate
         self.arrivals = arrivals
         self.reply_sizes = reply_sizes or Fixed(1024)
+        self.spans = spans or NULL_SPANS
         self.stats = WorkloadStats()
         self._arrival_rng = rng.stream(stream_name)
         self._session_rngs = [
@@ -231,11 +260,21 @@ class OpenLoopWorkload:
     def _one_shot(self, client: Host, session_id: int) -> Generator:
         rng = self._session_rngs[session_id]
         stats = self.stats
+        spans = self.spans
         stats.sessions_started += 1
         size = max(1, int(self.reply_sizes.sample(rng)))
+        ctx = spans.trace_root(
+            "workload.one_shot", client.sim.now, client.name,
+            session=session_id, size=size,
+        )
         sock = SimSocket.connect(client, self.service_ip, self.port)
         stats.session_flows[session_id] = (
             sock.conn.local_ip, sock.conn.local_port
+        )
+        spans.bind_flow(
+            flow_key(sock.conn.local_ip, sock.conn.local_port,
+                     self.service_ip, self.port),
+            ctx,
         )
         stats.record_open()
         opened = True
@@ -256,6 +295,7 @@ class OpenLoopWorkload:
             opened = False
             yield from sock.close_and_wait()
             stats.sessions_completed += 1
+            spans.finish(ctx, client.sim.now)
         except ConnectionError as exc:
             stats.sessions_failed += 1
             stats.failures.append(f"open{session_id}: {exc}")
@@ -263,6 +303,7 @@ class OpenLoopWorkload:
                 stats.record_close()
                 opened = False
             sock.abort()
+            spans.finish(ctx, client.sim.now, error=str(exc))
 
     @property
     def complete(self) -> bool:

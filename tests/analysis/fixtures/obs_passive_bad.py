@@ -1,0 +1,30 @@
+# Observability code driving the experiment: linted under a pretend
+# src/repro/obs path.  Every function mutates state the observer was
+# only supposed to watch.
+
+
+def reschedule_probe(sim, probe):
+    # Scheduling from the obs plane perturbs the event order.
+    sim.call_later(0.010, probe)
+
+
+def poke_wire(segment, frame):
+    # Injecting a frame makes the observer a participant.
+    segment.submit(None, frame)
+
+
+def trigger_takeover(bridge, primary_ip):
+    bridge.prepare_failover()
+
+
+def rewrite_record(record):
+    # Writing through a handed-in object mutates foreign state.
+    record.detail["seen"] = True
+
+
+def bump_connection(conn):
+    conn.retransmits += 1
+
+
+def drop_flow(host, key):
+    del host.tcp.connections[key]

@@ -1,0 +1,24 @@
+# The sanctioned observer shape: read handed-in state, mutate only
+# structures the observer itself created.
+
+
+class Rollup:
+    def __init__(self):
+        self.counts = {}
+        self.latest = None
+
+    def observe(self, record):
+        # Reads from the record, writes into self — never back through it.
+        key = (record.category, record.node)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.latest = record.time
+
+
+def summarize(records):
+    rollup = Rollup()
+    for record in records:
+        rollup.observe(record)
+    # Locals the function built itself are fair game.
+    view = {"total": sum(rollup.counts.values())}
+    view["latest"] = rollup.latest
+    return view

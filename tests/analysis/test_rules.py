@@ -22,6 +22,7 @@ CASES = [
     ("wallclock", "wallclock", "src/repro/obs/fake.py"),
     ("set_order", "set-order", "src/repro/sim/fake.py"),
     ("sim_import", "sim-import", "src/repro/net/fake.py"),
+    ("obs_passive", "obs-passive", "src/repro/obs/fake.py"),
     ("checksum_pair", "checksum-pair", "src/repro/failover/fake.py"),
     ("handler_except", "handler-except", "src/repro/failover/fake.py"),
 ]
@@ -81,6 +82,25 @@ def test_sim_import_scope_is_the_deterministic_layers():
     for layer in ("sim", "tcp", "failover", "net"):
         assert lint_source(source, f"src/repro/{layer}/fake.py") != [], layer
     assert lint_source(source, "src/repro/harness/fake.py") == []
+
+
+def test_obs_passive_scope_is_the_obs_plane():
+    source = "def f(sim, cb):\n    sim.call_later(0.1, cb)\n"
+    assert any(
+        v.rule == "obs-passive"
+        for v in lint_source(source, "src/repro/obs/fake.py")
+    )
+    # The same code is fine in the layers that own the event loop.
+    assert lint_source(source, "src/repro/failover/fake.py") == []
+
+
+def test_obs_passive_allows_self_mutation():
+    source = (
+        "class Recorder:\n"
+        "    def observe(self, record):\n"
+        "        self.latest = record.time\n"
+    )
+    assert lint_source(source, "src/repro/obs/fake.py") == []
 
 
 def test_bare_except_is_flagged_even_in_tests():

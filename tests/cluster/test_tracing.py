@@ -1,0 +1,162 @@
+"""End-to-end causal tracing through the sharded fleet.
+
+The tentpole contract: one sampled trace stitches client → dispatcher →
+shard primary (and, through a storm, the secondary's takeover) across
+the NAT and divert rewrites; a seeded run exports byte-identically; and
+an unsampled run is indistinguishable — artifact-for-artifact — from a
+run with tracing off.
+"""
+
+import json
+
+from repro.cluster import ShardedFleet, capacity_bench_rows, run_capacity
+from repro.obs.pcap import export_pcaps, read_pcap
+from repro.obs.trace_export import (
+    chrome_trace,
+    validate_trace_doc,
+    write_chrome_trace,
+)
+from repro.workload import ClosedLoopWorkload, Exponential, Fixed
+
+STORM = dict(
+    shards=2,
+    clients=2,
+    sessions=10,
+    ramp=0.1,
+    hold_for=0.6,
+    storm_at=0.3,
+    storm_fraction=0.5,
+)
+
+
+def test_sampled_storm_trace_stitches_every_layer():
+    result = run_capacity(seed=21, span_sample_rate=1.0, **STORM)
+    tracer = result.fleet.spans
+    assert tracer.traces_started == tracer.traces_sampled > 0
+    spans = tracer.finished_spans()
+    layers = {span.layer for span in spans}
+    # All six instrumented planes show up in one storm cell.
+    assert layers == {"workload", "eth", "dispatcher", "tcp", "bridge",
+                      "failover"}
+
+    # Cross-shard stitching: a single session trace carries spans from
+    # the client host, an Ethernet segment, the dispatcher NAT and the
+    # shard's primary bridge — across two address rewrites.
+    session_roots = [s for s in spans if s.name == "workload.session"]
+    assert len(session_roots) == 10
+    stitched = 0
+    for root in session_roots:
+        hosts = {s.host for s in spans if s.trace_id == root.trace_id}
+        names = {s.name for s in spans if s.trace_id == root.trace_id}
+        if {"dispatcher.steer", "bridge.conn_created", "eth.hop"} <= names:
+            assert len(hosts) >= 4
+            stitched += 1
+    assert stitched == 10
+
+    # The storm's takeover shows up as its own trace on the secondary.
+    takeovers = [s for s in spans if s.name == "failover.takeover"]
+    assert takeovers and all(s.host.startswith("b") for s in takeovers)
+
+    assert validate_trace_doc(chrome_trace(spans)) == []
+
+
+def test_one_percent_sampling_exports_byte_identical(tmp_path):
+    def export(path):
+        result = run_capacity(seed=21, span_sample_rate=0.01, **STORM)
+        write_chrome_trace(path, result.fleet.spans.finished_spans())
+
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    export(path_a)
+    export(path_b)
+    assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def test_full_sampling_exports_byte_identical(tmp_path):
+    def export(path):
+        result = run_capacity(seed=21, span_sample_rate=1.0, **STORM)
+        write_chrome_trace(path, result.fleet.spans.finished_spans())
+
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    export(path_a)
+    export(path_b)
+    assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def test_rate_zero_is_indistinguishable_from_off():
+    # The sampling-off contract: rate 0 never touches an rng stream, so
+    # the capacity artifact is byte-identical with tracing absent.
+    rows_off = capacity_bench_rows(run_capacity(seed=23, **STORM))
+    rows_zero = capacity_bench_rows(
+        run_capacity(seed=23, span_sample_rate=0.0, **STORM)
+    )
+    assert (json.dumps(rows_off, sort_keys=True)
+            == json.dumps(rows_zero, sort_keys=True))
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    # Stronger still: full sampling reads sim state but must never
+    # change it — the artifact matches the untraced run bit-for-bit.
+    rows_off = capacity_bench_rows(run_capacity(seed=23, **STORM))
+    rows_full = capacity_bench_rows(
+        run_capacity(seed=23, span_sample_rate=1.0, **STORM)
+    )
+    assert (json.dumps(rows_off, sort_keys=True)
+            == json.dumps(rows_full, sort_keys=True))
+
+
+# -- multi-NIC pcap over the cluster -----------------------------------
+
+
+def test_cluster_pcap_splits_per_dispatcher_nic(tmp_path):
+    fleet = ShardedFleet(shards=2, clients=2, seed=7, service_port=8000,
+                         record_traces=True)
+    fleet.run_reply_service()
+    fleet.start_detectors()
+    workload = ClosedLoopWorkload(
+        fleet.clients, fleet.virtual_ip, 8000, fleet.rng,
+        sessions=6, reply_sizes=Fixed(256), think_times=Exponential(0.01),
+        ramp=0.05, hold_for=0.3,
+    )
+    workload.start()
+    assert fleet.sim.run_until(lambda: workload.complete, timeout=20.0)
+
+    base = tmp_path / "cluster"
+    counts = export_pcaps(fleet.tracer, base, split="segment")
+    # One capture per Ethernet segment the dispatcher straddles.
+    assert set(counts) == {"front", "shard0", "shard1"}
+    assert all(count > 0 for count in counts.values())
+
+    front = read_pcap(f"{base}.front.pcap")
+    # Client traffic addresses the virtual IP on the front LAN...
+    front_ips = {str(p.dst_ip) for p in front if p.dst_ip is not None}
+    assert str(fleet.virtual_ip) in front_ips
+    shard_service_ips = {str(s.service_ip) for s in fleet.shards}
+    assert not (front_ips & shard_service_ips)
+    # ...and the backend LANs only ever see their own shard's subnet.
+    for index in range(2):
+        backend = read_pcap(f"{base}.shard{index}.pcap")
+        assert backend
+        subnet = f"10.{32 + index}."
+        for packet in backend:
+            if packet.src_ip is None:
+                continue
+            assert (str(packet.src_ip).startswith(subnet)
+                    or str(packet.dst_ip).startswith(subnet))
+
+
+def test_role_split_is_the_default(tmp_path):
+    fleet = ShardedFleet(shards=1, clients=1, seed=7, service_port=8000,
+                         record_traces=True)
+    fleet.run_reply_service()
+    fleet.start_detectors()
+    workload = ClosedLoopWorkload(
+        fleet.clients, fleet.virtual_ip, 8000, fleet.rng,
+        sessions=2, reply_sizes=Fixed(128), think_times=Exponential(0.01),
+        ramp=0.02, hold_for=0.1,
+    )
+    workload.start()
+    assert fleet.sim.run_until(lambda: workload.complete, timeout=20.0)
+    counts = export_pcaps(fleet.tracer, tmp_path / "fleet")
+    assert "wire" in counts

@@ -1,0 +1,212 @@
+"""Unit tests for the causal span tracer.
+
+Covers the determinism contract (seeded head-based sampling, replay
+equality), the flow-key propagation machinery (bind/alias/release), the
+per-layer rollup, and the passivity of the disabled tracer.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.spans import (
+    NOT_SAMPLED,
+    NULL_SPANS,
+    SpanTracer,
+    flow_key,
+    render_trace_tree,
+)
+
+
+def make_tracer(seed=1, rate=1.0, **kwargs):
+    return SpanTracer(rng=random.Random(seed), sample_rate=rate, **kwargs)
+
+
+# -- sampling ----------------------------------------------------------
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        SpanTracer(rng=random.Random(0), sample_rate=1.5)
+    with pytest.raises(ValueError):
+        # A sampling tracer needs an entropy source.
+        SpanTracer(rng=None, sample_rate=0.5)
+
+
+def test_disabled_tracer_samples_nothing_and_allocates_nothing():
+    tracer = SpanTracer(rng=None, sample_rate=0.0)
+    assert not tracer.enabled
+    ctx = tracer.trace_root("workload.session", 0.0, "client")
+    assert ctx is NOT_SAMPLED
+    tracer.finish(ctx, 1.0)
+    tracer.bind_flow(flow_key(1, 2, 3, 4), ctx)
+    tracer.flow_event(flow_key(1, 2, 3, 4), "tcp.rx", 0.5, "client")
+    assert tracer.finished_spans() == []
+    assert tracer.traces_started == 0
+
+
+def test_head_sampling_is_per_trace():
+    tracer = make_tracer(seed=7, rate=0.5)
+    for i in range(200):
+        ctx = tracer.trace_root("workload.session", float(i), "c", session=i)
+        child = tracer.start_span(ctx, "workload.request", float(i), "c")
+        tracer.finish(child, i + 0.5)
+        tracer.finish(ctx, i + 1.0)
+    assert tracer.traces_started == 200
+    # Statistically impossible to hit either extreme with a fair rng.
+    assert 0 < tracer.traces_sampled < 200
+    spans = tracer.finished_spans()
+    # Children of unsampled roots never materialise.
+    assert len(spans) == 2 * tracer.traces_sampled
+    assert len({s.trace_id for s in spans}) == tracer.traces_sampled
+
+
+def test_same_seed_same_trace_ids():
+    def run(seed):
+        tracer = make_tracer(seed=seed, rate=0.3)
+        out = []
+        for i in range(50):
+            ctx = tracer.trace_root("workload.session", float(i), "c")
+            tracer.finish(ctx, i + 1.0)
+            out.append((ctx.sampled, ctx.trace_id, ctx.span_id))
+        return out
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)
+
+
+def test_unsampled_root_consumes_one_draw():
+    # The decision draw is the *only* rng traffic for an unsampled
+    # trace: id generation must not run, or replaying with sampling
+    # enabled would shift every later stream value.
+    rng = random.Random(3)
+    tracer = SpanTracer(rng=rng, sample_rate=1e-12)
+    for i in range(10):
+        tracer.trace_root("workload.session", float(i), "c")
+    shadow = random.Random(3)
+    for _ in range(10):
+        shadow.random()
+    assert rng.random() == shadow.random()
+
+
+# -- span lifecycle and propagation ------------------------------------
+
+
+def test_parent_child_linkage_and_layers():
+    tracer = make_tracer()
+    root = tracer.trace_root("workload.session", 0.0, "client")
+    child = tracer.start_span(root, "workload.request", 0.1, "client", size=64)
+    tracer.finish(child, 0.2)
+    tracer.event(root, "dispatcher.steer", 0.15, "front", shard="s1")
+    tracer.finish(root, 1.0)
+
+    spans = tracer.finished_spans()
+    by_name = {s.name: s for s in spans}
+    assert by_name["workload.request"].parent_id == root.span_id
+    assert by_name["workload.request"].trace_id == root.trace_id
+    assert by_name["dispatcher.steer"].is_instant
+    assert by_name["dispatcher.steer"].layer == "dispatcher"
+    assert by_name["workload.session"].parent_id == 0
+    assert by_name["workload.session"].duration == 1.0
+
+
+def test_flow_alias_chain_resolves_to_root():
+    # client-key -> NAT'd shard key -> diverted bridge key: the alias
+    # chain is exactly how dispatcher steering and P/S divert rewrites
+    # keep one trace stitched across address rewrites.
+    tracer = make_tracer()
+    root = tracer.trace_root("workload.session", 0.0, "client")
+    client_key = flow_key(0x0A000001, 40000, 0x0A0000FE, 8000)
+    shard_key = flow_key(0x0A000001, 40000, 0x0A200002, 8000)
+    divert_key = flow_key(0x0A200003, 8000, 0x0A200002, 40000)
+    tracer.bind_flow(client_key, root)
+    tracer.alias_flow(shard_key, client_key)
+    tracer.alias_flow(divert_key, shard_key)
+
+    tracer.flow_event(divert_key, "bridge.matched", 0.5, "p1", seq=7)
+    tracer.flow_record_span(shard_key, "eth.hop", 0.2, 0.3, "lan0")
+    spans_by_name = {s.name: s for s in tracer.finished_spans()}
+    tracer.finish(root, 1.0)
+
+    assert spans_by_name["bridge.matched"].trace_id == root.trace_id
+    assert spans_by_name["bridge.matched"].parent_id == root.span_id
+    assert spans_by_name["eth.hop"].duration == pytest.approx(0.1)
+    # Finishing the root releases every key bound to its trace.
+    assert tracer.flow_ctx(client_key) is None
+    assert tracer.flow_ctx(divert_key) is None
+
+
+def test_flow_key_is_direction_insensitive():
+    assert flow_key(1, 10, 2, 20) == flow_key(2, 20, 1, 10)
+
+
+def test_alias_of_unbound_key_is_a_noop():
+    tracer = make_tracer()
+    tracer.alias_flow(flow_key(1, 1, 2, 2), flow_key(3, 3, 4, 4))
+    assert tracer.flow_ctx(flow_key(1, 1, 2, 2)) is None
+
+
+def test_abandon_open_marks_truncated():
+    tracer = make_tracer()
+    root = tracer.trace_root("failover.takeover", 0.0, "b0")
+    tracer.abandon_open(5.0)
+    (span,) = tracer.finished_spans()
+    assert span.attrs["truncated"] is True
+    assert span.end == 5.0
+    assert tracer.flow_ctx(flow_key(1, 1, 2, 2)) is None
+    # The root is no longer open; a later finish must not double-emit.
+    tracer.finish(root, 6.0)
+    assert len(tracer.finished_spans()) == 1
+
+
+def test_max_spans_bounds_memory():
+    tracer = make_tracer(max_spans=10)
+    for i in range(50):
+        ctx = tracer.trace_root("workload.session", float(i), "c")
+        tracer.finish(ctx, i + 0.5)
+    assert len(tracer.finished_spans()) == 10
+
+
+# -- rollup and rendering ----------------------------------------------
+
+
+def test_layer_rollup_merges_like_the_fleet():
+    tracer = make_tracer()
+    root = tracer.trace_root("workload.session", 0.0, "client")
+    tracer.record_span(root, "eth.hop", 0.1, 0.2, "lan0")
+    tracer.record_span(root, "eth.hop", 0.3, 0.5, "lan0")
+    tracer.event(root, "tcp.rx", 0.4, "server")
+    tracer.finish(root, 1.0)
+
+    snapshot = tracer.layer_rollup().snapshot()
+    assert snapshot["span.count{host=lan0,layer=all}"] == 2
+    assert snapshot["span.count{host=lan0,layer=eth}"] == 2
+    assert snapshot["span.count{host=server,layer=tcp}"] == 1
+    pooled = snapshot["span.duration_s{host=lan0,layer=all}"]
+    assert pooled["count"] == 2  # instants carry no duration sample
+    assert pooled["max"] == pytest.approx(0.2)
+
+
+def test_render_trace_tree_orders_and_indents():
+    tracer = make_tracer()
+    root = tracer.trace_root("workload.session", 0.0, "client", session=1)
+    child = tracer.start_span(root, "workload.request", 0.2, "client")
+    tracer.event(child, "tcp.tx", 0.25, "client", seq=1)
+    tracer.finish(child, 0.4)
+    tracer.finish(root, 1.0)
+
+    text = render_trace_tree(tracer.finished_spans())
+    lines = text.splitlines()
+    assert lines[0].startswith("trace ")
+    session, request, tx = lines[1], lines[2], lines[3]
+    assert session.startswith("  workload.session")
+    assert request.startswith("    workload.request")
+    assert tx.startswith("      tcp.tx")
+    assert "session=1" in session
+
+
+def test_null_spans_is_shared_and_inert():
+    assert NULL_SPANS.enabled is False
+    ctx = NULL_SPANS.trace_root("x.y", 0.0, "h")
+    assert ctx is NOT_SAMPLED
+    assert NULL_SPANS.finished_spans() == []
