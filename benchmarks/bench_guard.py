@@ -32,6 +32,10 @@ RATIO_FLOORS = {
     # Tracing at sample-rate 0 may cost at most 5% of untraced
     # throughput (the obs-overhead acceptance bar).
     "overhead:ratio": {"rate0_over_off": 0.95},
+    # A blind RST sweep against the hardened bridge (crash + takeover
+    # included) keeps at least 70% of the attack-free cell's goodput
+    # per host-CPU second — spoofed probes must never amplify.
+    "adversary:ratio": {"sweep_over_off": 0.70},
 }
 
 
@@ -80,7 +84,7 @@ def check(baseline_path, fresh_path, tolerance):
             failures.append(
                 f"{label}/{metric}: {fresh_value:,.2f} fails {verdict}"
             )
-    width = max(len(f"{label}/{metric}") for label, metric, *_ in rows)
+    width = max((len(f"{label}/{metric}") for label, metric, *_ in rows), default=0)
     for label, metric, fresh_value, verdict, ok in rows:
         flag = "ok  " if ok else "FAIL"
         print(f"[guard] {flag} {f'{label}/{metric}':<{width}} {fresh_value:>14,.2f}  {verdict}")

@@ -1,0 +1,102 @@
+"""Adversarial-plane overhead guard: hardening must not tax the victim.
+
+Two bridge cells from the attack matrix, identical seed and stream:
+
+* ``off``       — the attacker is attached but silent (strategy
+  ``none``): the price of carrying the adversarial plane at all;
+* ``rst-sweep`` — a full 64-probe blind RST sweep plus the usual
+  mid-transfer crash and takeover: the hardened worst case, where every
+  spoofed segment is validated, challenge ACKs are rate-limited, and
+  the transfer still completes.
+
+The guarded number is the host-CPU throughput ratio between them
+(median over the trials).  Before RFC 5961 hardening a sweep could
+stall the transfer into RTO recovery — or kill it — so the ratio is
+the regression bar proving attacks stay an O(probes) annoyance rather
+than an amplifier: see ``RATIO_FLOORS['adversary:ratio']`` in
+``bench_guard.py``.
+"""
+
+import statistics
+import time
+
+from benchmarks.conftest import FULL, print_table, write_artifact
+from repro.adversary import AttackSpec, run_attack_cell
+
+SIZE = 2_000_000 if FULL else 1_000_000
+SEED = 1
+TRIALS = 3  # the guard compares medians of per-trial ratios: damp noise
+
+#: Hard floor on rst-sweep throughput relative to attack-off.  The
+#: sweep cell pays for segment validation and challenge ACKs but its
+#: crash also ends replication at 45% of the stream, so the ratio sits
+#: near (even above) 1.0 when the hardening is O(probes); it collapses
+#: if spoofed segments ever stall the transfer into RTO recovery.
+MIN_SWEEP_RATIO = 0.70
+
+CELLS = (
+    ("off", AttackSpec("none", "client", "early", seed=SEED, size=SIZE)),
+    ("rst-sweep", AttackSpec("rst-sweep", "service", "early", seed=SEED, size=SIZE)),
+)
+
+
+def run_cell(spec):
+    start = time.perf_counter()  # replint: allow(wallclock) -- benchmark harness measures host-CPU cost
+    result = run_attack_cell(spec)
+    elapsed = time.perf_counter() - start  # replint: allow(wallclock) -- benchmark harness measures host-CPU cost
+    assert result.ok, result.describe()
+    assert result.delivered == SIZE
+    return result.delivered / elapsed
+
+
+def test_bench_adversary(benchmark):
+    # Populate the clean-duration anchor outside the timed region.
+    run_attack_cell(CELLS[1][1])
+
+    def experiment():
+        out = {}
+        ratios = []
+        for _trial in range(TRIALS):
+            rates = {}
+            for label, spec in CELLS:
+                rate = run_cell(spec)
+                rates[label] = rate
+                key = f"{label}_bytes_per_host_sec"
+                out[key] = max(rate, out.get(key, 0.0))
+            ratios.append(rates["rst-sweep"] / rates["off"])
+        out["sweep_over_off"] = statistics.median(ratios)
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "Adversarial-plane overhead (bridge cell)",
+        ["cell", "bytes/host-s", "vs off"],
+        [
+            (
+                label,
+                f"{results[f'{label}_bytes_per_host_sec']:.0f}",
+                f"{results[f'{label}_bytes_per_host_sec'] / results['off_bytes_per_host_sec']:.3f}",
+            )
+            for label, _spec in CELLS
+        ],
+    )
+    write_artifact(
+        "adversary",
+        {"size": SIZE, "seed": SEED, "trials": TRIALS},
+        [
+            {
+                "label": f"adversary:{label}",
+                "metrics": {
+                    "bytes_per_host_sec": results[f"{label}_bytes_per_host_sec"]
+                },
+            }
+            for label, _spec in CELLS
+        ]
+        + [
+            {
+                "label": "adversary:ratio",
+                "metrics": {"sweep_over_off": results["sweep_over_off"]},
+            }
+        ],
+    )
+    assert results["sweep_over_off"] >= MIN_SWEEP_RATIO, results

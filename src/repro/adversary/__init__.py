@@ -1,0 +1,46 @@
+"""Adversarial plane: seeded off-path attackers against the bridge.
+
+The failover bridge is an IP-sharing, address-rewriting middlebox —
+exactly the setting the off-path TCP attack literature exploits (PMTUD
+isolation breaks, blind in-window resets, sequence inference through
+side channels, NAT flow poisoning, ARP races).  This package models a
+spoofing-capable but *off-path* attacker: it knows the victim's
+4-tuple and can put arbitrary frames on the shared segment, but never
+observes in-flight traffic and never learns sequence numbers except
+through the side channels explicitly modeled.
+
+* :mod:`repro.adversary.attacker` — the injection primitives
+  (:class:`AttackerHost`), every action traced with attacker
+  provenance and every random draw from a seeded registry stream;
+* :mod:`repro.adversary.strategies` — scripted and adaptive attack
+  generators (RST/SYN/FIN sweeps, PMTUD probes, sequence-window
+  binary search, ARP races, dispatcher flow poisoning);
+* :mod:`repro.adversary.matrix` — the attack matrix (strategy ×
+  position × lifetime fraction), every cell invariant-checked and
+  bit-for-bit replayable from its seed.
+"""
+
+from repro.adversary.attacker import AttackerHost
+from repro.adversary.matrix import (
+    ATTACK_FRACTIONS,
+    AttackResult,
+    AttackSpec,
+    attack_matrix,
+    run_attack_cell,
+    run_attack_matrix,
+    summarize,
+)
+from repro.adversary.strategies import STRATEGIES, AttackContext
+
+__all__ = [
+    "ATTACK_FRACTIONS",
+    "STRATEGIES",
+    "AttackContext",
+    "AttackerHost",
+    "AttackResult",
+    "AttackSpec",
+    "attack_matrix",
+    "run_attack_cell",
+    "run_attack_matrix",
+    "summarize",
+]

@@ -1,0 +1,538 @@
+"""Attack matrix: strategy × attacker position × lifetime fraction.
+
+The chaos matrix (:mod:`repro.harness.chaos`) sweeps *faults*; this
+matrix sweeps *adversaries*.  Every cell runs a seeded topology with an
+off-path attacker attached, fires one attack strategy at a chosen
+fraction of the connection's lifetime, and checks the isolation
+invariants on top of the usual stream/liveness/agreement set.  Every
+bridge cell also crashes the primary mid-transfer, so every attack
+plays out against a connection that *will* fail over — the adversarial
+and failover machinery are exercised together, not in isolation.
+
+Determinism contract: all attacker randomness comes from registry
+streams derived from the cell seed, so a cell replays bit-for-bit —
+:meth:`AttackResult.fingerprint` is a canonical string that must be
+byte-identical across runs of the same spec (CI runs the shard twice
+and ``cmp``'s the artifacts).
+
+Cell topology by strategy:
+
+* segment strategies (``rst-sweep``, ``syn-sweep``, ``fin-ack-sweep``,
+  ``pmtud-probe``, ``seq-infer``, ``arp-race``) run on an ``AttackLan``
+  — the chaos LAN plus an attacker station — against one bulk upload
+  through the replicated pair;
+* ``flow-poison`` runs on a small :class:`~repro.cluster.fleet.
+  ShardedFleet` with the attacker on the front LAN, poisoning the
+  dispatcher's flow table under a closed-loop workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.adversary.attacker import AttackerHost
+from repro.adversary.strategies import (
+    INFER_BUDGET,
+    INFER_MIN_ERROR,
+    STRATEGIES,
+    AttackContext,
+)
+from repro.apps.bulk import pattern_bytes
+from repro.harness.invariants import InvariantChecker, Violation
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.host import Host
+from repro.sim.process import spawn
+from repro.tcp.seqnum import seq_add
+from repro.tcp.socket_api import ListeningSocket, SimSocket
+
+# Same wrap-crossing ISS pin as the chaos matrix: every adversarial
+# cell also exercises sequence arithmetic across 2^32.
+CLIENT_ISS = 0xFFFF_F000
+STREAM_START = seq_add(CLIENT_ISS, 1)
+
+PORT = 80
+# Big enough that a ~0.13 s attack burst overlaps the transfer (and the
+# mid-transfer crash + takeover) instead of outliving it.
+DEFAULT_SIZE = 2_000_000
+
+#: Every bridge cell crashes the primary at this fraction of the clean
+#: transfer, so "early" attacks hit the original primary, "midpoint"
+#: attacks straddle the takeover, and "late" attacks hit the secondary
+#: serving the failed-over connection.
+CRASH_FRACTION = 0.45
+
+ATTACK_FRACTIONS: Dict[str, float] = {
+    "early": 0.1,
+    "midpoint": 0.5,
+    "late": 0.8,
+}
+
+POSITIONS = ("client", "service")
+
+# Dispatcher-cell geometry (flow-poison): a small fleet, a short
+# closed-loop workload, and a deliberately tight flow table so the
+# table-fill attack actually reaches capacity.
+FLEET_SHARDS = 2
+FLEET_CLIENTS = 2
+FLEET_SESSIONS = 6
+FLEET_RAMP = 0.05
+FLEET_HOLD = 0.9
+FLEET_MAX_FLOWS = 64
+FLEET_FLOW_IDLE = 0.2
+ATTACKER_FRONT_IP = Ipv4Address("10.0.0.66")
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One cell of the attack matrix; hashable, printable, re-runnable."""
+
+    strategy: str
+    position: str
+    fraction: str
+    seed: int = 1
+    size: int = DEFAULT_SIZE
+
+    def __str__(self) -> str:
+        return (
+            f"{self.strategy}@{self.position}/{self.fraction}"
+            f" seed={self.seed} size={self.size}"
+        )
+
+
+@dataclass
+class AttackResult:
+    """Everything a cell needs to be diagnosed, replayed and compared."""
+
+    spec: AttackSpec
+    violations: List[Violation] = field(default_factory=list)
+    injections: int = 0
+    injections_by_kind: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    results: Dict[str, object] = field(default_factory=dict)
+    acked: int = 0
+    delivered: int = 0
+    finished: bool = False
+    failed_over: bool = False
+    duration: float = 0.0
+    incident: str = ""
+    tracer: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def fingerprint(self) -> str:
+        """Canonical byte-stable summary for replay comparison."""
+        parts = [str(self.spec), f"injections={self.injections}"]
+        parts += [f"inj.{k}={v}" for k, v in sorted(self.injections_by_kind.items())]
+        parts += [f"{k}={v}" for k, v in sorted(self.counters.items())]
+        parts += [f"res.{k}={v}" for k, v in sorted(self.results.items())]
+        parts.append(f"violations={len(self.violations)}")
+        parts += [str(v) for v in self.violations]
+        parts += [
+            f"delivered={self.delivered}",
+            f"finished={self.finished}",
+            f"failed_over={self.failed_over}",
+            f"duration={self.duration:.9f}",
+        ]
+        return "|".join(parts)
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        lines = [
+            f"[{status}] {self.spec}: injections={self.injections}"
+            f" failed_over={self.failed_over} delivered={self.delivered}"
+            f" t={self.duration:.3f}"
+        ]
+        lines += [f"  {v}" for v in self.violations]
+        if not self.ok and self.incident:
+            lines.append("  incident report:")
+            lines += [f"    {line}" for line in self.incident.splitlines()]
+        return "\n".join(lines)
+
+
+def attack_matrix(
+    seeds=(1,),
+    strategies=tuple(STRATEGIES),
+    positions=POSITIONS,
+    fractions=tuple(ATTACK_FRACTIONS),
+    size: int = DEFAULT_SIZE,
+) -> List[AttackSpec]:
+    """The full grid: strategy × position × lifetime fraction × seed."""
+    return [
+        AttackSpec(strategy=st, position=p, fraction=f, seed=s, size=size)
+        for st in strategies
+        for p in positions
+        for f in fractions
+        for s in seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# bridge cells (AttackLan)
+# ----------------------------------------------------------------------
+
+_CLEAN_CACHE: Dict[Tuple[int, int], float] = {}
+
+
+def _clean_duration(seed: int, size: int) -> float:
+    """Attack-free, fault-free transfer time — anchors burst/crash times."""
+    key = (seed, size)
+    if key not in _CLEAN_CACHE:
+        result = _bridge_cell(
+            AttackSpec("none", "client", "early", seed=seed, size=size),
+            until=60.0,
+        )
+        _CLEAN_CACHE[key] = result.duration
+    return _CLEAN_CACHE[key]
+
+
+def _bridge_cell(spec: AttackSpec, until: float = 30.0) -> AttackResult:
+    # Imported here: repro.adversary must stay importable without the
+    # test tree, but the topology builders live in tests/util.
+    from tests.util import CLIENT_IP, AttackLan
+
+    lan = AttackLan(seed=spec.seed, failover_ports=(PORT,))
+    lan.client.tcp.choose_iss = lambda: CLIENT_ISS
+    lan.start_detectors()
+    blob = pattern_bytes(spec.size)
+    result = AttackResult(spec=spec)
+    attacking = spec.strategy != "none"
+
+    received: Dict[str, bytearray] = {}
+    client_state: Dict[str, object] = {}
+
+    def server_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, PORT)
+            sock = yield from listening.accept()
+            data = received.setdefault(host.name, bytearray())
+            while True:
+                chunk = yield from sock.recv(65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            yield from sock.close_and_wait()
+
+        return app()
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, PORT, min_rto=0.05)
+        client_state["sock"] = sock
+        yield from sock.wait_connected()
+        yield from sock.send_all(blob)
+        yield from sock.close_and_wait()
+
+    # -- attacker wiring -------------------------------------------------
+    def client_port() -> Optional[int]:
+        sock = client_state.get("sock")
+        return sock.conn.local_port if sock is not None else None
+
+    def serving_host() -> Host:
+        return lan.pair.secondary if lan.pair.failed_over else lan.pair.primary
+
+    def victim():
+        if spec.position == "client":
+            sock = client_state.get("sock")
+            return "client", (sock.conn if sock is not None else None)
+        host = serving_host()
+        cport = client_port()
+        conn = None
+        if cport is not None:
+            conn = host.tcp.connections.get(
+                (lan.server_ip, PORT, CLIENT_IP, cport)
+            )
+        return host.name, conn
+
+    ctx = AttackContext(
+        sim=lan.sim,
+        rng=lan.rng.stream("adversary.strategy"),
+        position=spec.position,
+        client_ip=CLIENT_IP,
+        service_ip=lan.server_ip,
+        service_port=PORT,
+        client_port=client_port,
+        victim=victim,
+        challenge_counter=lambda name: lan.metrics.counter(
+            "tcp.challenge_acks", host=name
+        ),
+    )
+
+    checker: InvariantChecker = lan.checker
+    process = None
+
+    def burst():
+        yield burst_at
+        _name, conn = victim()
+        floor_mss = conn.mss if conn is not None else None
+        yield from STRATEGIES[spec.strategy](lan.attacker, ctx)
+        # Mid-run isolation checks, while the transfer should still be
+        # live (a closed-because-finished connection is not a violation).
+        label = str(spec)
+        post_name, post_conn = victim()
+        if post_conn is not None and not process.done_event.triggered:
+            checker.check_connection_survived(
+                post_conn, f"{label} [{post_name}]", now=lan.sim.now
+            )
+        if (
+            spec.strategy == "pmtud-probe"
+            and post_conn is not None
+            and floor_mss is not None
+        ):
+            checker.check_pmtud_isolation(
+                post_conn, floor_mss, label, now=lan.sim.now
+            )
+
+    if attacking:
+        t_clean = _clean_duration(spec.seed, spec.size)
+        lan.plane.crash_at(lan.primary, max(1e-4, CRASH_FRACTION * t_clean))
+        burst_at = max(2e-4, ATTACK_FRACTIONS[spec.fraction] * t_clean)
+
+    lan.pair.run_app(server_app)
+    process = spawn(lan.sim, client(), "attack-client")
+    if attacking:
+        spawn(lan.sim, burst(), "attack-burst")
+    lan.sim.run_until(lambda: process.done_event.triggered, timeout=until)
+    result.finished = process.done_event.triggered
+    result.duration = lan.sim.now
+    lan.sim.run(until=lan.sim.now + 0.3)  # let in-flight events settle
+
+    # -- invariants ------------------------------------------------------
+    if not result.finished:
+        checker.violations.append(Violation(
+            lan.sim.now, "liveness",
+            f"client did not finish within {until}s of simulated time",
+        ))
+    result.failed_over = lan.pair.failed_over
+    surviving = serving_host().name
+    delivered = bytes(received.get(surviving, b""))
+    checker.check_stream_prefix(surviving, blob, delivered, now=lan.sim.now)
+    sock = client_state.get("sock")
+    acked_seq = sock.conn.snd_una if sock is not None else None
+    result.acked = checker.check_acked_bytes_delivered(
+        blob, acked_seq, STREAM_START, len(delivered), now=lan.sim.now
+    )
+    result.delivered = len(delivered)
+    if result.finished and len(delivered) != spec.size:
+        checker.violations.append(Violation(
+            lan.sim.now, "completeness",
+            f"transfer finished but {surviving} delivered"
+            f" {len(delivered)}/{spec.size} bytes",
+        ))
+    lan.finish_checks()
+    checker.check_no_spoofed_teardown()
+    if spec.strategy == "seq-infer":
+        result.results = dict(ctx.results)
+        checker.check_seq_not_inferred(
+            int(ctx.results.get("seq_error", 1 << 31)),
+            int(ctx.results.get("seq_probes", 0)),
+            INFER_BUDGET,
+            min_error=INFER_MIN_ERROR,
+            now=lan.sim.now,
+        )
+    result.violations = checker.violations
+
+    # -- accounting ------------------------------------------------------
+    result.injections = lan.attacker.injections
+    result.injections_by_kind = dict(lan.attacker.injections_by_kind)
+    for host in (lan.client, lan.primary, lan.secondary):
+        name = host.name
+        result.counters[f"challenge_acks.{name}"] = lan.metrics.counter(
+            "tcp.challenge_acks", host=name
+        ).value
+        result.counters[f"pmtud_rejected.{name}"] = host.tcp.pmtud_rejected
+        result.counters[f"pmtud_accepted.{name}"] = host.tcp.pmtud_accepted
+        result.counters[f"arp_ignored.{name}"] = (
+            host.eth_interface.arp.gratuitous_ignored
+        )
+    result.counters["bridge.rsts_ignored"] = getattr(
+        lan.pair.primary_bridge, "rsts_ignored", 0
+    )
+
+    _attach_incident(result, lan.tracer)
+    return result
+
+
+# ----------------------------------------------------------------------
+# dispatcher cells (ShardedFleet)
+# ----------------------------------------------------------------------
+
+
+def _dispatcher_cell(spec: AttackSpec, until: float = 30.0) -> AttackResult:
+    from repro.cluster.fleet import ShardedFleet
+    from repro.workload.distributions import Fixed
+    from repro.workload.generator import ClosedLoopWorkload
+
+    fleet = ShardedFleet(
+        shards=FLEET_SHARDS,
+        clients=FLEET_CLIENTS,
+        seed=spec.seed,
+        record_traces=True,
+        enable_metrics=True,
+        detector_interval=0.005,
+        detector_timeout=0.020,
+    )
+    service = fleet.service
+    service.max_flows = FLEET_MAX_FLOWS
+    service.flow_idle_timeout = FLEET_FLOW_IDLE
+    fleet.run_reply_service()
+    fleet.start_detectors()
+    checker = fleet.attach_invariant_checker(
+        InvariantChecker(tracer=fleet.tracer)
+    )
+    result = AttackResult(spec=spec)
+
+    station = Host(
+        fleet.sim, "attacker", MacAddress(0x0200_00AA_00F9),
+        tracer=fleet.tracer, rng=fleet.rng.stream("host.attacker"),
+    )
+    station.attach_ethernet(fleet.front_segment, ATTACKER_FRONT_IP)
+    station.eth_interface.arp.prime(fleet.virtual_ip, fleet.dispatcher.nic.mac)
+    attacker = AttackerHost(station, fleet.rng.stream("adversary.attacker"))
+
+    workload = ClosedLoopWorkload(
+        fleet.clients, fleet.virtual_ip, fleet.service_port, fleet.rng,
+        sessions=FLEET_SESSIONS, reply_sizes=Fixed(64),
+        think_times=Fixed(0.005), ramp=FLEET_RAMP, hold_for=FLEET_HOLD,
+    )
+    t_clean = FLEET_RAMP + FLEET_HOLD
+    burst_at = max(2e-4, ATTACK_FRACTIONS[spec.fraction] * t_clean)
+    fleet.sim.schedule(
+        CRASH_FRACTION * t_clean, fleet.shards[0].pair.crash_primary
+    )
+
+    clients_by_ip = {c.ip.primary_address().value: c for c in fleet.clients}
+
+    ctx = AttackContext(
+        sim=fleet.sim,
+        rng=fleet.rng.stream("adversary.strategy"),
+        position=spec.position,
+        client_ip=fleet.clients[0].ip.primary_address(),
+        service_ip=fleet.virtual_ip,
+        service_port=fleet.service_port,
+        client_port=lambda: None,
+        victim=lambda: ("dispatcher", None),
+        service=service,
+    )
+
+    def live_pins(expected: Dict[Tuple[int, int], str]) -> Dict:
+        """Pins whose client connection is still open — evicting a flow
+        whose session already closed is correct idle cleanup, not
+        poisoning."""
+        live = {}
+        for (ip_value, port), shard_id in expected.items():
+            host = clients_by_ip.get(ip_value)
+            if host is None:
+                continue
+            conn = host.tcp.connections.get(
+                (Ipv4Address(ip_value), port,
+                 fleet.virtual_ip, fleet.service_port)
+            )
+            if conn is not None and conn.state.value == "ESTABLISHED":
+                live[(ip_value, port)] = shard_id
+        return live
+
+    def burst():
+        yield burst_at
+        expected: Dict[Tuple[int, int], str] = {}
+        for _sid, (ip, port) in sorted(workload.stats.session_flows.items()):
+            slot = service.flows.slot_of((ip.value, port))
+            if slot >= 0:
+                expected[(ip.value, port)] = service.flows.shard_at(slot)
+        ctx.victim_flows = dict(expected)
+        yield from STRATEGIES["flow-poison"](attacker, ctx)
+        checker.check_flow_isolation(
+            service, live_pins(expected), now=fleet.sim.now
+        )
+
+    workload.start()
+    spawn(fleet.sim, burst(), "attack-burst")
+    fleet.sim.run_until(lambda: workload.complete, timeout=until)
+    result.finished = workload.complete
+    result.duration = fleet.sim.now
+    fleet.sim.run(until=fleet.sim.now + 0.3)
+
+    stats = workload.stats
+    if not result.finished:
+        checker.violations.append(Violation(
+            fleet.sim.now, "liveness",
+            f"workload did not complete within {until}s of simulated time",
+        ))
+    if stats.sessions_failed:
+        checker.violations.append(Violation(
+            fleet.sim.now, "attack-burst-survival",
+            f"{stats.sessions_failed} session(s) failed under flow-table"
+            f" poisoning: {stats.failures}",
+        ))
+    if stats.corrupt_replies:
+        checker.violations.append(Violation(
+            fleet.sim.now, "stream-prefix",
+            f"{stats.corrupt_replies} corrupt replies under poisoning",
+        ))
+    checker.check_no_spoofed_teardown()
+    checker.check_replica_agreement()
+    result.violations = checker.violations
+
+    result.failed_over = fleet.shards[0].pair.failed_over
+    result.injections = attacker.injections
+    result.injections_by_kind = dict(attacker.injections_by_kind)
+    result.delivered = stats.reply_bytes
+    result.counters = {
+        "dispatcher.syn_reassigns_refused": service.syn_reassigns_refused,
+        "dispatcher.flows_rejected": service.flows_rejected,
+        "dispatcher.segments_dropped": service.segments_dropped,
+        "dispatcher.flows": len(service.flows),
+        "workload.requests": stats.requests_completed,
+        "workload.sessions_completed": stats.sessions_completed,
+        "workload.sessions_failed": stats.sessions_failed,
+    }
+
+    _attach_incident(result, fleet.tracer)
+    return result
+
+
+def _attach_incident(result: AttackResult, tracer) -> None:
+    """Keep the trace stream; render an incident report on failure."""
+    if not getattr(tracer, "records", None):
+        return
+    from repro.obs.flight import FlightRecorder
+
+    result.tracer = tracer
+    if not result.ok:
+        result.incident = FlightRecorder(tracer).incident_report(
+            title=str(result.spec),
+            violations=[str(v) for v in result.violations],
+        )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def run_attack_cell(spec: AttackSpec, until: float = 30.0) -> AttackResult:
+    """Run one attack cell end-to-end and check every invariant."""
+    if spec.strategy != "none" and spec.strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {spec.strategy!r}")
+    if spec.position not in POSITIONS:
+        raise ValueError(f"unknown position {spec.position!r}")
+    if spec.fraction not in ATTACK_FRACTIONS:
+        raise ValueError(f"unknown fraction {spec.fraction!r}")
+    if spec.strategy == "flow-poison":
+        return _dispatcher_cell(spec, until=until)
+    return _bridge_cell(spec, until=until)
+
+
+def run_attack_matrix(
+    specs: List[AttackSpec], until: float = 30.0
+) -> List[AttackResult]:
+    """Run many cells; returns every result (callers assert on failures)."""
+    return [run_attack_cell(spec, until=until) for spec in specs]
+
+
+def summarize(results: List[AttackResult]) -> str:
+    failed = [r for r in results if not r.ok]
+    lines = [f"{len(results) - len(failed)}/{len(results)} cells passed"]
+    lines += [r.describe() for r in failed]
+    return "\n".join(lines)

@@ -1,0 +1,376 @@
+"""Scripted and adaptive attack strategies.
+
+Each strategy is a generator (a simulator process) driving an
+:class:`~repro.adversary.attacker.AttackerHost` against one victim
+connection or service.  The attacker's knowledge model is strict:
+
+* it knows the victim's **4-tuple** (addresses and ports) — the
+  standard off-path assumption;
+* it does **not** know sequence numbers.  Sweeps start from a coarse
+  2^20-wide bracket around the true value — the leak granularity the
+  off-path literature grants the attacker (e.g. a coarse counter or
+  timing side channel) — and must narrow it themselves;
+* the *only* fine-grained side channel is the one explicitly modeled:
+  the victim's ``tcp.challenge_acks`` metrics counter, which the
+  ``seq-infer`` strategy reads between probe batches (the
+  CVE-2016-5696 pattern: a globally observable challenge-ACK count
+  turns RFC 5961's courtesy into an oracle).
+
+All randomness flows through the context's rng stream; a strategy
+replays bit-for-bit from the cell seed.
+
+Position semantics: ``"client"`` attacks the client end (spoofing the
+service), ``"service"`` attacks the serving replica (spoofing the
+client).  The two non-segment strategies reuse the axis for their two
+natural variants: ``arp-race`` runs *reactive* (race the takeover
+announcement) at position ``"client"`` and *preemptive* (periodic
+claims against the live owner) at ``"service"``; ``flow-poison`` runs
+*victim-flow spoofing* at ``"client"`` and *table-fill* at
+``"service"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from repro.adversary.attacker import AttackerHost
+from repro.net.addresses import Ipv4Address
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecord
+from repro.tcp.seqnum import seq_add, seq_diff
+
+__all__ = [
+    "STRATEGIES",
+    "AttackContext",
+    "SWEEP_PROBES",
+    "INFER_BUDGET",
+    "INFER_MIN_ERROR",
+]
+
+# Sweep geometry: a 2^20 bracket swept in 64 steps of 16 KiB.
+BRACKET = 1 << 20
+SWEEP_STEP = BRACKET // 64
+SWEEP_PROBES = 64
+
+# Sequence-inference geometry: block sweep at 32 KiB (≤ the victim's
+# receive window, so the true window cannot fall between probes), then
+# binary-search the window's left edge down to 512 bytes.
+INFER_BLOCK = 32768
+INFER_BUDGET = 56
+INFER_MIN_ERROR = 512
+
+PMTUD_MTUS = (68, 296, 552)
+
+
+@dataclass
+class AttackContext:
+    """Everything a strategy may consult, resolved by the matrix runner.
+
+    ``victim`` returns ``(node_name, connection)`` for the current
+    position — the connection object stands in for the coarse bracket
+    leak (strategies only read one sequence value from it, at burst
+    start, to center their bracket).  ``challenge_counter`` returns the
+    victim's challenge-ACK metrics counter (the modeled side channel).
+    """
+
+    sim: Simulator
+    rng: Any
+    position: str
+    client_ip: Ipv4Address
+    service_ip: Ipv4Address
+    service_port: int
+    client_port: Callable[[], Optional[int]]
+    victim: Callable[[], Tuple[str, Optional[Any]]]
+    challenge_counter: Callable[[str], Optional[Any]] = lambda victim: None
+    results: Dict[str, Any] = field(default_factory=dict)
+    probe_gap: float = 0.002
+    # dispatcher-cell extras
+    service: Optional[Any] = None
+    victim_flows: Dict[Tuple[int, int], str] = field(default_factory=dict)
+
+
+def _endpoints(
+    ctx: AttackContext,
+) -> Optional[Tuple[Ipv4Address, int, Ipv4Address, int]]:
+    """(src_ip, src_port, dst_ip, dst_port) for forged segments."""
+    cport = ctx.client_port()
+    if cport is None:
+        return None
+    if ctx.position == "client":
+        return (ctx.service_ip, ctx.service_port, ctx.client_ip, cport)
+    return (ctx.client_ip, cport, ctx.service_ip, ctx.service_port)
+
+
+def _bracket_start(rng: Any, center: int, step: int) -> int:
+    """A bracket start below ``center``, never step-aligned with it.
+
+    The sweep must model a *blind* attacker: landing a probe exactly on
+    the true sequence number would be a legitimate RFC 793 teardown, not
+    an isolation failure, so the offset is de-aligned from the step.
+    """
+    offset = rng.randrange(1, BRACKET)
+    if offset % step == 0:
+        offset -= 1
+    return seq_add(center, -offset)
+
+
+def rst_sweep(att: AttackerHost, ctx: AttackContext) -> Generator:
+    """Blind reset: forged RSTs sweeping the bracket (RFC 5961 target)."""
+    att.start_attack("rst-sweep", position=ctx.position)
+    try:
+        ep = _endpoints(ctx)
+        victim, conn = ctx.victim()
+        if ep is None or conn is None:
+            yield 0.001
+            return
+        start = _bracket_start(ctx.rng, conn.rcv_nxt, SWEEP_STEP)
+        for i in range(SWEEP_PROBES):
+            att.spoof_rst(ep[0], ep[1], ep[2], ep[3],
+                          seq_add(start, i * SWEEP_STEP), victim)
+            yield ctx.probe_gap
+    finally:
+        att.finish_attack("rst-sweep")
+
+
+def syn_sweep(att: AttackerHost, ctx: AttackContext) -> Generator:
+    """Blind SYN: a SYN on a synchronized connection must draw a
+    challenge ACK, never a reset or a re-open."""
+    att.start_attack("syn-sweep", position=ctx.position)
+    try:
+        ep = _endpoints(ctx)
+        victim, conn = ctx.victim()
+        if ep is None or conn is None:
+            yield 0.001
+            return
+        start = _bracket_start(ctx.rng, conn.rcv_nxt, SWEEP_STEP)
+        for i in range(SWEEP_PROBES):
+            att.spoof_syn(ep[0], ep[1], ep[2], ep[3],
+                          seq_add(start, i * SWEEP_STEP), victim)
+            yield ctx.probe_gap
+    finally:
+        att.finish_attack("syn-sweep")
+
+
+def fin_ack_sweep(att: AttackerHost, ctx: AttackContext) -> Generator:
+    """Forged FIN|ACK: attacks both the teardown path (FIN) and the
+    send-side accounting (a blind ACK that advanced ``snd_una`` would
+    discard unacknowledged bytes and stall the stream)."""
+    att.start_attack("fin-ack-sweep", position=ctx.position)
+    try:
+        ep = _endpoints(ctx)
+        victim, conn = ctx.victim()
+        if ep is None or conn is None:
+            yield 0.001
+            return
+        start = _bracket_start(ctx.rng, conn.rcv_nxt, SWEEP_STEP)
+        for i in range(SWEEP_PROBES):
+            att.spoof_fin_ack(
+                ep[0], ep[1], ep[2], ep[3],
+                seq_add(start, i * SWEEP_STEP),
+                ctx.rng.randrange(1 << 32),
+                victim,
+            )
+            yield ctx.probe_gap
+    finally:
+        att.finish_attack("fin-ack-sweep")
+
+
+def pmtud_probe(att: AttackerHost, ctx: AttackContext) -> Generator:
+    """Forged ICMP frag-needed quoting guessed outgoing segments —
+    the IP-address-sharing isolation break: an unvalidated quote lets
+    an off-path attacker clamp any co-hosted connection's MSS."""
+    att.start_attack("pmtud-probe", position=ctx.position)
+    try:
+        cport = ctx.client_port()
+        victim, conn = ctx.victim()
+        if cport is None or conn is None:
+            yield 0.001
+            return
+        if ctx.position == "client":
+            icmp_dst = ctx.client_ip
+            quoted = (ctx.client_ip, cport, ctx.service_ip, ctx.service_port)
+        else:
+            icmp_dst = ctx.service_ip
+            quoted = (ctx.service_ip, ctx.service_port, ctx.client_ip, cport)
+        start = _bracket_start(ctx.rng, conn.snd_una, SWEEP_STEP)
+        for i in range(SWEEP_PROBES):
+            att.spoof_frag_needed(
+                icmp_dst, quoted[0], quoted[1], quoted[2], quoted[3],
+                seq_add(start, i * SWEEP_STEP),
+                PMTUD_MTUS[i % len(PMTUD_MTUS)],
+                victim,
+            )
+            yield ctx.probe_gap
+    finally:
+        att.finish_attack("pmtud-probe")
+
+
+def _infer_probe(
+    att: AttackerHost,
+    ctx: AttackContext,
+    ep: Tuple[Ipv4Address, int, Ipv4Address, int],
+    victim: str,
+    counter: Any,
+    candidate: int,
+) -> Generator:
+    """One inference probe: a 3-RST batch, then read the counter delta."""
+    before = counter.value
+    for _ in range(3):
+        att.spoof_rst(ep[0], ep[1], ep[2], ep[3], candidate, victim)
+        yield 0.0015
+    yield 0.004
+    return counter.value > before
+
+
+def seq_infer(att: AttackerHost, ctx: AttackContext) -> Generator:
+    """Adaptive sequence inference through the challenge-ACK counter.
+
+    Phase 1 sweeps the bracket in window-sized blocks until a probe
+    draws a challenge (candidate landed in the receive window); phase 2
+    binary-searches the window's left edge.  RFC 5961 §10 rate limiting
+    is the defense under test: with the limit in place the counter
+    starves mid-search and the estimate stays coarse
+    (``results["seq_error"]`` ≥ :data:`INFER_MIN_ERROR`)."""
+    att.start_attack("seq-infer", position=ctx.position)
+    try:
+        ep = _endpoints(ctx)
+        victim, conn = ctx.victim()
+        counter = ctx.challenge_counter(victim)
+        if ep is None or conn is None or counter is None:
+            yield 0.001
+            return
+        true_nxt = conn.rcv_nxt  # scoring reference, never used to aim
+        offset = ctx.rng.randrange(1 << 17, BRACKET - (1 << 17))
+        cursor = seq_add(true_nxt, -offset)
+        probes = 0
+        hit: Optional[int] = None
+        for _ in range(BRACKET // INFER_BLOCK):
+            if probes >= INFER_BUDGET:
+                break
+            probes += 1
+            in_window = yield from _infer_probe(
+                att, ctx, ep, victim, counter, cursor
+            )
+            if in_window:
+                hit = cursor
+                break
+            cursor = seq_add(cursor, INFER_BLOCK)
+        estimate = cursor if hit is None else hit
+        if hit is not None:
+            span = INFER_BLOCK
+            edge = hit
+            while span > INFER_MIN_ERROR and probes < INFER_BUDGET:
+                span //= 2
+                probes += 1
+                candidate = seq_add(edge, -span)
+                in_window = yield from _infer_probe(
+                    att, ctx, ep, victim, counter, candidate
+                )
+                if in_window:
+                    edge = candidate
+            estimate = edge
+        error = abs(seq_diff(estimate, true_nxt))
+        ctx.results["seq_probes"] = probes
+        ctx.results["seq_error"] = error
+        att.tracer.emit(
+            att.sim.now, "adversary.infer_result", att.host.name,
+            probes=probes, error=error,
+        )
+    finally:
+        att.finish_attack("seq-infer")
+
+
+def arp_race(att: AttackerHost, ctx: AttackContext) -> Generator:
+    """Gratuitous-ARP race for the service address.
+
+    Position ``"client"``: *reactive* — race the takeover announcement,
+    claiming the VIP microseconds after the secondary does (the window
+    the takeover guard must cover).  Position ``"service"``:
+    *preemptive* — periodic forged claims against the live owner,
+    attacking the step-down fencing machinery itself."""
+    att.start_attack("arp-race", position=ctx.position)
+    try:
+        vip = ctx.service_ip
+        if ctx.position == "service":
+            for _ in range(25):
+                att.claim_ip(vip, victim="primary")
+                yield 0.02
+            return
+        fired = []
+
+        def on_record(record: TraceRecord) -> None:
+            if record.category == "takeover.announced" and not fired:
+                fired.append(record.time)
+                ctx.sim.schedule(60e-6, race)
+
+        def race() -> None:
+            att.claim_ip(vip, victim="secondary")
+
+        already_announced = any(
+            r.category == "takeover.announced" for r in att.tracer.records
+        )
+        if not already_announced:
+            att.tracer.subscribe(on_record)
+            for _ in range(60):
+                if fired:
+                    break
+                yield 0.01
+        # Follow-up claims: inside the guard window when we raced the
+        # announcement, against the settled owner when the takeover beat
+        # us here — the claimant allowlist must hold either way.
+        for _ in range(3):
+            att.claim_ip(vip, victim="secondary")
+            yield 0.005
+    finally:
+        att.finish_attack("arp-race")
+
+
+def flow_poison(att: AttackerHost, ctx: AttackContext) -> Generator:
+    """Dispatcher flow-table poisoning.
+
+    Position ``"client"``: forged initial SYNs bearing a *live* victim
+    flow's 4-tuple — an unhardened dispatcher re-steers the pin and
+    tears the victim off its shard.  Position ``"service"``: table-fill
+    from fabricated sources — an unbounded table evicts or starves
+    legitimate pins."""
+    att.start_attack("flow-poison", position=ctx.position)
+    try:
+        if ctx.service is None:
+            yield 0.001
+            return
+        vip, port = ctx.service_ip, ctx.service_port
+        if ctx.position == "client":
+            flows = sorted(ctx.victim_flows)
+            if not flows:
+                yield 0.001
+                return
+            for _ in range(12):
+                for ip_value, cport in flows:
+                    att.spoof_syn(
+                        Ipv4Address(ip_value), cport, vip, port,
+                        ctx.rng.randrange(1 << 32), victim="dispatcher",
+                    )
+                    yield 0.004
+        else:
+            budget = 3 * ctx.service.max_flows
+            for i in range(budget):
+                fake_ip = Ipv4Address(0x0A09_0000 + 1 + i)
+                att.spoof_syn(
+                    fake_ip, 30_000 + i, vip, port,
+                    ctx.rng.randrange(1 << 32), victim="dispatcher",
+                )
+                yield 0.002
+    finally:
+        att.finish_attack("flow-poison")
+
+
+STRATEGIES: Dict[str, Callable[[AttackerHost, AttackContext], Generator]] = {
+    "rst-sweep": rst_sweep,
+    "syn-sweep": syn_sweep,
+    "fin-ack-sweep": fin_ack_sweep,
+    "pmtud-probe": pmtud_probe,
+    "seq-infer": seq_infer,
+    "arp-race": arp_race,
+    "flow-poison": flow_poison,
+}

@@ -56,6 +56,7 @@ class VirtualService:
         metrics: Optional[MetricsRegistry] = None,
         flow_idle_timeout: float = 30.0,
         max_flows: int = 65536,
+        syn_reassign_min_idle: float = 1.0,
     ):
         if not backends:
             raise ValueError("VirtualService needs at least one backend shard")
@@ -71,15 +72,24 @@ class VirtualService:
         self._backend_ip_values = {ip.value for ip in self.backends.values()}
         self.flow_idle_timeout = flow_idle_timeout
         self.max_flows = max_flows
+        # Flow-poison hardening: a spoofed initial SYN for a *live* pinned
+        # flow must not re-steer it (that tears the victim's connection off
+        # its shard mid-stream).  Re-steer on SYN only when the pinned
+        # backend has left the placement or the flow has been idle at least
+        # this long (a genuinely closed-and-reopened client port).
+        self.syn_reassign_min_idle = syn_reassign_min_idle
         self.flows: FlowTable = FlowTable()
         self.new_flows: Dict[str, int] = {sid: 0 for sid in self.backends}
         self.segments_in = 0
         self.segments_out = 0
         self.segments_dropped = 0
+        self.syn_reassigns_refused = 0
+        self.flows_rejected = 0
         metrics = metrics or NULL_METRICS
         self._m_in = metrics.counter("dispatcher.segments_in")
         self._m_out = metrics.counter("dispatcher.segments_out")
         self._m_flows = metrics.gauge("dispatcher.flows")
+        self._m_flows_rejected = metrics.counter("dispatcher.flows_rejected")
         host.ip.set_rx_tap(self._tap)
 
     # ------------------------------------------------------------------
@@ -151,21 +161,42 @@ class VirtualService:
             segment.flags & FLAG_ACK
         )
         steered = False
-        if slot < 0 or is_initial_syn:
+        if slot < 0:
+            self._maybe_prune()
+            if len(flows) >= self.max_flows:
+                # Full even after pruning live pins' idle tail: refuse the
+                # pin.  A spoofed-SYN flood must neither evict live flows
+                # nor grow the table without bound.
+                self.flows_rejected += 1
+                self._m_flows_rejected.inc()
+                self.segments_dropped += 1
+                return None
             shard_id = choose_shard(
                 flow_key(datagram.src, segment.src_port), list(self.backends)
             )
             steered = True
-            if slot < 0:
-                self._maybe_prune()
-                slot = flows.pin(flow_id, shard_id, self.sim.now)
-                self.new_flows[shard_id] = self.new_flows.get(shard_id, 0) + 1
-                self._m_flows.set(len(flows))
-            else:
-                # A fresh SYN reuses a lingering flow id: re-steer it so a
+            slot = flows.pin(flow_id, shard_id, self.sim.now)
+            self.new_flows[shard_id] = self.new_flows.get(shard_id, 0) + 1
+            self._m_flows.set(len(flows))
+        elif is_initial_syn:
+            idle = self.sim.now - flows.last_seen_at(slot)
+            if (
+                flows.shard_at(slot) not in self.backends
+                or idle >= self.syn_reassign_min_idle
+            ):
+                # A fresh SYN reusing a *quiet* flow id: re-steer it so a
                 # closed-and-reopened client port follows the current
                 # backend set.
+                shard_id = choose_shard(
+                    flow_key(datagram.src, segment.src_port), list(self.backends)
+                )
+                steered = True
                 flows.reassign(slot, shard_id, self.sim.now)
+            else:
+                # Live flow: a SYN for it is either a client bug or an
+                # off-path forgery; keep the pin (flow-poison hardening).
+                self.syn_reassigns_refused += 1
+                flows.touch(slot, self.sim.now)
         else:
             flows.touch(slot, self.sim.now)
         target = self.backends.get(flows.shard_at(slot))

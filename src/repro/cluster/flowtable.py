@@ -62,6 +62,10 @@ class FlowTable(MutableMapping[FlowId, FlowEntry]):
     def shard_at(self, slot: int) -> str:
         return self._shard_ids[slot]
 
+    def last_seen_at(self, slot: int) -> float:
+        """Last-activity timestamp of an occupied slot."""
+        return self._last_seen[slot]
+
     def touch(self, slot: int, now: float) -> None:
         self._last_seen[slot] = now
 

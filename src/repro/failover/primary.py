@@ -186,6 +186,7 @@ class PrimaryBridge(BridgeBase):
         self.retransmissions_forwarded = 0
         self.late_acks_synthesized = 0
         self.mismatches = 0
+        self.rsts_ignored = 0
         # Metrics-plane mirrors of the above, plus queue-depth histograms
         # (labelled instruments; free when the registry is disabled).
         host_label = host.name
@@ -197,6 +198,9 @@ class PrimaryBridge(BridgeBase):
         )
         self._m_late_acks = self.metrics.counter(
             "bridge.late_acks_synthesized", host=host_label
+        )
+        self._m_rsts_ignored = self.metrics.counter(
+            "bridge.rsts_ignored", host=host_label
         )
         self._m_mismatches = self.metrics.counter("bridge.mismatches", host=host_label)
         self._m_depth_p = self.metrics.histogram(
@@ -414,7 +418,23 @@ class PrimaryBridge(BridgeBase):
                 return None
             return None
         if segment.rst:
-            self._delete(bc, reason="peer_rst")
+            # Blind-reset hardening: the bridge used to drop connection
+            # state on *any* peer RST, after which client retransmissions
+            # hit the §8 synthesize-ACK path and were silently black-holed
+            # — an off-path attacker's in-window forgery killed the bridge
+            # even though the TCP stack survived.  Mirror RFC 5961: only
+            # an exact-match, checksum-valid RST deletes bridge state; the
+            # segment always goes up so the stack can challenge-ACK.
+            if self._peer_rst_valid(datagram, segment):
+                self._delete(bc, reason="peer_rst")
+            else:
+                self.rsts_ignored += 1
+                self._m_rsts_ignored.inc()
+                self._trace(
+                    "bridge.p.rst_ignored",
+                    peer=f"{datagram.src}:{segment.src_port}",
+                    seq=segment.seq,
+                )
             return datagram
         if segment.fin:
             bc.peer_fin_end = segment.seq_end
@@ -439,6 +459,21 @@ class PrimaryBridge(BridgeBase):
         if bc.ready_to_delete():
             self._delete(bc, reason="closed")
         return replace(datagram, payload=rewritten)
+
+    def _peer_rst_valid(
+        self, datagram: Ipv4Datagram, segment: TcpSegment
+    ) -> bool:
+        """Exact-match validation before honouring a peer RST."""
+        if not segment.checksum_ok(datagram.src, datagram.dst):
+            return False
+        conn = self.host.tcp.connections.get(
+            (datagram.dst, segment.dst_port, datagram.src, segment.src_port)
+        )
+        if conn is None:
+            # No live TCB to validate against (already torn down locally):
+            # bridge state is stale either way, let the RST clear it.
+            return True
+        return segment.seq == conn.rcv_nxt
 
     # ==================================================================
     # the §3.4 engine: queues, matching, retransmissions, empty ACKs

@@ -93,6 +93,17 @@ class ReplicatedServerPair:
         self.primary_bridge.install()
         self.secondary_bridge.install()
 
+        # Step-down fencing allowlist: only the peer replica's gratuitous
+        # ARP may fence this side off an address.  Without it, any host on
+        # the segment could forge one announcement and knock the live
+        # primary out of service (see tests/adversary).
+        if (
+            primary._eth_interface is not None
+            and secondary._eth_interface is not None
+        ):
+            primary.eth_interface.arp.trusted_claimants.add(secondary.nic.mac)
+            secondary.eth_interface.arp.trusted_claimants.add(primary.nic.mac)
+
         self.primary_detector = FaultDetector(
             primary,
             self.secondary_ip,

@@ -36,12 +36,18 @@ def perform_ip_takeover(
     bridge: SecondaryBridge,
     primary_ip: Ipv4Address,
     resume_delay: float = 0.0,
+    arp_guard_duration: float = 0.5,
 ) -> None:
     """Run the §5 procedure on the secondary ``bridge``'s host.
 
     ``resume_delay`` models the local reconfiguration time between the
     gratuitous ARP and the bridge resuming transmission ("after the change
     of IP address is completed, the bridge resumes sending TCP segments").
+
+    ``arp_guard_duration`` protects the freshly-acquired address from
+    spoofed gratuitous ARP during the rebind: a forged claim inside the
+    window is ignored (and answered with a corrective re-announce) rather
+    than fencing the taker off the VIP it just acquired.
     """
     host = bridge.host
     config = bridge.config
@@ -59,6 +65,8 @@ def perform_ip_takeover(
     # Step 5: acquire a_p and announce it.
     interface = host.eth_interface
     interface.add_address(primary_ip)
+    if arp_guard_duration > 0:
+        interface.arp.guard_ip(primary_ip, arp_guard_duration)
     rebind_failover_connections(host, config, old_ip, primary_ip)
     interface.arp.announce(primary_ip)
     host.tracer.emit(host.sim.now, "takeover.announced", host.name, ip=str(primary_ip))

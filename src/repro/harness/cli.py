@@ -11,6 +11,7 @@ A pytest-free way to regenerate any of the paper's tables/figures::
     python -m repro ablation            # E7/E8 merge-rule ablations
     python -m repro chain               # E9  daisy-chain depth sweep
     python -m repro reintegrate         # E11 crash -> rejoin -> crash again
+    python -m repro adversary --quick   # E13 seeded attack-matrix shard
     python -m repro all --quick
 
 Observability (the flight recorder / pcap plane)::
@@ -415,6 +416,87 @@ def _obs_timeline(args) -> None:
               f" schema ok)")
 
 
+def cmd_adversary(args) -> None:
+    """E13: seeded shard of the adversarial attack matrix.
+
+    Runs strategy × position × fraction cells against the replicated
+    pair / dispatcher, prints the per-cell isolation verdicts, and emits
+    a flight-recorder incident report for one cell so the attack-phase
+    tiling (attack bursts beside detection/takeover) is visible from the
+    CLI even when every invariant holds.
+    """
+    from repro.adversary import attack_matrix, run_attack_matrix, summarize
+    from repro.obs.flight import FlightRecorder
+    from repro.sim.rng import seeded_rng
+
+    seed = args.seed or 1
+    grid = attack_matrix(seeds=(seed,))
+    cells = args.cells
+    if cells is None:
+        cells = 6 if args.quick else len(grid)
+    if cells < len(grid):
+        picked = sorted(seeded_rng(seed).sample(range(len(grid)), cells))
+        specs = [grid[i] for i in picked]
+    else:
+        specs = grid
+    results = run_attack_matrix(specs)
+
+    rows = []
+    bench_rows = []
+    for r in results:
+        cell = f"{r.spec.strategy}@{r.spec.position}/{r.spec.fraction}"
+        challenges = sum(
+            v for k, v in r.counters.items()
+            if k.startswith("challenge_acks.")
+        )
+        refused = r.counters.get("dispatcher.syn_reassigns_refused", 0)
+        rows.append((
+            cell, r.injections, challenges, refused, r.delivered,
+            "X" if r.failed_over else "", "ok" if r.ok else "FAIL",
+        ))
+        bench_rows.append({
+            "label": cell,
+            "metrics": {
+                "injections": r.injections,
+                "challenges": challenges,
+                "refused": refused,
+                "delivered": r.delivered,
+                "violations": len(r.violations),
+                "duration_s": round(r.duration, 9),
+            },
+        })
+    _table(
+        f"E13: attack matrix shard ({len(results)} cells, seed={seed})",
+        ["cell", "inject", "challenges", "refused", "delivered",
+         "failed over", "status"],
+        rows,
+    )
+    print()
+    print(summarize(results))
+
+    # One incident report per run: prefer a failing cell (real incident),
+    # otherwise showcase the busiest traced cell so the attacker-phase
+    # tiling and provenance-tagged records are demonstrated regardless.
+    showcase = next((r for r in results if not r.ok), None)
+    report = showcase.incident if showcase is not None else ""
+    if not report:
+        traced = [r for r in results if r.tracer is not None]
+        if traced:
+            busiest = max(traced, key=lambda r: r.injections)
+            report = FlightRecorder(busiest.tracer).incident_report(
+                title=f"{busiest.spec} (all invariants held)",
+                violations=[str(v) for v in busiest.violations],
+            )
+    if report:
+        print()
+        print(report)
+    _write_bench(
+        args, "adversary_matrix",
+        {"seed": seed, "cells": len(results), "quick": bool(args.quick)},
+        bench_rows,
+    )
+
+
 def cmd_obs(args) -> None:
     """Flight-recorder / pcap / timeline views over one seeded run."""
     from repro.obs.metrics import MetricsRegistry
@@ -471,6 +553,7 @@ COMMANDS = {
     "chain": cmd_chain,
     "reintegrate": cmd_reintegrate,
     "cluster": cmd_cluster,
+    "adversary": cmd_adversary,
 }
 
 
@@ -525,6 +608,9 @@ def main(argv: List[str] = None) -> int:
                         help="session arrival ramp window (s)")
     parser.add_argument("--hold", type=float, default=1.6,
                         help="per-session connection hold time (s)")
+    parser.add_argument("--cells", type=int, default=None,
+                        help="adversary shard size (default: full matrix,"
+                             " 6 with --quick)")
     args = parser.parse_args(argv)
     cluster_run = args.experiment == "cluster" or (
         args.experiment == "obs" and args.cluster

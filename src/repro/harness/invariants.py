@@ -192,6 +192,109 @@ class InvariantChecker:
                 f"{node} received a RST: {record.detail}",
             ))
 
+    # -- adversarial isolation invariants ---------------------------------
+
+    def check_no_spoofed_teardown(self) -> None:
+        """Isolation invariant: no established connection was torn down by
+        a segment outside the RFC 5961 exact-match window.
+
+        Every ``tcp.rst_received`` teardown is checked against the
+        attacker's injection log (``adversary.inject`` records): a teardown
+        whose node and RST sequence match a spoofed injection means a blind
+        reset got through.
+        """
+        if self.tracer is None:
+            return
+        injected = set()
+        for record in self.tracer.select(category="adversary.inject"):
+            detail = record.detail
+            if detail.get("kind") == "rst":
+                injected.add((detail.get("victim"), detail.get("seq")))
+        if not injected:
+            return
+        spoofed_targets = {t for t, _ in injected}
+        for record in self.tracer.select(category="tcp.rst_received"):
+            if record.node not in spoofed_targets:
+                continue
+            seq = record.detail.get("seq")
+            if (record.node, seq) in injected:
+                self.violations.append(Violation(
+                    record.time, "spoofed-teardown",
+                    f"{record.node} tore down a connection on a spoofed RST"
+                    f" (seq={seq}) — blind reset accepted",
+                ))
+
+    def check_connection_survived(self, conn, label: str, now: float = 0.0) -> None:
+        """Isolation invariant: the attacked connection is still alive.
+
+        A compliant stack must survive blind in-window RST/SYN/FIN bursts;
+        an aborted or reset TCB here means a forgery was honoured.
+        """
+        if conn.state.value != "ESTABLISHED":
+            self.violations.append(Violation(
+                now, "attack-burst-survival",
+                f"{label}: connection in state {conn.state.value}"
+                f" after attack burst",
+            ))
+        if conn.reset_received:
+            self.violations.append(Violation(
+                now, "attack-burst-survival",
+                f"{label}: connection observed a reset during the attack",
+            ))
+
+    def check_pmtud_isolation(self, conn, floor_mss: int, label: str,
+                              now: float = 0.0) -> None:
+        """Isolation invariant: off-path PMTUD probes never shrank the MSS."""
+        if conn.mss < floor_mss:
+            self.violations.append(Violation(
+                now, "pmtud-isolation",
+                f"{label}: mss clamped to {conn.mss} (< {floor_mss}) by"
+                f" unvalidated ICMP frag-needed",
+            ))
+
+    def check_seq_not_inferred(self, estimate_error: int, probes: int,
+                               probe_budget: int, min_error: int = 4096,
+                               now: float = 0.0) -> None:
+        """Isolation invariant: Δseq is not inferable within the probe budget.
+
+        ``estimate_error`` is the attacker's final |estimate - true rcv_nxt|
+        (circular distance); within ``probe_budget`` probes the side channel
+        must not have narrowed it below ``min_error``.
+        """
+        if probes <= probe_budget and estimate_error < min_error:
+            self.violations.append(Violation(
+                now, "seq-inference",
+                f"attacker narrowed the sequence window to ±{estimate_error}"
+                f" in {probes} probes (budget {probe_budget})",
+            ))
+
+    def check_flow_isolation(self, service, expected_pins, now: float = 0.0) -> None:
+        """Isolation invariant: dispatcher flow table resisted poisoning.
+
+        ``expected_pins`` maps flow_id -> shard_id pinned before the attack;
+        every victim flow must still be pinned to the same live shard, and
+        the table must not have grown past ``max_flows``.
+        """
+        for flow_id, shard_id in expected_pins.items():
+            slot = service.flows.slot_of(flow_id)
+            if slot < 0:
+                self.violations.append(Violation(
+                    now, "flow-isolation",
+                    f"flow {flow_id} evicted from the dispatcher table",
+                ))
+            elif service.flows.shard_at(slot) != shard_id:
+                self.violations.append(Violation(
+                    now, "flow-isolation",
+                    f"flow {flow_id} re-steered from {shard_id} to"
+                    f" {service.flows.shard_at(slot)} by a spoofed SYN",
+                ))
+        if len(service.flows) > service.max_flows:
+            self.violations.append(Violation(
+                now, "flow-isolation",
+                f"flow table grew to {len(service.flows)} entries"
+                f" (max_flows={service.max_flows})",
+            ))
+
     def check_replica_agreement(self) -> None:
         """Invariant 7: no payload mismatch between the replicas."""
         for bridge in self.bridges:

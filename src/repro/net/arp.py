@@ -82,6 +82,20 @@ class ArpService:
         # Addresses we still hold but must stay silent for (fenced after a
         # conflict): no ARP replies are generated for them.
         self.fenced_ips: set = set()
+        # Takeover guard: ip -> guard expiry.  While a guard is active a
+        # foreign gratuitous claim of that owned address is ignored (no
+        # conflict callback, no learning) and we re-announce to repair any
+        # peer caches the forgery already poisoned.  Closes the window in
+        # which an attacker's gratuitous ARP could fence the taker off the
+        # very address it just acquired.
+        self._gratuitous_guards: Dict[Ipv4Address, float] = {}
+        self.gratuitous_ignored = 0
+        # Step-down allowlist: when non-empty, only these MACs (the peer
+        # replicas) may trigger the address-conflict callback.  A forged
+        # gratuitous ARP from anyone else is an attack on the fencing
+        # machinery — answered with a defensive re-announce, never a
+        # step-down.
+        self.trusted_claimants: set = set()
 
     class ResolutionFailed(Exception):
         """No ARP reply after all retries."""
@@ -104,6 +118,21 @@ class ArpService:
         """Pre-warm the cache (the paper's measurements use warm caches)."""
         self.cache[ip] = mac
 
+    def guard_ip(self, ip: Ipv4Address, duration: float) -> None:
+        """Protect an owned address during an active takeover rebind."""
+        expiry = self.sim.now + duration
+        if self._gratuitous_guards.get(ip, -1.0) < expiry:
+            self._gratuitous_guards[ip] = expiry
+
+    def guard_active(self, ip: Ipv4Address) -> bool:
+        expiry = self._gratuitous_guards.get(ip)
+        if expiry is None:
+            return False
+        if self.sim.now >= expiry:
+            del self._gratuitous_guards[ip]
+            return False
+        return True
+
     def announce(self, ip: Ipv4Address) -> None:
         """Broadcast a gratuitous ARP claiming ``ip`` (IP takeover, §5)."""
         packet = ArpPacket(
@@ -125,11 +154,45 @@ class ArpService:
         if packet.sender_mac == self.nic.mac:
             return  # our own broadcast echoed back
         if packet.is_gratuitous:
+            if packet.sender_ip in self._owned_ips() and self.guard_active(
+                packet.sender_ip
+            ):
+                # Mid-takeover rebind: a foreign claim of the address we are
+                # actively acquiring is treated as an attack, not a conflict.
+                # Ignore it and re-assert ownership so any peer cache the
+                # forgery reached converges back to us.
+                self.gratuitous_ignored += 1
+                self.tracer.emit(
+                    self.sim.now,
+                    "arp.gratuitous_ignored",
+                    self.node_name,
+                    ip=str(packet.sender_ip),
+                    mac=str(packet.sender_mac),
+                )
+                self.announce(packet.sender_ip)
+                return
             if (
                 self.conflict_callback is not None
                 and packet.sender_ip in self._owned_ips()
                 and packet.sender_ip not in self.fenced_ips
             ):
+                if (
+                    self.trusted_claimants
+                    and packet.sender_mac not in self.trusted_claimants
+                ):
+                    # A foreign MAC outside the replica set claims our
+                    # address: spoofed.  Defend the address instead of
+                    # stepping down.
+                    self.gratuitous_ignored += 1
+                    self.tracer.emit(
+                        self.sim.now,
+                        "arp.gratuitous_spoofed",
+                        self.node_name,
+                        ip=str(packet.sender_ip),
+                        mac=str(packet.sender_mac),
+                    )
+                    self.announce(packet.sender_ip)
+                    return
                 # Someone else claims an address we own: address conflict.
                 self.conflict_callback(packet.sender_ip, packet.sender_mac)
             self._apply_gratuitous(packet)

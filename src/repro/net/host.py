@@ -24,7 +24,13 @@ from repro.net.addresses import Ipv4Address, MacAddress
 from repro.net.ethernet import EthernetSegment
 from repro.net.ip import EthernetInterface, IpLayer, PointToPointInterface
 from repro.net.nic import Nic
-from repro.net.packet import IPPROTO_HEARTBEAT, IPPROTO_TCP, Ipv4Datagram
+from repro.net.packet import (
+    IPPROTO_HEARTBEAT,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IcmpFragNeeded,
+    Ipv4Datagram,
+)
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.spans import NULL_SPANS, SpanTracer
 from repro.sim.engine import Simulator
@@ -157,6 +163,7 @@ class Host:
         self._eth_interface: Optional[EthernetInterface] = None
         self._heartbeat_handlers: List[Callable[[Ipv4Datagram], None]] = []
         self.ip.register_protocol(IPPROTO_HEARTBEAT, self._heartbeat_datagram)
+        self.ip.register_protocol(IPPROTO_ICMP, self._icmp_datagram)
         # Step-down fencing: addresses this host still holds but has
         # yielded after observing a conflicting gratuitous ARP.  No
         # segment is sent from (or delivered to) a fenced address.
@@ -302,6 +309,20 @@ class Host:
         """Unregister one heartbeat consumer (detector teardown)."""
         if handler in self._heartbeat_handlers:
             self._heartbeat_handlers.remove(handler)
+
+    def _icmp_datagram(self, datagram: Ipv4Datagram) -> None:
+        if not self.alive or datagram.dst in self.fenced_ips:
+            return
+        payload = datagram.payload
+        if isinstance(payload, IcmpFragNeeded):
+            self.tcp.icmp_frag_needed(
+                payload.quoted_src,
+                payload.quoted_src_port,
+                payload.quoted_dst,
+                payload.quoted_dst_port,
+                payload.quoted_seq,
+                payload.mtu,
+            )
 
     def _heartbeat_datagram(self, datagram: Ipv4Datagram) -> None:
         if not self.alive:

@@ -22,6 +22,7 @@ ETHERNET_MTU = 1500  # maximum IP datagram carried in one frame
 
 IPV4_HEADER_SIZE = 20
 
+IPPROTO_ICMP = 1
 IPPROTO_TCP = 6
 IPPROTO_HEARTBEAT = 200  # simulation-private protocol for the fault detector
 
@@ -73,6 +74,25 @@ class Ipv4Datagram:
         if self.ttl <= 1:
             return None
         return replace(self, ttl=self.ttl - 1)
+
+
+@dataclass(frozen=True)
+class IcmpFragNeeded:
+    """ICMP type 3 code 4 — fragmentation needed, next-hop MTU attached.
+
+    Quotes the IP header + first 8 bytes of the offending datagram, which
+    for TCP is exactly the 4-tuple and the sequence number.  Receivers
+    validate the quoted sequence against the connection's send window
+    before honouring the MTU hint (RFC 5927 §4.1).
+    """
+
+    mtu: int
+    quoted_src: Ipv4Address
+    quoted_dst: Ipv4Address
+    quoted_src_port: int
+    quoted_dst_port: int
+    quoted_seq: int
+    wire_size: int = field(default=36)
 
 
 @dataclass(frozen=True)

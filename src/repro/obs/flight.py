@@ -381,6 +381,44 @@ class FlightRecorder:
         return breakdowns
 
     # ------------------------------------------------------------------
+    # attack phases
+    # ------------------------------------------------------------------
+
+    def attack_phases(self) -> List[Phase]:
+        """Tile every adversary burst in the trace into a phase.
+
+        ``adversary.attack_started`` / ``adversary.attack_finished``
+        records are paired in order per attacker node; an unfinished
+        attack (run ended mid-burst) closes at the last trace record.
+        The phases render alongside detection/takeover so an incident
+        shows *when* the attacker was active relative to the failover.
+        """
+        phases: List[Phase] = []
+        open_attacks: Dict[Tuple[str, str], float] = {}
+        last_time = self.records[-1].time if self.records else 0.0
+        for record in self.records:
+            if record.category == "adversary.attack_started":
+                key = (record.node, str(record.detail.get("strategy")))
+                open_attacks[key] = record.time
+            elif record.category == "adversary.attack_finished":
+                key = (record.node, str(record.detail.get("strategy")))
+                start = open_attacks.pop(key, None)
+                if start is not None:
+                    phases.append(
+                        Phase(f"attack:{key[1]}", start, record.time)
+                    )
+        for (node, strategy), start in sorted(open_attacks.items()):
+            phases.append(Phase(f"attack:{strategy}", start, last_time))
+        phases.sort(key=lambda p: p.start)
+        return phases
+
+    def attack_injections(self) -> int:
+        """Total spoofed segments/packets the adversary put on the wire."""
+        return sum(
+            1 for r in self.records if r.category == "adversary.inject"
+        )
+
+    # ------------------------------------------------------------------
     # reintegration phases
     # ------------------------------------------------------------------
 
@@ -478,6 +516,15 @@ class FlightRecorder:
             lines.append("failover phases:")
             for breakdown in breakdowns:
                 lines.extend(f"  {l}" for l in breakdown.render().splitlines())
+        attacks = self.attack_phases()
+        if attacks:
+            injections = self.attack_injections()
+            lines.append(f"attack phases ({injections} spoofed injections):")
+            for phase in attacks:
+                lines.append(
+                    f"  {phase.name:<22} {phase.start:.6f} -> {phase.end:.6f}"
+                    f"  {phase.duration * 1e3:8.3f} ms"
+                )
         for breakdown in self.reintegration_breakdowns():
             lines.append("reintegration:")
             lines.extend(f"  {l}" for l in breakdown.render().splitlines())

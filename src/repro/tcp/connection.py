@@ -34,6 +34,7 @@ from repro.tcp.seqnum import (
     seq_between,
     seq_ge,
     seq_gt,
+    seq_in_window,
     seq_le,
     seq_lt,
     seq_max,
@@ -129,6 +130,19 @@ class TcpConnection:
     MAX_RETRANSMITS = 12
     SYN_MAX_RETRANSMITS = 6
 
+    #: RFC 5961 §10: challenge ACKs are rate-limited per connection so an
+    #: off-path attacker cannot use them as an unbounded probe oracle (the
+    #: CVE-2016-5696 side channel was a *shared* challenge counter; a
+    #: per-connection budget both bounds the traffic and starves the
+    #: attacker's in-window/out-of-window signal after a few probes).
+    CHALLENGE_LIMIT = 3
+    CHALLENGE_WINDOW = 1.0
+
+    #: RFC 1191 minimum: never honour an ICMP frag-needed quoting a path
+    #: MTU below the IPv4 minimum reassembly size.  Off-path PMTUD attacks
+    #: (RFC 5927) advertise tiny MTUs to collapse throughput.
+    MIN_PMTU = 576
+
     def __init__(
         self,
         layer: "TcpLayer",  # noqa: F821 - forward ref, avoids import cycle
@@ -197,6 +211,12 @@ class TcpConnection:
         self._readable_waiters: List[Event] = []
         self._writable_waiters: List[Event] = []
         self.reset_received = False
+
+        # RFC 5961 challenge-ACK throttle state.
+        self.challenge_acks_sent = 0
+        self.challenge_acks_suppressed = 0
+        self._challenge_window_start = -1.0
+        self._challenge_in_window = 0
 
         # Statistics.
         self.bytes_sent = 0
@@ -657,17 +677,46 @@ class TcpConnection:
 
     def _handle_rst(self, segment: TcpSegment) -> None:
         if self.state == TcpState.SYN_SENT:
-            acceptable = segment.has_ack and segment.ack == seq_add(self.iss, 1)
-        else:
-            window = self.recv_buffer.window if self.recv_buffer else 0
-            acceptable = segment.seq == self.rcv_nxt or (
-                window > 0 and seq_between(self.rcv_nxt, segment.seq, seq_add(self.rcv_nxt, window))
-            )
-        if acceptable:
+            if segment.has_ack and segment.ack == seq_add(self.iss, 1):
+                self.tracer.emit(
+                    self.sim.now, "tcp.rst_received", self.layer.node_name,
+                    conn=str(self), seq=segment.seq,
+                )
+                self._destroy(error=ConnectionReset(f"{self}: reset by peer"))
+            return
+        # RFC 5961 §3.2: only an exact-match RST (seq == rcv_nxt) tears the
+        # connection down.  An in-window RST draws a challenge ACK — a
+        # genuine peer answers it with an exact-match RST on the next round
+        # trip, while a blind attacker would have to hit one sequence
+        # number in 2^32, not one window in 2^32.
+        if segment.seq == self.rcv_nxt:
             self.tracer.emit(
-                self.sim.now, "tcp.rst_received", self.layer.node_name, conn=str(self)
+                self.sim.now, "tcp.rst_received", self.layer.node_name,
+                conn=str(self), seq=segment.seq,
             )
             self._destroy(error=ConnectionReset(f"{self}: reset by peer"))
+            return
+        window = self.recv_buffer.window if self.recv_buffer else 0
+        if window > 0 and seq_in_window(self.rcv_nxt, segment.seq, window):
+            self._send_challenge_ack("in-window-rst")
+        # Out-of-window RSTs are dropped silently.
+
+    def _send_challenge_ack(self, reason: str) -> None:
+        """RFC 5961 challenge ACK: re-assert our state, rate-limited."""
+        if self.sim.now - self._challenge_window_start >= self.CHALLENGE_WINDOW:
+            self._challenge_window_start = self.sim.now
+            self._challenge_in_window = 0
+        if self._challenge_in_window >= self.CHALLENGE_LIMIT:
+            self.challenge_acks_suppressed += 1
+            return
+        self._challenge_in_window += 1
+        self.challenge_acks_sent += 1
+        self.layer._m_challenge.inc()
+        self.tracer.emit(
+            self.sim.now, "tcp.challenge_ack", self.layer.node_name,
+            conn=str(self), reason=reason,
+        )
+        self._send_ack_now()
 
     def _arrival_syn_sent(self, segment: TcpSegment) -> None:
         if not (segment.syn and segment.has_ack):
@@ -728,7 +777,19 @@ class TcpConnection:
 
     def _arrival_synchronized(self, segment: TcpSegment) -> None:
         if segment.syn:
-            # Stale SYN in a synchronized state: re-ACK our current state.
+            # RFC 5961 §4: a SYN in a synchronized state never restarts or
+            # tears down the connection; it draws a challenge ACK.  A peer
+            # that genuinely rebooted answers the challenge with an
+            # exact-match RST.
+            self._send_challenge_ack("syn-in-sync")
+            return
+        if not self._seq_acceptable(segment):
+            # RFC 793 p.69: a segment outside the receive window is
+            # dropped after re-asserting our state with a pure ACK.  This
+            # is what stops a blind attacker from landing a forged ACK or
+            # FIN with an arbitrary sequence number: the segment must hit
+            # the receive window *and* carry a plausible ACK to be
+            # processed at all.
             self._send_ack_now()
             return
         if segment.has_ack:
@@ -737,6 +798,23 @@ class TcpConnection:
             self._process_data(segment)
         if segment.fin:
             self._process_fin(segment)
+
+    def _seq_acceptable(self, segment: TcpSegment) -> bool:
+        """RFC 793 segment acceptability against the receive window."""
+        if self.recv_buffer is None:
+            return True
+        window = self.recv_buffer.window
+        length = segment.seq_length
+        if length == 0:
+            if window == 0:
+                return segment.seq == self.rcv_nxt
+            return seq_in_window(self.rcv_nxt, segment.seq, window)
+        if window == 0:
+            return False
+        last = seq_add(segment.seq, length - 1)
+        return seq_in_window(self.rcv_nxt, segment.seq, window) or seq_in_window(
+            self.rcv_nxt, last, window
+        )
 
     def _process_ack(self, segment: TcpSegment) -> None:
         ack = segment.ack
@@ -910,6 +988,34 @@ class TcpConnection:
         if not self.closed_event.triggered:
             self.closed_event.succeed()
         self.layer.deregister(self)
+
+    # ------------------------------------------------------------------
+    # path MTU discovery
+    # ------------------------------------------------------------------
+
+    def apply_mtu_hint(self, mtu: int, quoted_seq: int) -> bool:
+        """Clamp the effective MSS from an ICMP fragmentation-needed quote.
+
+        RFC 5927-style validation: the quoted sequence number must fall
+        inside the currently outstanding send window — an off-path
+        attacker does not know it, so blind PMTUD probes are rejected —
+        and the advertised MTU must not be below the IPv4 minimum
+        (:data:`MIN_PMTU`).  Returns True if the clamp was applied.
+        """
+        if mtu < self.MIN_PMTU:
+            return False
+        if not (seq_le(self.snd_una, quoted_seq) and seq_lt(quoted_seq, self.snd_max)):
+            return False  # quotes nothing we have outstanding
+        new_mss = max(self.MIN_PMTU - 40, mtu - 40)
+        if new_mss >= self.mss:
+            return False
+        self.mss = new_mss
+        self.cc.mss = new_mss
+        self.tracer.emit(
+            self.sim.now, "tcp.pmtud_clamp", self.layer.node_name,
+            conn=str(self), mss=new_mss,
+        )
+        return True
 
     # ------------------------------------------------------------------
     # failover support

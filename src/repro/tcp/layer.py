@@ -77,6 +77,9 @@ class TcpLayer:
         self._m_rtx = self.metrics.counter("tcp.retransmits", host=node_name)
         self._m_fast_rtx = self.metrics.counter("tcp.fast_retransmits", host=node_name)
         self._m_rsts = self.metrics.counter("tcp.rsts_sent", host=node_name)
+        self._m_challenge = self.metrics.counter("tcp.challenge_acks", host=node_name)
+        self._m_pmtud_ok = self.metrics.counter("tcp.pmtud_accepted", host=node_name)
+        self._m_pmtud_rej = self.metrics.counter("tcp.pmtud_rejected", host=node_name)
         self.connections: ConnectionTable = ConnectionTable()
         self.listeners: Dict[int, Listener] = {}
         # Instance attributes so tests can shrink the range and exercise
@@ -85,6 +88,8 @@ class TcpLayer:
         self.ephemeral_port_end = EPHEMERAL_PORT_END
         self._next_ephemeral = self.ephemeral_port_start
         self.rsts_sent = 0
+        self.pmtud_accepted = 0
+        self.pmtud_rejected = 0
         # Recently-closed 4-tuples: key -> (expiry, snd_nxt, rcv_nxt).
         # A retransmitted FIN/data segment that arrives after a clean
         # close is answered with a pure ACK instead of a RST, the
@@ -278,6 +283,38 @@ class TcpLayer:
             if not segment.syn and self._linger_ack(key, segment, src_ip, dst_ip):
                 return
             self._send_rst_for(segment, src_ip, dst_ip)
+
+    def icmp_frag_needed(
+        self,
+        quoted_src: Ipv4Address,
+        quoted_src_port: int,
+        quoted_dst: Ipv4Address,
+        quoted_dst_port: int,
+        quoted_seq: int,
+        mtu: int,
+    ) -> bool:
+        """RFC 1191 fragmentation-needed handling with RFC 5927 validation.
+
+        The quoted header names the *outgoing* segment that allegedly hit
+        a small-MTU hop, so the TCB is looked up with our address first.
+        The quoted sequence must fall inside the currently-unacknowledged
+        send range — an off-path attacker who only knows the 4-tuple
+        cannot satisfy that check, so blind PMTUD probes cannot shrink a
+        connection's MSS (the isolation break in PAPERS.md).
+        """
+        key = (quoted_src, quoted_src_port, quoted_dst, quoted_dst_port)
+        conn = self.connections.get(key)
+        if conn is None or not conn.apply_mtu_hint(mtu, quoted_seq):
+            self.pmtud_rejected += 1
+            self._m_pmtud_rej.inc()
+            self.tracer.emit(
+                self.sim.now, "tcp.pmtud_rejected", self.node_name,
+                to=f"{quoted_dst}:{quoted_dst_port}", mtu=mtu,
+            )
+            return False
+        self.pmtud_accepted += 1
+        self._m_pmtud_ok.inc()
+        return True
 
     def _accept_syn(
         self,

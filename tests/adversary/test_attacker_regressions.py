@@ -1,0 +1,241 @@
+"""Regression cells for the adversarial hardening.
+
+Each fix shipped with the attack matrix has a companion here that
+(a) demonstrates the hardened default holds under the exact attack that
+used to break it, and (b) re-opens the hole (monkeypatching the fix
+away) to prove the cell actually detects the vulnerability — a
+regression test that cannot fail when the defense is removed tests
+nothing.
+"""
+
+import pytest
+
+from repro.adversary import AttackSpec, run_attack_cell
+from repro.adversary.strategies import INFER_MIN_ERROR
+from repro.failover.primary import PrimaryBridge
+from repro.tcp.connection import TcpConnection, TcpState
+from repro.tcp.segment import FLAG_ACK, FLAG_RST, FLAG_SYN, TcpSegment
+from repro.tcp.seqnum import seq_add
+from tests.util import CLIENT_IP, SERVER_IP, TwoHostLan
+
+
+# ----------------------------------------------------------------------
+# acceptance: blind in-window RST/SYN never tears down an established
+# connection (RFC 5961 §3.2/§4), while the exact-match RST still does
+# ----------------------------------------------------------------------
+
+
+def _established_pair():
+    lan = TwoHostLan()
+    lan.server.tcp.listen(80)
+    client_conn = lan.client.tcp.connect(SERVER_IP, 80)
+    lan.run(until=1.0)
+    server_conn = next(iter(lan.server.tcp.connections.values()))
+    assert server_conn.state == TcpState.ESTABLISHED
+    return lan, client_conn, server_conn
+
+
+def _inject(conn, segment):
+    """Deliver a forged client→server segment straight into the TCB."""
+    conn.segment_arrived(segment.sealed(CLIENT_IP, SERVER_IP), CLIENT_IP)
+
+
+def test_blind_in_window_rst_never_tears_down():
+    lan, client_conn, server_conn = _established_pair()
+    window = server_conn.recv_buffer.window
+    for offset in (1, 1000, window - 1):
+        _inject(server_conn, TcpSegment(
+            src_port=client_conn.local_port, dst_port=80,
+            seq=seq_add(server_conn.rcv_nxt, offset),
+            ack=0, flags=FLAG_RST, window=0,
+        ))
+        assert server_conn.state == TcpState.ESTABLISHED
+        assert not server_conn.reset_received
+    assert server_conn.challenge_acks_sent == 3
+
+
+def test_blind_syn_draws_challenge_not_reset():
+    lan, client_conn, server_conn = _established_pair()
+    _inject(server_conn, TcpSegment(
+        src_port=client_conn.local_port, dst_port=80,
+        seq=seq_add(server_conn.rcv_nxt, 64),
+        ack=0, flags=FLAG_SYN, window=65535,
+    ))
+    assert server_conn.state == TcpState.ESTABLISHED
+    assert server_conn.challenge_acks_sent == 1
+
+
+def test_exact_match_rst_still_tears_down():
+    """The hardening must not break legitimate resets."""
+    lan, client_conn, server_conn = _established_pair()
+    _inject(server_conn, TcpSegment(
+        src_port=client_conn.local_port, dst_port=80,
+        seq=server_conn.rcv_nxt, ack=0, flags=FLAG_RST, window=0,
+    ))
+    assert server_conn.state == TcpState.CLOSED
+    assert server_conn.reset_received
+
+
+def test_challenge_acks_are_rate_limited():
+    lan, client_conn, server_conn = _established_pair()
+    for offset in range(1, 11):
+        _inject(server_conn, TcpSegment(
+            src_port=client_conn.local_port, dst_port=80,
+            seq=seq_add(server_conn.rcv_nxt, offset),
+            ack=0, flags=FLAG_RST, window=0,
+        ))
+    assert server_conn.challenge_acks_sent == TcpConnection.CHALLENGE_LIMIT
+    assert server_conn.challenge_acks_suppressed == 10 - TcpConnection.CHALLENGE_LIMIT
+    assert server_conn.state == TcpState.ESTABLISHED
+
+
+# ----------------------------------------------------------------------
+# bridge: a peer RST only clears bridge state on an exact match
+# ----------------------------------------------------------------------
+
+
+def _bridge_rst_scenario():
+    """One in-window (non-exact) spoofed RST at the serving primary,
+    mid-upload, with no crash: exactly the shot that used to delete the
+    bridge connection and black-hole the rest of the stream."""
+    from repro.apps.bulk import pattern_bytes
+    from repro.sim.process import spawn
+    from repro.tcp.socket_api import ListeningSocket, SimSocket
+    from tests.util import AttackLan
+
+    lan = AttackLan(seed=5, failover_ports=(80,))
+    lan.start_detectors()
+    blob = pattern_bytes(400_000)
+    received = {}
+    state = {}
+
+    def server_app(host):
+        def app():
+            listening = ListeningSocket.listen(host, 80)
+            sock = yield from listening.accept()
+            data = received.setdefault(host.name, bytearray())
+            while True:
+                chunk = yield from sock.recv(65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            yield from sock.close_and_wait()
+
+        return app()
+
+    def client():
+        sock = SimSocket.connect(lan.client, lan.server_ip, 80, min_rto=0.05)
+        state["sock"] = sock
+        yield from sock.wait_connected()
+        yield from sock.send_all(blob)
+        yield from sock.close_and_wait()
+
+    def burst():
+        yield 0.01
+        conn = state["sock"].conn
+        lan.attacker.spoof_rst(
+            CLIENT_IP, conn.local_port, lan.server_ip, 80,
+            seq_add(conn.rcv_nxt, 5000), victim="primary",
+        )
+
+    lan.pair.run_app(server_app)
+    process = spawn(lan.sim, client(), "rst-regression-client")
+    spawn(lan.sim, burst(), "rst-regression-burst")
+    lan.sim.run_until(lambda: process.done_event.triggered, timeout=5.0)
+    lan.sim.run(until=lan.sim.now + 0.3)
+    return (
+        process.done_event.triggered,
+        len(received.get("primary", b"")),
+        lan.pair.primary_bridge.rsts_ignored,
+        len(blob),
+    )
+
+
+def test_bridge_ignores_blind_peer_rst_and_transfer_completes():
+    finished, delivered, ignored, size = _bridge_rst_scenario()
+    assert finished
+    assert delivered == size
+    assert ignored == 1
+
+
+def test_bridge_rst_scenario_detects_the_old_vulnerability(monkeypatch):
+    """Re-open the hole: with validation gone the spoofed RST deletes
+    bridge state, the client's stream is black-holed by the §8
+    synthesize-ACK path, and the upload never completes."""
+    monkeypatch.setattr(
+        PrimaryBridge, "_peer_rst_valid", lambda self, datagram, segment: True
+    )
+    finished, delivered, ignored, size = _bridge_rst_scenario()
+    assert not finished
+    assert delivered < size
+    assert ignored == 0
+
+
+def test_attack_cell_survives_blind_rsts_at_the_bridge():
+    """The matrix cell form of the same attack: a full sweep against the
+    serving replica, with the usual mid-transfer crash on top."""
+    result = run_attack_cell(AttackSpec("rst-sweep", "service", "early"))
+    assert result.ok, result.describe()
+    assert result.counters["bridge.rsts_ignored"] > 0, result.describe()
+
+
+# ----------------------------------------------------------------------
+# ARP: forged gratuitous claims cannot fence a live primary
+# ----------------------------------------------------------------------
+
+
+def _attack_lan():
+    from tests.util import AttackLan
+
+    lan = AttackLan(seed=3, failover_ports=(80,))
+    return lan
+
+
+def test_forged_arp_claim_does_not_fence_live_primary():
+    lan = _attack_lan()
+    lan.attacker.claim_ip(lan.server_ip, victim="primary")
+    lan.run(until=lan.sim.now + 0.05)
+    assert lan.server_ip not in lan.primary.fenced_ips
+    assert lan.primary.eth_interface.arp.gratuitous_ignored > 0
+    spoofed = lan.tracer.select(category="arp.gratuitous_spoofed")
+    assert any(r.node == "primary" for r in spoofed)
+
+
+def test_arp_fence_cell_detects_the_old_vulnerability():
+    """Without the replica-MAC allowlist, one forged gratuitous ARP
+    fences the live primary off its own service address."""
+    lan = _attack_lan()
+    lan.primary.eth_interface.arp.trusted_claimants.clear()
+    lan.attacker.claim_ip(lan.server_ip, victim="primary")
+    lan.run(until=lan.sim.now + 0.05)
+    assert lan.server_ip in lan.primary.fenced_ips
+
+
+def test_trusted_claimant_still_fences():
+    """The allowlist must not break legitimate step-down fencing: a claim
+    from the secondary's real MAC still wins."""
+    lan = _attack_lan()
+    lan.secondary.eth_interface.arp.announce(lan.server_ip)
+    lan.run(until=lan.sim.now + 0.05)
+    assert lan.server_ip in lan.primary.fenced_ips
+
+
+# ----------------------------------------------------------------------
+# side channel: the §10 rate limit is what starves sequence inference
+# ----------------------------------------------------------------------
+
+INFER_CELL = AttackSpec("seq-infer", "client", "late")
+
+
+def test_unthrottled_challenges_leak_the_sequence_window(monkeypatch):
+    """With the challenge-ACK limit removed the binary search converges
+    (CVE-2016-5696 pattern) and the seq-inference invariant trips —
+    proving both that the oracle is real and that the cell detects it."""
+    monkeypatch.setattr(TcpConnection, "CHALLENGE_LIMIT", 10**9)
+    result = run_attack_cell(INFER_CELL)
+    assert not result.ok
+    assert any(v.invariant == "seq-inference" for v in result.violations)
+    assert result.results["seq_error"] < INFER_MIN_ERROR
+    # The incident report tiles the attack burst beside the failover
+    # timeline so the leak is diagnosable from the artifact alone.
+    assert "attack phases" in result.incident

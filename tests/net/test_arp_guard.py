@@ -1,0 +1,66 @@
+"""Gratuitous-ARP hardening: takeover guards and the claimant allowlist.
+
+Two windows an off-path forger can aim a gratuitous ARP at:
+
+* mid-takeover, racing the taker's own announcement for the address it
+  is actively acquiring (closed by ``guard_ip``);
+* steady-state, forging a step-down of the live owner (closed by
+  ``trusted_claimants``, the replica-MAC allowlist).
+"""
+
+from tests.util import SERVER_IP, TwoHostLan, mac
+
+
+def _forged_claim(lan):
+    """The client broadcasts a gratuitous ARP claiming the server's IP."""
+    lan.client.eth_interface.arp.announce(SERVER_IP)
+    lan.run(until=lan.sim.now + 0.05)
+
+
+def test_guard_expires_after_duration():
+    lan = TwoHostLan()
+    arp = lan.server.eth_interface.arp
+    arp.guard_ip(SERVER_IP, 0.5)
+    assert arp.guard_active(SERVER_IP)
+    lan.run(until=lan.sim.now + 0.6)
+    assert not arp.guard_active(SERVER_IP)
+
+
+def test_guarded_claim_is_ignored_and_reannounced():
+    lan = TwoHostLan()
+    arp = lan.server.eth_interface.arp
+    arp.guard_ip(SERVER_IP, 1.0)
+    _forged_claim(lan)
+    assert arp.gratuitous_ignored == 1
+    assert SERVER_IP not in lan.server.fenced_ips
+    assert lan.tracer.select(category="arp.gratuitous_ignored")
+    # The defensive re-announce repaired any cache the forgery poisoned.
+    announces = lan.tracer.select(category="arp.gratuitous")
+    assert any(r.node == "server" for r in announces)
+
+
+def test_untrusted_claimant_cannot_fence():
+    lan = TwoHostLan()
+    arp = lan.server.eth_interface.arp
+    arp.trusted_claimants = {mac(42)}
+    _forged_claim(lan)
+    assert SERVER_IP not in lan.server.fenced_ips
+    assert arp.gratuitous_ignored == 1
+    spoofed = lan.tracer.select(category="arp.gratuitous_spoofed")
+    assert any(r.node == "server" for r in spoofed)
+
+
+def test_trusted_claimant_still_triggers_step_down():
+    lan = TwoHostLan()
+    lan.server.eth_interface.arp.trusted_claimants = {lan.client.nic.mac}
+    _forged_claim(lan)
+    assert SERVER_IP in lan.server.fenced_ips
+
+
+def test_empty_allowlist_keeps_conflict_semantics():
+    """Hosts outside a replica pair configure no allowlist; for them any
+    foreign claim is still an address conflict (the pre-hardening rule)."""
+    lan = TwoHostLan()
+    assert not lan.server.eth_interface.arp.trusted_claimants
+    _forged_claim(lan)
+    assert SERVER_IP in lan.server.fenced_ips

@@ -1,0 +1,115 @@
+"""Property tests: RFC 5961 forgery handling across the 2^32 wrap.
+
+Each example builds a fresh two-host LAN with the client's ISS pinned
+into the wrap neighbourhood (so ``rcv_nxt`` arithmetic crosses 2^32 in
+a large share of examples), establishes a connection over the wire,
+then injects forged segments straight into the server TCB.  All
+sequence math goes through :mod:`repro.tcp.seqnum` helpers — the
+properties themselves must not re-derive modular arithmetic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.connection import TcpState
+from repro.tcp.segment import FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN, TcpSegment
+from repro.tcp.seqnum import seq_add
+from tests.util import CLIENT_IP, SERVER_IP, TwoHostLan
+
+# ISS lands within ±64 KiB of the wrap point, so window checks and
+# challenge decisions routinely straddle 2^32.
+WRAP_DELTAS = st.integers(min_value=-(1 << 16), max_value=(1 << 16) - 1)
+
+EXAMPLES = settings(max_examples=20, deadline=None)
+
+
+def _established(iss_delta: int):
+    lan = TwoHostLan()
+    lan.client.tcp.choose_iss = lambda: seq_add(0, iss_delta)
+    lan.server.tcp.listen(80)
+    client_conn = lan.client.tcp.connect(SERVER_IP, 80)
+    lan.run(until=1.0)
+    server_conn = next(iter(lan.server.tcp.connections.values()))
+    assert server_conn.state == TcpState.ESTABLISHED
+    return client_conn, server_conn
+
+
+def _forge(client_conn, seq: int, flags: int, ack: int = 0) -> TcpSegment:
+    return TcpSegment(
+        src_port=client_conn.local_port, dst_port=80,
+        seq=seq, ack=ack, flags=flags,
+        window=65535,
+    ).sealed(CLIENT_IP, SERVER_IP)
+
+
+@EXAMPLES
+@given(iss_delta=WRAP_DELTAS, offset=st.integers(min_value=1, max_value=65534))
+def test_in_window_rst_draws_challenge_never_teardown(iss_delta, offset):
+    client_conn, server_conn = _established(iss_delta)
+    forged = _forge(
+        client_conn, seq_add(server_conn.rcv_nxt, offset), FLAG_RST
+    )
+    server_conn.segment_arrived(forged, CLIENT_IP)
+    assert server_conn.state == TcpState.ESTABLISHED
+    assert not server_conn.reset_received
+    assert server_conn.challenge_acks_sent == 1
+
+
+@EXAMPLES
+@given(iss_delta=WRAP_DELTAS)
+def test_exact_match_rst_tears_down(iss_delta):
+    client_conn, server_conn = _established(iss_delta)
+    forged = _forge(client_conn, server_conn.rcv_nxt, FLAG_RST)
+    server_conn.segment_arrived(forged, CLIENT_IP)
+    assert server_conn.state == TcpState.CLOSED
+    assert server_conn.reset_received
+
+
+@EXAMPLES
+@given(
+    iss_delta=WRAP_DELTAS,
+    beyond=st.integers(min_value=1 << 16, max_value=(1 << 31) - 1),
+)
+def test_out_of_window_rst_is_dropped_silently(iss_delta, beyond):
+    client_conn, server_conn = _established(iss_delta)
+    forged = _forge(
+        client_conn, seq_add(server_conn.rcv_nxt, beyond), FLAG_RST
+    )
+    server_conn.segment_arrived(forged, CLIENT_IP)
+    assert server_conn.state == TcpState.ESTABLISHED
+    assert server_conn.challenge_acks_sent == 0
+
+
+@EXAMPLES
+@given(iss_delta=WRAP_DELTAS, offset=st.integers(min_value=0, max_value=65534))
+def test_syn_in_sync_draws_challenge_never_reopen(iss_delta, offset):
+    client_conn, server_conn = _established(iss_delta)
+    irs_before = server_conn.irs
+    forged = _forge(
+        client_conn, seq_add(server_conn.rcv_nxt, offset), FLAG_SYN
+    )
+    server_conn.segment_arrived(forged, CLIENT_IP)
+    assert server_conn.state == TcpState.ESTABLISHED
+    assert server_conn.irs == irs_before
+    assert server_conn.challenge_acks_sent == 1
+
+
+@EXAMPLES
+@given(
+    iss_delta=WRAP_DELTAS,
+    offset=st.integers(min_value=1, max_value=65534),
+    forged_ack=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_blind_fin_ack_never_closes_or_advances(iss_delta, offset, forged_ack):
+    """A forged FIN|ACK off the exact sequence neither half-closes the
+    connection nor moves ``snd_una`` (which would discard send state)."""
+    client_conn, server_conn = _established(iss_delta)
+    una_before = server_conn.snd_una
+    forged = _forge(
+        client_conn, seq_add(server_conn.rcv_nxt, offset),
+        FLAG_FIN | FLAG_ACK, ack=forged_ack,
+    )
+    server_conn.segment_arrived(forged, CLIENT_IP)
+    assert server_conn.state == TcpState.ESTABLISHED
+    assert not server_conn.fin_received
+    assert server_conn.snd_una == una_before

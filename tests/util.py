@@ -156,6 +156,41 @@ class ChaosLan(ReplicatedLan):
         self.checker.assert_ok(recipe=self.plane.recipe())
 
 
+ATTACKER_IP = Ipv4Address("10.0.0.9")
+
+
+class AttackLan(ChaosLan):
+    """ChaosLan plus an off-path attacker station on the shared segment.
+
+    Metrics are always on: the ``tcp.challenge_acks`` counter *is* the
+    modeled side channel the sequence-inference strategy reads, so an
+    adversarial cell without metrics would silently test nothing.
+    """
+
+    def __init__(self, seed: int = 0, metrics=None, **kwargs):
+        from repro.adversary.attacker import AttackerHost
+        from repro.obs.metrics import MetricsRegistry
+
+        if metrics is None:
+            metrics = MetricsRegistry()
+        super().__init__(seed=seed, metrics=metrics, **kwargs)
+        self.metrics = metrics
+        station = Host(
+            self.sim, "attacker", mac(9), tracer=self.tracer,
+            metrics=metrics, rng=self.rng.stream("host.attacker"),
+        )
+        station.attach_ethernet(self.segment, ATTACKER_IP)
+        # Off-path, not blind to L2: the attacker shares the segment, so
+        # it knows every station's MAC (and could learn them passively).
+        for victim in (self.client, self.primary, self.secondary):
+            station.eth_interface.arp.prime(
+                victim.ip.primary_address(), victim.nic.mac
+            )
+        self.attacker = AttackerHost(
+            station, self.rng.stream("adversary.attacker")
+        )
+
+
 def run_process(
     sim: Simulator, generator: Generator, until: float = 30.0, settle: float = 0.25
 ):
