@@ -18,6 +18,14 @@ machine-checked rules (see DESIGN.md §8):
 * ``handler-except`` — event/timer callbacks must not swallow errors
   with bare ``except``.
 
+``--semantic`` adds the CFG/dataflow plane (DESIGN.md §13): flow- and
+path-sensitive interprocedural rules (``seq-taint``,
+``checksum-staleness``, ``mutation-escape``) built on
+:mod:`repro.analysis.cfg` + :mod:`repro.analysis.dataflow`, and the
+``protocol`` rule, which statically extracts the TcpState /
+reintegration / takeover state machines and model-checks them against
+the declared specs in :mod:`repro.analysis.specs`.
+
 Run it with ``python -m repro.analysis [paths...]`` or ``python -m repro
 lint``.  Violations can be suppressed per line with a justified pragma::
 
@@ -32,10 +40,11 @@ from __future__ import annotations
 from repro.analysis.baseline import Baseline, load_baseline
 from repro.analysis.cli import main
 from repro.analysis.engine import FileContext, LintEngine, Violation, lint_paths, lint_source
-from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.rules import ALL_RULES, SEMANTIC_RULES, Rule
 
 __all__ = [
     "ALL_RULES",
+    "SEMANTIC_RULES",
     "Baseline",
     "FileContext",
     "LintEngine",

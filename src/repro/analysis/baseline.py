@@ -81,7 +81,7 @@ class Baseline:
                     "snippet": e.snippet,
                     "why": e.why,
                 }
-                for e in self.entries
+                for e in sorted(self.entries, key=BaselineEntry.key)
             ],
         }
 
@@ -103,6 +103,48 @@ def load_baseline(path: str) -> Baseline:
         for item in payload.get("entries", [])
     ]
     return Baseline(entries=entries, source_path=path)
+
+
+def write_baseline(baseline: Baseline, path: str) -> None:
+    """Write ``baseline`` canonically: version header, entries sorted by
+    ``(path, rule, snippet)``, two-space indent, trailing newline.  The
+    canonical form makes ``--update-baseline`` rewrites diff-minimal."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def merge_baseline(old: Optional[Baseline], violations: List[Violation]) -> Baseline:
+    """Rebuild a baseline from current findings (``--update-baseline``).
+
+    Entries that still match a live violation keep their written ``why``;
+    entries matching nothing are dropped (stale); violations with no entry
+    gain one with an empty ``why`` stub the author must fill in before the
+    loader stops flagging it.  ``baseline``/``pragma`` findings never enter
+    the baseline — they are meta-diagnostics about the suppression
+    machinery itself.
+    """
+    existing: Dict[Tuple[str, str, str], BaselineEntry] = {}
+    if old is not None:
+        for entry in old.entries:
+            existing[entry.key()] = entry
+    entries: List[BaselineEntry] = []
+    seen = set()
+    for violation in violations:
+        if violation.rule in ("baseline", "pragma", "syntax"):
+            continue
+        key = (violation.path, violation.rule, violation.snippet)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept = existing.get(key)
+        entries.append(BaselineEntry(
+            path=violation.path,
+            rule=violation.rule,
+            snippet=violation.snippet,
+            why=kept.why if kept is not None else "",
+        ))
+    return Baseline(entries=entries)
 
 
 def baseline_from_violations(violations: List[Violation]) -> Baseline:

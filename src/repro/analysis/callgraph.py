@@ -1,0 +1,202 @@
+"""Project-wide function index and call resolution (summary pass).
+
+The interprocedural rules (seq-taint, and the protocol extractor's
+same-module call propagation) need to answer one question cheaply: *which
+function definition does this call site name?*  Full Python call
+resolution is undecidable; this pass implements the slice that is
+reliable in a codebase with the repo's conventions:
+
+* plain calls ``helper(...)`` resolve to a function in the same module,
+  else to a unique same-named function anywhere in the project;
+* method calls ``self.helper(...)`` resolve within the same module,
+  preferring the class the call site lives in;
+* anything ambiguous (two same-named functions in different modules,
+  attribute calls through non-``self`` receivers) resolves to nothing —
+  rules built on this index must treat "no resolution" as "no claim".
+
+The index is built once per lint run over every parsed file and handed
+to rules via ``Rule.begin_project``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition, located."""
+
+    name: str
+    qualname: str  # "Class.method", "outer.inner" or plain "func"
+    path: str
+    node: FuncDef
+    class_name: Optional[str] = None
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    def param_names(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+        return names
+
+
+@dataclass
+class ModuleInfo:
+    """Parsed file plus its function table."""
+
+    path: str
+    tree: ast.AST
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)  # by qualname
+
+    def by_simple_name(self, name: str) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if f.name == name]
+
+
+def index_module(path: str, tree: ast.AST) -> ModuleInfo:
+    module = ModuleInfo(path=path, tree=tree)
+
+    def walk(node: ast.AST, class_name: Optional[str], prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}" if prefix else child.name
+                module.functions[qualname] = FunctionInfo(
+                    name=child.name,
+                    qualname=qualname,
+                    path=path,
+                    node=child,
+                    class_name=class_name,
+                )
+                walk(child, class_name, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                walk(child, child.name, f"{child.name}.")
+            else:
+                walk(child, class_name, prefix)
+
+    walk(tree, None, "")
+    return module
+
+
+class ProjectIndex:
+    """All indexed modules of one lint run."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+
+    def add(self, path: str, tree: ast.AST) -> ModuleInfo:
+        module = index_module(path, tree)
+        self.modules[path] = module
+        for info in module.functions.values():
+            self._by_name.setdefault(info.name, []).append(info)
+        return module
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, path: str, class_name: Optional[str] = None
+    ) -> Optional[FunctionInfo]:
+        """Best-effort resolution of a call site to a definition."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, path, method=False)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            return self._resolve_name(
+                func.attr, path, method=True, class_name=class_name
+            )
+        return None
+
+    def _resolve_name(
+        self,
+        name: str,
+        path: str,
+        method: bool,
+        class_name: Optional[str] = None,
+    ) -> Optional[FunctionInfo]:
+        module = self.modules.get(path)
+        if module is not None:
+            local = [
+                f
+                for f in module.by_simple_name(name)
+                if (f.class_name is not None) == method
+            ]
+            if method and class_name is not None:
+                same_class = [f for f in local if f.class_name == class_name]
+                if same_class:
+                    local = same_class
+            if len(local) == 1:
+                return local[0]
+            if len(local) > 1:
+                return None  # ambiguous within the module: no claim
+            if method:
+                return None  # never resolve self.m() across modules
+        everywhere = self._by_name.get(name, [])
+        candidates = [f for f in everywhere if f.class_name is None]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+def resolve_named_enum_sets(
+    tree: ast.AST, enum_name: str
+) -> Dict[str, Tuple[str, ...]]:
+    """Module-level names bound to collections of ``Enum.MEMBER`` refs.
+
+    Resolves idioms like ``SEND_STATES = {TcpState.ESTABLISHED, ...}`` and
+    ``TRANSFERABLE_STATES = (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)``
+    (plus ``set((...))``/``frozenset((...))`` wrappers) so membership
+    guards over those names refine dataflow facts.  Collections mixing in
+    anything that is not a member of ``enum_name`` are skipped.
+    """
+    named: Dict[str, Tuple[str, ...]] = {}
+    if not isinstance(tree, ast.Module):
+        return named
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        members = _enum_members_of(stmt.value, enum_name)
+        if members is not None:
+            named[target.id] = members
+    return named
+
+
+def _enum_members_of(
+    node: ast.expr, enum_name: str
+) -> Optional[Tuple[str, ...]]:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset", "tuple", "list") and len(node.args) == 1:
+            return _enum_members_of(node.args[0], enum_name)
+        return None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        members = []
+        for elt in node.elts:
+            name = enum_member_name(elt, enum_name)
+            if name is None:
+                return None
+            members.append(name)
+        return tuple(members)
+    return None
+
+
+def enum_member_name(node: ast.AST, enum_name: str) -> Optional[str]:
+    """``Enum.MEMBER`` -> ``"MEMBER"`` when the enum matches, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == enum_name
+    ):
+        return node.attr
+    return None

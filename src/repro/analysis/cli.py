@@ -6,6 +6,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.baseline import (
@@ -13,20 +14,28 @@ from repro.analysis.baseline import (
     Baseline,
     baseline_from_violations,
     load_baseline,
+    merge_baseline,
+    write_baseline,
 )
 from repro.analysis.engine import LintEngine
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules import ALL_RULES, SEMANTIC_RULES
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="AST linter for seq-wrap arithmetic, determinism and"
-                    " sim-safety (see DESIGN.md §8).",
+                    " sim-safety, plus the --semantic CFG/dataflow and"
+                    " state-machine checks (see DESIGN.md §8, §13).",
     )
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories (default: src tests)")
     parser.add_argument("--format", choices=("human", "json"), default="human")
+    parser.add_argument("--semantic", action="store_true",
+                        help="also run the interprocedural dataflow rules"
+                             " (seq-taint, checksum-staleness,"
+                             " mutation-escape) and the protocol"
+                             " state-machine checker")
     parser.add_argument("--baseline", default=None,
                         help=f"baseline file (default: {DEFAULT_BASELINE_NAME}"
                              " if present)")
@@ -35,8 +44,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", metavar="PATH", default=None,
                         help="write current findings as a grandfather"
                              " baseline (fill in each `why` by hand)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline in place canonically:"
+                             " drop stale entries, add new findings with"
+                             " empty `why` stubs, keep documented reasons")
+    parser.add_argument("--bench-dir", metavar="DIR", default=None,
+                        help="write a BENCH_lint.json wall-time artifact"
+                             " here (or to $REPRO_BENCH_DIR when set)")
     parser.add_argument("--list-rules", action="store_true")
     return parser
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> str:
+    return args.baseline or DEFAULT_BASELINE_NAME
 
 
 def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
@@ -49,20 +69,70 @@ def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
     return None
 
 
+def _write_bench_artifact(engine: LintEngine, elapsed: float,
+                          violations: int, directory: Optional[str]) -> str:
+    from repro.obs.bench import write_bench_artifact
+    results = [{
+        "label": "lint total",
+        "metrics": {
+            "wall_s": elapsed,
+            "files": float(engine.files_checked),
+            "violations": float(violations),
+        },
+    }]
+    for name in sorted(engine.rule_seconds):
+        results.append({
+            "label": f"rule {name}",
+            "metrics": {"wall_s": engine.rule_seconds[name]},
+        })
+    return write_bench_artifact(
+        name="lint",
+        params={
+            "rules": len(engine.rules),
+            "semantic": any(
+                getattr(rule, "needs_project", False) for rule in engine.rules
+            ),
+        },
+        results=results,
+        directory=directory,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
-        for rule_cls in ALL_RULES:
-            print(f"{rule_cls.name:16} {rule_cls.description}")
+        rule_classes = list(ALL_RULES)
+        if args.semantic:
+            rule_classes += list(SEMANTIC_RULES)
+        for rule_cls in rule_classes:
+            print(f"{rule_cls.name:20} {rule_cls.description}")
         return 0
     paths = args.paths or ["src", "tests"]
-    engine = LintEngine(baseline=_resolve_baseline(args))
+    if args.update_baseline:
+        # Re-lint without the baseline filter so existing grandfathered
+        # findings stay visible to the merge, then rewrite canonically.
+        engine = LintEngine(semantic=args.semantic)
+        raw = engine.lint_paths(paths)
+        baseline_path = _resolve_baseline_path(args)
+        old = load_baseline(baseline_path) if os.path.exists(baseline_path) else None
+        merged = merge_baseline(old, raw)
+        write_baseline(merged, baseline_path)
+        undocumented = sum(1 for e in merged.entries if not e.why.strip())
+        print(f"wrote {len(merged.entries)} baseline entries to"
+              f" {baseline_path} ({undocumented} with empty `why` to"
+              " document before committing)")
+        return 0
+    engine = LintEngine(baseline=_resolve_baseline(args), semantic=args.semantic)
+    start = time.perf_counter()  # replint: allow(wallclock) -- lint bench reporting only
     violations = engine.lint_paths(paths)
+    elapsed = time.perf_counter() - start  # replint: allow(wallclock) -- lint bench reporting only
+    bench_dir = args.bench_dir or os.environ.get("REPRO_BENCH_DIR")
+    if bench_dir:
+        artifact = _write_bench_artifact(engine, elapsed, len(violations), bench_dir)
+        print(f"wrote {artifact}", file=sys.stderr)
     if args.write_baseline:
         baseline = baseline_from_violations(violations)
-        with open(args.write_baseline, "w", encoding="utf-8") as handle:
-            json.dump(baseline.as_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_baseline(baseline, args.write_baseline)
         print(f"wrote {len(baseline.entries)} baseline entries to"
               f" {args.write_baseline}; document each `why` before"
               " committing")

@@ -1,0 +1,121 @@
+"""Generic forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A client subclasses :class:`ForwardAnalysis` with a *fact* type of its
+choosing (the analyses in this package all use frozensets — tainted
+names, dirty segment variables, possible protocol states) and three
+operations:
+
+* ``initial_fact()`` — the fact at function entry;
+* ``join(a, b)`` — merge facts where control flow meets (must be a
+  least-upper-bound for termination: repeated joins may only grow);
+* ``transfer(stmt, fact)`` — the effect of one statement;
+
+plus an optional ``refine(test, branch, fact)`` applied along
+conditional edges, which is what makes the analyses here
+*path-sensitive where it matters*: an ``if x.state == Enum.A`` guard
+narrows the fact on its True edge without any SSA machinery.
+
+:func:`solve` runs the worklist to a fixpoint and returns the fact *at
+entry to* every reachable statement; :func:`visit` then replays one
+reporting pass so clients record findings exactly once (recording
+during the fixpoint would duplicate them per iteration).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+from repro.analysis.cfg import CFG
+
+Fact = Any
+
+
+class ForwardAnalysis:
+    """Base class for forward may-analyses.  Facts must be hashable and
+    comparable with ``==``; ``join`` must be monotone (a ∪-like LUB)."""
+
+    def initial_fact(self) -> Fact:
+        raise NotImplementedError
+
+    def join(self, a: Fact, b: Fact) -> Fact:
+        raise NotImplementedError
+
+    def transfer(self, stmt: ast.stmt, fact: Fact) -> Fact:
+        return fact
+
+    def refine(self, test: ast.expr, branch: bool, fact: Fact) -> Fact:
+        return fact
+
+
+def solve(
+    cfg: CFG, analysis: ForwardAnalysis, max_passes: int = 64
+) -> Dict[int, Fact]:
+    """Fixpoint iteration; returns in-facts keyed by CFG node id.
+
+    ``max_passes`` bounds full-graph sweeps as a defence against a
+    non-monotone client; the set-based analyses in this package converge
+    in a handful of passes.
+    """
+    in_facts: Dict[int, Fact] = {cfg.entry: analysis.initial_fact()}
+    visits: Dict[int, int] = {}
+    worklist = deque([cfg.entry])
+    while worklist:
+        node = worklist.popleft()
+        if node not in in_facts:
+            continue
+        visits[node] = visits.get(node, 0) + 1
+        if visits[node] > max_passes:
+            continue
+        fact = in_facts[node]
+        stmt = cfg.stmts[node]
+        out = analysis.transfer(stmt, fact) if stmt is not None else fact
+        for edge in cfg.succs[node]:
+            flowed = out
+            if edge.test is not None and edge.branch is not None:
+                flowed = analysis.refine(edge.test, edge.branch, out)
+            if edge.dst in in_facts:
+                joined = analysis.join(in_facts[edge.dst], flowed)
+                if joined == in_facts[edge.dst]:
+                    continue
+                in_facts[edge.dst] = joined
+            else:
+                in_facts[edge.dst] = flowed
+            worklist.append(edge.dst)
+    return in_facts
+
+
+def visit(
+    cfg: CFG,
+    in_facts: Dict[int, Fact],
+    callback: Callable[[ast.stmt, Fact], None],
+) -> None:
+    """One reporting pass: ``callback(stmt, entry_fact)`` per reachable
+    statement, in source order.  Unreachable statements are skipped —
+    a fact was never computed for them."""
+    for node in cfg.statement_nodes():
+        if node in in_facts:
+            stmt = cfg.stmts[node]
+            assert stmt is not None
+            callback(stmt, in_facts[node])
+
+
+def exit_fact(
+    cfg: CFG, analysis: ForwardAnalysis, in_facts: Dict[int, Fact]
+) -> Optional[Fact]:
+    """The joined fact at function exit (None if exit is unreachable)."""
+    fact: Optional[Fact] = None
+    for edge in cfg.preds[cfg.exit]:
+        if edge.src not in in_facts:
+            continue
+        stmt = cfg.stmts[edge.src]
+        out = (
+            analysis.transfer(stmt, in_facts[edge.src])
+            if stmt is not None
+            else in_facts[edge.src]
+        )
+        if edge.test is not None and edge.branch is not None:
+            out = analysis.refine(edge.test, edge.branch, out)
+        fact = out if fact is None else analysis.join(fact, out)
+    return fact

@@ -11,6 +11,7 @@ import ast
 import io
 import os
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -185,13 +186,34 @@ class LintEngine:
         self,
         rules: Optional[Sequence["Rule"]] = None,
         baseline: Optional["Baseline"] = None,
+        semantic: bool = False,
     ):
         if rules is None:
-            from repro.analysis.rules import ALL_RULES
-            rules = [cls() for cls in ALL_RULES]
+            from repro.analysis.rules import ALL_RULES, SEMANTIC_RULES
+            classes = list(ALL_RULES) + (list(SEMANTIC_RULES) if semantic else [])
+            rules = [cls() for cls in classes]
         self.rules: List["Rule"] = list(rules)
         self.baseline = baseline
         self.files_checked = 0
+        #: Cumulative wall-time per rule (seconds) — the BENCH_lint source.
+        #: Project-summary fixpoints are charged under ``<rule>:project``.
+        self.rule_seconds: Dict[str, float] = {}
+        #: Project-wide index installed by lint_paths; when absent,
+        #: lint_source builds a single-file one so semantic rules still
+        #: run (the fixture tests lint one string at a time).
+        self._project_installed = False
+        self._dormant_rule_names: Optional[frozenset] = None
+
+    def _dormant_rules(self) -> frozenset:
+        """Registry rules not active in this engine (e.g. the semantic
+        plane in a syntactic-only run).  Pragmas naming them are not
+        reported unused — the rule that would consume them never ran."""
+        if self._dormant_rule_names is None:
+            from repro.analysis.rules import ALL_RULES, SEMANTIC_RULES
+            registry = {cls.name for cls in ALL_RULES + SEMANTIC_RULES}
+            active = {rule.name for rule in self.rules}
+            self._dormant_rule_names = frozenset(registry - active)
+        return self._dormant_rule_names
 
     # -- single-source entry points (used by the fixture tests) ----------
 
@@ -207,12 +229,24 @@ class LintEngine:
             )]
         pragmas, problems = parse_pragmas(source, path)
         ctx = FileContext(path=path, source=source, tree=tree)
+        if not self._project_installed and self._project_rules():
+            from repro.analysis.callgraph import ProjectIndex
+            index = ProjectIndex()
+            index.add(path, tree)
+            for rule in self._project_rules():
+                rule.begin_project(index)
         raw: List[Violation] = []
         seen: Set[Violation] = set()
         for rule in self.rules:
             if not rule.applies_to(path):
                 continue
-            for violation in rule.check(ctx):
+            start = time.perf_counter()  # replint: allow(wallclock) -- linter self-profiling feeds BENCH_lint.json
+            findings = list(rule.check(ctx))
+            elapsed = time.perf_counter() - start  # replint: allow(wallclock) -- linter self-profiling feeds BENCH_lint.json
+            self.rule_seconds[rule.name] = (
+                self.rule_seconds.get(rule.name, 0.0) + elapsed
+            )
+            for violation in findings:
                 if violation not in seen:  # dedupe nested-expression repeats
                     seen.add(violation)
                     raw.append(violation)
@@ -226,7 +260,10 @@ class LintEngine:
                     break
             if not suppressed:
                 kept.append(violation)
+        dormant = self._dormant_rules()
         for pragma in pragmas:
+            if set(pragma.rules) & dormant:
+                continue
             if not pragma.used and pragma.rules:
                 kept.append(Violation(
                     path, pragma.line, 0, "pragma",
@@ -244,14 +281,42 @@ class LintEngine:
 
     # -- tree walking ----------------------------------------------------
 
+    def _project_rules(self) -> List["Rule"]:
+        return [r for r in self.rules if getattr(r, "needs_project", False)]
+
     def lint_paths(self, paths: Iterable[str]) -> List[Violation]:
-        violations: List[Violation] = []
+        files: List[str] = []
         for path in paths:
             if os.path.isdir(path):
-                for file_path in iter_python_files(path):
-                    violations.extend(self.lint_file(file_path))
+                files.extend(iter_python_files(path))
             else:
-                violations.extend(self.lint_file(path))
+                files.append(path)
+        project_rules = self._project_rules()
+        if project_rules:
+            # First pass: parse everything into one index so the
+            # interprocedural rules see cross-file summaries.
+            from repro.analysis.callgraph import ProjectIndex
+            index = ProjectIndex()
+            for file_path in files:
+                try:
+                    with open(file_path, "r", encoding="utf-8") as handle:
+                        tree = ast.parse(handle.read())
+                except (OSError, SyntaxError):
+                    continue  # lint_file reports the real problem
+                index.add(canonical_path(file_path), tree)
+            for rule in project_rules:
+                start = time.perf_counter()  # replint: allow(wallclock) -- linter self-profiling feeds BENCH_lint.json
+                rule.begin_project(index)
+                elapsed = time.perf_counter() - start  # replint: allow(wallclock) -- linter self-profiling feeds BENCH_lint.json
+                key = f"{rule.name}:project"
+                self.rule_seconds[key] = self.rule_seconds.get(key, 0.0) + elapsed
+            self._project_installed = True
+        try:
+            violations: List[Violation] = []
+            for file_path in files:
+                violations.extend(self.lint_file(file_path))
+        finally:
+            self._project_installed = False
         if self.baseline is not None:
             violations = self.baseline.filter(violations)
         return violations
@@ -268,9 +333,9 @@ def iter_python_files(root: str) -> Iterable[str]:
                 yield os.path.join(dirpath, name)
 
 
-def lint_source(source: str, path: str) -> List[Violation]:
+def lint_source(source: str, path: str, semantic: bool = False) -> List[Violation]:
     """Convenience wrapper: lint one string with the full default rule set."""
-    return LintEngine().lint_source(source, path)
+    return LintEngine(semantic=semantic).lint_source(source, path)
 
 
 def lint_paths(

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 from repro.analysis.engine import FileContext, Violation
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import ProjectIndex
 
 #: The four deterministic-simulation layers (sim-safety scope).
 SIM_LAYERS: Tuple[str, ...] = (
@@ -17,13 +20,25 @@ SIM_LAYERS: Tuple[str, ...] = (
 
 
 class Rule:
-    """One analysis pass.  Subclasses set ``name`` and implement ``check``."""
+    """One analysis pass.  Subclasses set ``name`` and implement ``check``.
+
+    Semantic (interprocedural) rules additionally set ``needs_project``
+    and receive a :class:`~repro.analysis.callgraph.ProjectIndex` via
+    :meth:`begin_project` before any ``check`` call — over every file of
+    the run when linting trees, or a single-file index when linting one
+    source string.
+    """
 
     name: str = ""
     description: str = ""
+    #: True for rules that need cross-function summaries (a ProjectIndex).
+    needs_project: bool = False
 
     def applies_to(self, path: str) -> bool:
         return True
+
+    def begin_project(self, project: "ProjectIndex") -> None:
+        """Install the project index; called once per lint run."""
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         raise NotImplementedError

@@ -1,0 +1,184 @@
+"""Rule ``checksum-staleness``: a rewritten segment must be resealed on
+every path before it reaches the wire.
+
+``checksum-pair`` is function-granular: *somewhere* in the function a
+fixup appears.  That misses the branchy bug::
+
+    seg = replace(seg, ack=merged)   # checksum now stale
+    if fast_path:
+        seg = seg.sealed(ip_src, ip_dst)
+    self._send_datagram(seg)         # slow path sends it stale
+
+This rule runs the dirty-segment dataflow over the CFG: a
+``replace(seg, <header field>=...)`` marks the assigned name dirty; a
+fixup call (``sealed``/``incremental_rewrite``/``compute_checksum``) or
+handing the segment to ``_emit`` (both bridges seal there) cleans it;
+a dirty name reaching a wire sink (``_send_datagram``/``transmit``/
+``submit``/``send_segment``/``frame_arrived``) on *any* path is a
+violation naming both the sink line and the rewrite line.
+
+May-analysis over joins gives the path sensitivity for free: facts from
+the sealed and unsealed arms merge, and a dirty fact surviving to the
+sink means at least one concrete path sends a stale checksum — the
+receiving TCP drops the segment and the failure surfaces three layers
+away as a retransmission stall (paper §3.1, RFC 1624).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.analysis.cfg import CFG, statement_exprs
+from repro.analysis.dataflow import ForwardAnalysis, solve, visit
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.rules.base import Rule, call_name
+from repro.analysis.rules.sim_safety import _CHECKSUM_FIXUPS, _SEGMENT_FIELDS
+
+#: A dirty fact: (variable name, line of the rewrite that dirtied it).
+Fact = FrozenSet[Tuple[str, int]]
+
+#: Calls that put a segment on (or into) the wire path without sealing.
+#: ``_emit`` is deliberately absent: both bridges seal inside it.
+_WIRE_SINKS = frozenset({
+    "_send_datagram", "send_datagram", "transmit", "submit",
+    "send_segment", "frame_arrived",
+})
+
+
+def _rewrite_fields(call: ast.Call) -> List[str]:
+    """Header fields rewritten by a ``replace(...)`` call ([] if none)."""
+    if call_name(call) != "replace":
+        return []
+    return sorted(
+        kw.arg for kw in call.keywords if kw.arg in _SEGMENT_FIELDS
+    )
+
+
+def _receiver_name(call: ast.Call) -> Optional[str]:
+    """``seg.sealed(...)`` -> ``seg``; None for non-name receivers."""
+    if isinstance(call.func, ast.Attribute) and isinstance(
+        call.func.value, ast.Name
+    ):
+        return call.func.value.id
+    return None
+
+
+def _arg_names(call: ast.Call) -> List[str]:
+    names = [a.id for a in call.args if isinstance(a, ast.Name)]
+    names.extend(
+        kw.value.id for kw in call.keywords if isinstance(kw.value, ast.Name)
+    )
+    return names
+
+
+class _StalenessAnalysis(ForwardAnalysis):
+    def initial_fact(self) -> Fact:
+        return frozenset()
+
+    def join(self, a: Fact, b: Fact) -> Fact:
+        return a | b
+
+    def transfer(self, stmt: ast.stmt, fact: Fact) -> Fact:
+        # Cleaning first: a fixup anywhere in the statement clears every
+        # variable it touches, so `seg = seg.sealed(...)` is clean even
+        # though the assignment target matches the receiver.
+        cleaned = set()
+        for root in statement_exprs(stmt):
+            for node in ast.walk(root):
+                if isinstance(node, ast.Call) and call_name(node) in (
+                    _CHECKSUM_FIXUPS
+                ):
+                    receiver = _receiver_name(node)
+                    if receiver is not None:
+                        cleaned.add(receiver)
+                    cleaned.update(_arg_names(node))
+        if cleaned:
+            fact = frozenset((n, l) for n, l in fact if n not in cleaned)
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        else:
+            return fact
+        if not isinstance(target, ast.Name):
+            return fact
+        if isinstance(value, ast.Call):
+            if _rewrite_fields(value):
+                # Freshly rewritten: dirty from this line on.
+                fact = frozenset(
+                    (n, l) for n, l in fact if n != target.id
+                ) | {(target.id, stmt.lineno)}
+                return fact
+            if call_name(value) in _CHECKSUM_FIXUPS:
+                return frozenset((n, l) for n, l in fact if n != target.id)
+            if call_name(value) == "replace":
+                # replace() without header fields keeps the source's
+                # dirtiness: stale in, stale out.
+                source = value.args[0] if value.args else None
+                if isinstance(source, ast.Name):
+                    lines = [l for n, l in fact if n == source.id]
+                    fact = frozenset((n, l) for n, l in fact if n != target.id)
+                    if lines:
+                        fact = fact | {(target.id, min(lines))}
+                    return fact
+        if isinstance(value, ast.Name):
+            lines = [l for n, l in fact if n == value.id]
+            fact = frozenset((n, l) for n, l in fact if n != target.id)
+            if lines:
+                fact = fact | {(target.id, min(lines))}
+            return fact
+        # Any other assignment makes the name a fresh, clean value.
+        return frozenset((n, l) for n, l in fact if n != target.id)
+
+
+class ChecksumStalenessRule(Rule):
+    name = "checksum-staleness"
+    description = (
+        "a path exists from a segment header rewrite to a wire sink with"
+        " no checksum fixup in between (path-sensitive checksum-pair)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/failover/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for scope in ast.walk(ctx.tree):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, scope)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Violation]:
+        analysis = _StalenessAnalysis()
+        cfg = CFG(func)  # type: ignore[arg-type]
+        facts = solve(cfg, analysis)
+        found: List[Violation] = []
+
+        def at_stmt(stmt: ast.stmt, fact: Fact) -> None:
+            if not fact:
+                return
+            for root in statement_exprs(stmt):
+                for node in ast.walk(root):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if call_name(node) not in _WIRE_SINKS:
+                        continue
+                    receiver = _receiver_name(node)
+                    passed = set(_arg_names(node))
+                    if receiver is not None:
+                        passed.add(receiver)
+                    for name, line in sorted(fact):
+                        if name in passed:
+                            found.append(ctx.violation(
+                                node, self.name,
+                                f"`{name}` was rewritten at line {line} and"
+                                f" reaches {call_name(node)}() with a stale"
+                                " checksum on at least one path; seal it"
+                                " (.sealed()/incremental_rewrite()) before"
+                                " the sink or emit via _emit",
+                            ))
+
+        visit(cfg, facts, at_stmt)
+        for violation in found:
+            yield violation

@@ -1,0 +1,209 @@
+"""Rule ``mutation-escape``: watched objects flowing into mutations.
+
+``obs-passive`` catches the direct forms — a mutator call anywhere in
+``obs/``, a store through a parameter.  It cannot see an alias::
+
+    def attach(self, bridge):
+        b = bridge              # alias of a handed-in object
+        b.emit_cost = 0.0       # ...mutated one hop later
+
+    def scan(self, host):
+        for conn in host.tcp.connections.values():
+            conn.crash()        # element of a foreign container
+
+This rule tracks *foreignness* flow-sensitively: parameters (minus
+``self``/``cls``) are foreign; attribute/subscript loads and
+view-returning methods (``values``/``items``/``keys``/``get``) of a
+foreign value are foreign; loop targets iterating anything
+foreign-derived are foreign.  Copies (``list()``, ``dict()``,
+``sorted()``, ``.copy()``, comprehensions, literals) produce owned
+containers — mutating the copy is the sanctioned pattern — but
+*iterating* even a copied container of foreign objects yields foreign
+elements.
+
+Violations: a known mutator call (the ``obs-passive`` list) whose
+receiver or argument is foreign, and any store through a foreign root.
+
+Scope: the observability plane plus the invariant checkers
+(``harness/invariants.py``) — the two places code is handed live
+protocol objects purely to *watch* them.  Sanctioned instrumentation
+(the invariant checker wrapping ``bridge._emit``) carries a pragma with
+its justification, which is exactly the audit trail the rule exists to
+force.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Set
+
+from repro.analysis.cfg import CFG, statement_exprs
+from repro.analysis.dataflow import ForwardAnalysis, solve, visit
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.rules.base import Rule, call_name
+from repro.analysis.rules.obs_passive import _MUTATORS, _store_root
+
+Fact = FrozenSet[str]  # foreign local names
+
+#: Methods whose result shares structure with (is a view of) the receiver.
+_VIEW_METHODS = frozenset({"values", "items", "keys", "get"})
+
+
+def _roots(node: ast.AST) -> Set[str]:
+    """Name roots mentioned anywhere in an expression."""
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _ForeignAnalysis(ForwardAnalysis):
+    def __init__(self, params: Set[str]):
+        self.params = params
+
+    def initial_fact(self) -> Fact:
+        return frozenset(self.params)
+
+    def join(self, a: Fact, b: Fact) -> Fact:
+        return a | b
+
+    def foreign(self, node: ast.expr, fact: Fact) -> bool:
+        """Does this expression evaluate to a foreign object?"""
+        if isinstance(node, ast.Name):
+            return node.id in fact
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            return self.foreign(node.value, fact)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _VIEW_METHODS:
+                return self.foreign(func.value, fact)
+            return False  # constructors/copies yield owned objects
+        if isinstance(node, ast.NamedExpr):
+            return self.foreign(node.value, fact)
+        if isinstance(node, ast.IfExp):
+            return self.foreign(node.body, fact) or self.foreign(node.orelse, fact)
+        if isinstance(node, ast.Starred):
+            return self.foreign(node.value, fact)
+        return False
+
+    def transfer(self, stmt: ast.stmt, fact: Fact) -> Fact:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+            if isinstance(target, ast.Name):
+                if self.foreign(value, fact):
+                    return fact | {target.id}
+                return fact - {target.id}
+            return fact
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                if self.foreign(stmt.value, fact):
+                    return fact | {stmt.target.id}
+                return fact - {stmt.target.id}
+            return fact
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # Iterating anything that mentions a foreign root yields
+            # foreign elements — `list(host.conns)` copies the list, not
+            # the connections in it.
+            if isinstance(stmt.target, ast.Name) and (
+                _roots(stmt.iter) & fact
+            ):
+                return fact | {stmt.target.id}
+            return fact
+        if isinstance(stmt, ast.With):
+            return fact
+        return fact
+
+
+class MutationEscapeRule(Rule):
+    name = "mutation-escape"
+    description = (
+        "an object handed to the observability plane or an invariant"
+        " checker flows (possibly via aliases) into a mutating call or"
+        " store"
+    )
+
+    _SCOPES = ("src/repro/obs/",)
+    _FILES = ("src/repro/harness/invariants.py",)
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(self._SCOPES) or path in self._FILES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for scope in ast.walk(ctx.tree):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, scope)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Violation]:
+        args = func.args
+        params = {
+            a.arg
+            for a in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *filter(None, (args.vararg, args.kwarg)),
+            )
+        }
+        params -= {"self", "cls"}
+        analysis = _ForeignAnalysis(params)
+        cfg = CFG(func)  # type: ignore[arg-type]
+        facts = solve(cfg, analysis)
+        found: List[Violation] = []
+
+        def at_stmt(stmt: ast.stmt, fact: Fact) -> None:
+            self._check_stores(ctx, stmt, fact, found)
+            for root in statement_exprs(stmt):
+                for node in ast.walk(root):
+                    if isinstance(node, ast.Call):
+                        self._check_call(ctx, analysis, node, fact, found)
+
+        visit(cfg, facts, at_stmt)
+        for violation in found:
+            yield violation
+
+    def _check_stores(
+        self, ctx: FileContext, stmt: ast.stmt, fact: Fact, out: List[Violation]
+    ) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, (ast.Assign, ast.Delete))
+                else [stmt.target]
+            )
+            for target in targets:
+                root = _store_root(target)
+                if root and root in fact:
+                    out.append(ctx.violation(
+                        stmt, self.name,
+                        f"store through `{root}`, which aliases an object"
+                        " this code was handed to watch; copy into an owned"
+                        " structure instead of mutating the subject",
+                    ))
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        analysis: _ForeignAnalysis,
+        call: ast.Call,
+        fact: Fact,
+        out: List[Violation],
+    ) -> None:
+        name = call_name(call)
+        if name not in _MUTATORS:
+            return
+        foreign_receiver = isinstance(
+            call.func, ast.Attribute
+        ) and analysis.foreign(call.func.value, fact)
+        foreign_args = [
+            arg
+            for arg in call.args
+            if isinstance(arg, ast.Name) and arg.id in fact
+        ]
+        if foreign_receiver or foreign_args:
+            subject = (
+                "a watched object"
+                if foreign_receiver
+                else f"watched `{foreign_args[0].id}`"
+            )
+            out.append(ctx.violation(
+                call, self.name,
+                f"`{name}(...)` mutates {subject}; observers and invariant"
+                " checkers must never drive the objects they are handed",
+            ))

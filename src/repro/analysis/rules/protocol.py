@@ -1,0 +1,51 @@
+"""Rule ``protocol``: model-check declared state machines.
+
+Thin rule adapter over :mod:`repro.analysis.protocol`: for every spec in
+:data:`repro.analysis.specs.ALL_SPECS` whose ``path`` matches the file
+being linted, extract the actual transition graph and report every
+divergence from the declaration (undeclared transition, dead spec edge,
+unreachable state, missing crash exit) at the offending line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.protocol import ProtocolSpec, check_machine, extract_machine
+from repro.analysis.rules.base import Rule
+
+
+class ProtocolRule(Rule):
+    name = "protocol"
+    description = (
+        "state-machine divergence from its declared spec: undeclared or"
+        " dead transitions, unreachable states, states without crash exits"
+    )
+
+    def __init__(self, specs: Optional[Sequence[ProtocolSpec]] = None):
+        self._specs_override = list(specs) if specs is not None else None
+
+    def _specs(self) -> List[ProtocolSpec]:
+        if self._specs_override is not None:
+            return self._specs_override
+        from repro.analysis.specs import ALL_SPECS  # lazy: specs import protocol
+        return ALL_SPECS
+
+    def applies_to(self, path: str) -> bool:
+        return any(spec.path == path for spec in self._specs())
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for spec in self._specs():
+            if spec.path != ctx.path:
+                continue
+            machine = extract_machine(spec, ctx.tree, ctx.path)
+            for line, message in check_machine(machine):
+                yield Violation(
+                    path=ctx.path,
+                    line=line,
+                    col=0,
+                    rule=self.name,
+                    message=message,
+                    snippet=ctx.snippet(line),
+                )

@@ -61,6 +61,14 @@ def is_seq_expr(node: ast.AST) -> bool:
         return is_seq_identifier(node.attr)
     if isinstance(node, ast.Call):
         return call_name(node) in POINT_RETURNING_CALLS
+    if isinstance(node, ast.NamedExpr):
+        # `(cur := self.rcv_nxt) + 1` is seq arithmetic whichever side of
+        # the walrus names the point.
+        return is_seq_expr(node.target) or is_seq_expr(node.value)
+    if isinstance(node, ast.IfExp):
+        # `(a.seq if fin else a.ack) + 1`: either arm being a point makes
+        # the conditional one.
+        return is_seq_expr(node.body) or is_seq_expr(node.orelse)
     return False
 
 

@@ -1,0 +1,335 @@
+"""Rule ``seq-taint``: sequence-space values laundered through helpers.
+
+``seq-arith`` pattern-matches names: ``self.rcv_nxt + 1`` is flagged
+because the operand *says* it is a sequence number.  The moment the
+arithmetic is split across a helper the name evidence is gone::
+
+    def advance(cursor, n):
+        return cursor + n          # looks like plain ints
+
+    advance(self.rcv_nxt, length)  # ...but cursor is a seq point
+
+This rule closes that hole with flow-sensitive taint over the
+:mod:`repro.analysis.cfg` graphs plus a project-wide summary fixpoint
+(:class:`~repro.analysis.callgraph.ProjectIndex`):
+
+* a local becomes *seq-tainted* when assigned from a seq-named
+  expression, from a tainted local, or from a call to a function whose
+  summary says it returns a sequence point;
+* call sites that feed tainted values into a resolvable function taint
+  the matching parameters — iterated until the summaries stabilise;
+* raw ``+``/``-``, ordering comparisons and builtin ``min``/``max`` on a
+  tainted operand are reported — but only when ``seq-arith`` would *not*
+  already fire on the same expression, so each hole is reported once,
+  by the rule that saw it.
+
+:mod:`repro.tcp.seqnum` is exempt, exactly like ``seq-arith``: modular
+arithmetic has to live somewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, ProjectIndex
+from repro.analysis.cfg import CFG, statement_exprs
+from repro.analysis.dataflow import ForwardAnalysis, solve, visit
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.rules.base import Rule, call_name, in_src
+from repro.analysis.rules.seq_arith import (
+    POINT_RETURNING_CALLS,
+    is_seq_expr,
+    is_seq_identifier,
+)
+
+Fact = FrozenSet[str]
+FuncKey = Tuple[str, str]  # (path, qualname)
+
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+_MAX_SUMMARY_ROUNDS = 8
+
+
+def _func_key(info: FunctionInfo) -> FuncKey:
+    return (info.path, info.qualname)
+
+
+class _TaintState:
+    """Shared summaries: tainted params and seq-returning functions."""
+
+    def __init__(self, project: ProjectIndex):
+        self.project = project
+        self.param_taint: Dict[FuncKey, Set[str]] = {}
+        self.returns_seq: Set[FuncKey] = set()
+        self._cfgs: Dict[FuncKey, CFG] = {}
+
+    def cfg(self, info: FunctionInfo) -> CFG:
+        key = _func_key(info)
+        if key not in self._cfgs:
+            self._cfgs[key] = CFG(info.node)
+        return self._cfgs[key]
+
+    def entry_taint(self, info: FunctionInfo) -> Fact:
+        declared = self.param_taint.get(_func_key(info), set())
+        # Seq-named params are tainted by their own name; the summary
+        # adds the ones only the call sites know about.
+        named = {p for p in info.param_names() if is_seq_identifier(p)}
+        return frozenset(declared | named)
+
+
+class _TaintAnalysis(ForwardAnalysis):
+    """Fact: the set of seq-tainted local names."""
+
+    def __init__(self, state: _TaintState, info: FunctionInfo):
+        self.state = state
+        self.info = info
+
+    def initial_fact(self) -> Fact:
+        return self.state.entry_taint(self.info)
+
+    def join(self, a: Fact, b: Fact) -> Fact:
+        return a | b
+
+    def transfer(self, stmt: ast.stmt, fact: Fact) -> Fact:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        else:
+            return fact
+        if not isinstance(target, ast.Name):
+            return fact
+        if self.tainted(value, fact):
+            return fact | {target.id}
+        return fact - {target.id}
+
+    # -- taint predicate -------------------------------------------------
+
+    def tainted(self, node: ast.expr, fact: Fact) -> bool:
+        """Is this expression's value a sequence-space point?"""
+        if isinstance(node, ast.Name):
+            return node.id in fact or is_seq_identifier(node.id)
+        if is_seq_expr(node):
+            return True
+        if isinstance(node, ast.Call):
+            info = self.resolve(node)
+            return info is not None and _func_key(info) in self.state.returns_seq
+        if isinstance(node, ast.NamedExpr):
+            return self.tainted(node.value, fact)
+        if isinstance(node, ast.IfExp):
+            return self.tainted(node.body, fact) or self.tainted(node.orelse, fact)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            # the (buggy) sum of a point and an int is still a point
+            return self.tainted(node.left, fact) or self.tainted(node.right, fact)
+        return False
+
+    def laundered(self, node: ast.expr, fact: Fact) -> Optional[str]:
+        """A tainted operand that ``seq-arith`` cannot see, or None.
+
+        Returns a short description of the evidence for the message.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in fact and not is_seq_identifier(node.id):
+                return f"`{node.id}` carries a sequence point here"
+            return None
+        if isinstance(node, ast.Call):
+            if call_name(node) in POINT_RETURNING_CALLS:
+                return None  # seq-arith's territory
+            info = self.resolve(node)
+            if info is not None and _func_key(info) in self.state.returns_seq:
+                return f"`{call_name(node)}(...)` returns a sequence point"
+            return None
+        if isinstance(node, (ast.NamedExpr, ast.IfExp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    found = self.laundered(child, fact)
+                    if found:
+                        return found
+        return None
+
+    def resolve(self, call: ast.Call) -> Optional[FunctionInfo]:
+        return self.state.project.resolve_call(
+            call, self.info.path, self.info.class_name
+        )
+
+
+class SeqTaintRule(Rule):
+    name = "seq-taint"
+    description = (
+        "raw arithmetic/ordering on values that carry sequence points"
+        " through helper returns or parameters; keep them in"
+        " repro.tcp.seqnum ops"
+    )
+    needs_project = True
+
+    EXEMPT = ("src/repro/tcp/seqnum.py",)
+
+    def __init__(self) -> None:
+        self.state: Optional[_TaintState] = None
+
+    def applies_to(self, path: str) -> bool:
+        return in_src(path) and path not in self.EXEMPT
+
+    # -- summary fixpoint over the whole project -------------------------
+
+    def begin_project(self, project: ProjectIndex) -> None:
+        state = _TaintState(project)
+        functions = [
+            info
+            for module in project.modules.values()
+            for info in module.functions.values()
+            if in_src(module.path) and module.path not in self.EXEMPT
+        ]
+        for _ in range(_MAX_SUMMARY_ROUNDS):
+            changed = False
+            for info in functions:
+                if self._summarise(state, info):
+                    changed = True
+            if not changed:
+                break
+        self.state = state
+
+    def _summarise(self, state: _TaintState, info: FunctionInfo) -> bool:
+        """One pass over ``info``: propagate call-arg taint and returns."""
+        analysis = _TaintAnalysis(state, info)
+        cfg = state.cfg(info)
+        facts = solve(cfg, analysis)
+        changed = False
+
+        def at_stmt(stmt: ast.stmt, fact: Fact) -> None:
+            nonlocal changed
+            out = analysis.transfer(stmt, fact)
+            for root in statement_exprs(stmt):
+                for node in ast.walk(root):
+                    if isinstance(node, ast.Call):
+                        if self._propagate_args(state, analysis, node, fact):
+                            changed = True
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                key = _func_key(info)
+                if key not in state.returns_seq and analysis.tainted(
+                    stmt.value, out
+                ):
+                    state.returns_seq.add(key)
+                    changed = True
+
+        visit(cfg, facts, at_stmt)
+        return changed
+
+    def _propagate_args(
+        self,
+        state: _TaintState,
+        analysis: _TaintAnalysis,
+        call: ast.Call,
+        fact: Fact,
+    ) -> bool:
+        callee = analysis.resolve(call)
+        if callee is None:
+            return False
+        params = callee.param_names()
+        if params and callee.class_name is not None and params[0] in ("self", "cls"):
+            params = params[1:]
+        changed = False
+        key = _func_key(callee)
+        taint = state.param_taint.setdefault(key, set())
+        for index, arg in enumerate(call.args):
+            if index >= len(params):
+                break
+            if params[index] not in taint and analysis.tainted(arg, fact):
+                taint.add(params[index])
+                changed = True
+        for keyword in call.keywords:
+            if (
+                keyword.arg
+                and keyword.arg in params
+                and keyword.arg not in taint
+                and analysis.tainted(keyword.value, fact)
+            ):
+                taint.add(keyword.arg)
+                changed = True
+        return changed
+
+    # -- reporting -------------------------------------------------------
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if self.state is None:
+            return
+        module = self.state.project.modules.get(ctx.path)
+        if module is None:
+            return
+        violations: List[Violation] = []
+        for info in module.functions.values():
+            self._check_function(ctx, info, violations)
+        for violation in violations:
+            yield violation
+
+    def _check_function(
+        self, ctx: FileContext, info: FunctionInfo, out: List[Violation]
+    ) -> None:
+        state = self.state
+        assert state is not None
+        analysis = _TaintAnalysis(state, info)
+        cfg = state.cfg(info)
+        facts = solve(cfg, analysis)
+
+        def at_stmt(stmt: ast.stmt, fact: Fact) -> None:
+            for root in statement_exprs(stmt):
+                for node in ast.walk(root):
+                    self._check_expr(ctx, analysis, node, fact, out)
+
+        visit(cfg, facts, at_stmt)
+
+    def _check_expr(
+        self,
+        ctx: FileContext,
+        analysis: _TaintAnalysis,
+        node: ast.AST,
+        fact: Fact,
+        out: List[Violation],
+    ) -> None:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            if is_seq_expr(node.left) or is_seq_expr(node.right):
+                return  # seq-arith reports this one
+            evidence = analysis.laundered(node.left, fact) or analysis.laundered(
+                node.right, fact
+            )
+            if evidence:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                helper = "seq_add" if isinstance(node.op, ast.Add) else "seq_sub"
+                out.append(ctx.violation(
+                    node, self.name,
+                    f"raw `{op}` on a laundered sequence point ({evidence});"
+                    f" it wraps at 2^32 — use {helper}()",
+                ))
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, _ORDERING_OPS):
+                    continue
+                pair = (operands[index], operands[index + 1])
+                if any(is_seq_expr(o) for o in pair):
+                    return  # seq-arith reports this one
+                evidence = analysis.laundered(pair[0], fact) or analysis.laundered(
+                    pair[1], fact
+                )
+                if evidence:
+                    out.append(ctx.violation(
+                        node, self.name,
+                        f"raw ordering on a laundered sequence point"
+                        f" ({evidence}); wrong across the 2^32 wrap — use"
+                        " seq_lt/seq_le/seq_gt/seq_ge",
+                    ))
+                    return
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("min", "max"):
+                if any(is_seq_expr(arg) for arg in node.args):
+                    return  # seq-arith reports this one
+                for arg in node.args:
+                    evidence = analysis.laundered(arg, fact)
+                    if evidence:
+                        helper = "seq_min" if node.func.id == "min" else "seq_max"
+                        out.append(ctx.violation(
+                            node, self.name,
+                            f"builtin {node.func.id}() on a laundered sequence"
+                            f" point ({evidence}); use {helper}()",
+                        ))
+                        return

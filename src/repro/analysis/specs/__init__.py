@@ -1,0 +1,38 @@
+"""Declared protocol state-machine specs, model-checked by the linter.
+
+Each module in this package declares one
+:class:`~repro.analysis.protocol.ProtocolSpec`: the states, the
+initial/terminal sets, and the full transition relation of a machine the
+implementation carries as an enum-valued attribute.  ``repro lint
+--semantic`` extracts the *actual* transition graph from the named
+source file (:mod:`repro.analysis.protocol`) and reports any divergence
+— an undeclared edge, a dead declared edge, an unreachable state, a
+state with no exit — with the offending line.
+
+To declare a new machine: add a module here building a ``SPEC``
+constant, register it in :data:`ALL_SPECS`, and keep the implementation
+honest — an intentional new transition is a one-line spec edit reviewed
+next to the code that adds it (see DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.protocol import ProtocolSpec
+from repro.analysis.specs.reintegration import SPEC as REINTEGRATION_SPEC
+from repro.analysis.specs.takeover import SPEC as TAKEOVER_SPEC
+from repro.analysis.specs.tcp_state import SPEC as TCP_STATE_SPEC
+
+ALL_SPECS: List[ProtocolSpec] = [
+    TCP_STATE_SPEC,
+    REINTEGRATION_SPEC,
+    TAKEOVER_SPEC,
+]
+
+__all__ = [
+    "ALL_SPECS",
+    "REINTEGRATION_SPEC",
+    "TAKEOVER_SPEC",
+    "TCP_STATE_SPEC",
+]

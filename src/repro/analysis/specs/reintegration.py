@@ -1,0 +1,50 @@
+"""Spec for the reintegration five-phase machine
+(:mod:`repro.failover.reintegration`).
+
+The happy path is the linear pipeline from the module docstring; every
+live phase can abort when either host crashes mid-run (the crash hooks
+registered by ``perform_reintegration``).  ``ABORTED`` is declared edge
+by edge rather than ``from_any`` so that abort-after-terminal (e.g. a
+crash after ``COMPLETE``) stays *undeclared* — the implementation's
+guards must make it impossible, and the checker verifies they do.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.protocol import ProtocolSpec
+
+_STATES = frozenset({
+    "QUIESCE",
+    "SNAPSHOT",
+    "INSTALL",
+    "REARM",
+    "MERGE",
+    "COMPLETE",
+    "ABORTED",
+})
+
+_TRANSITIONS = frozenset({
+    ("QUIESCE", "SNAPSHOT"),
+    ("SNAPSHOT", "INSTALL"),
+    ("INSTALL", "REARM"),
+    ("REARM", "MERGE"),
+    ("MERGE", "COMPLETE"),
+    # a crash of survivor or joiner aborts any live phase
+    ("QUIESCE", "ABORTED"),
+    ("SNAPSHOT", "ABORTED"),
+    ("INSTALL", "ABORTED"),
+    ("REARM", "ABORTED"),
+    ("MERGE", "ABORTED"),
+})
+
+SPEC = ProtocolSpec(
+    name="reintegration",
+    path="src/repro/failover/reintegration.py",
+    enum="ReintegrationPhase",
+    attribute="phase",
+    owner="ReintegrationResult",
+    states=_STATES,
+    initial=frozenset({"QUIESCE"}),
+    terminal=frozenset({"COMPLETE", "ABORTED"}),
+    transitions=_TRANSITIONS,
+)

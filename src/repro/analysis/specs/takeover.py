@@ -1,0 +1,48 @@
+"""Spec for the §5 takeover lifecycle (:mod:`repro.failover.takeover`).
+
+``RESUMING`` exists only when a non-zero ``resume_delay`` models the
+local reconfiguration window, hence the direct ``ANNOUNCED → COMPLETE``
+edge for the zero-delay path.  ``FENCED`` is reachable from every
+in-flight state (step-down fencing) but deliberately *not* from
+``COMPLETE`` or ``IDLE``: fencing a finished takeover is the host's
+problem (its bridge is torn down), and fencing one that never started
+must be a no-op — both are enforced by ``fence()``'s guard, which the
+checker verifies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.protocol import ProtocolSpec
+
+_STATES = frozenset({
+    "IDLE",
+    "SILENCED",
+    "ANNOUNCED",
+    "RESUMING",
+    "COMPLETE",
+    "FENCED",
+})
+
+_TRANSITIONS = frozenset({
+    ("IDLE", "SILENCED"),  # steps 1-4: bridge silenced, snoop off
+    ("SILENCED", "ANNOUNCED"),  # step 5: a_p acquired, gratuitous ARP
+    ("ANNOUNCED", "RESUMING"),  # waiting out resume_delay
+    ("ANNOUNCED", "COMPLETE"),  # zero-delay resume
+    ("RESUMING", "COMPLETE"),  # delayed resume fired
+    # step-down fencing interrupts any in-flight state
+    ("SILENCED", "FENCED"),
+    ("ANNOUNCED", "FENCED"),
+    ("RESUMING", "FENCED"),
+})
+
+SPEC = ProtocolSpec(
+    name="takeover",
+    path="src/repro/failover/takeover.py",
+    enum="TakeoverState",
+    attribute="state",
+    owner="TakeoverProcedure",
+    states=_STATES,
+    initial=frozenset({"IDLE"}),
+    terminal=frozenset({"COMPLETE", "FENCED"}),
+    transitions=_TRANSITIONS,
+)

@@ -37,6 +37,15 @@ recorder can tile it; see DESIGN.md):
     byte — from then on the pair is fully redundant again and another
     crash on either side is survivable.
 
+The phases are explicit state (:class:`ReintegrationPhase`, carried on
+the result): ``QUIESCE → SNAPSHOT → INSTALL → REARM → MERGE →
+COMPLETE``, and every live phase aborts to ``ABORTED`` when either host
+crashes mid-run (crash hooks registered on both sides) — a second crash
+during reintegration must never install snapshots on a corpse or report
+redundancy that does not exist.  The transition graph is declared in
+:mod:`repro.analysis.specs.reintegration` and model-checked against
+this file by ``repro lint --semantic``.
+
 Address allocation: the survivor keeps the service address ``a_p`` it
 took over (or always had); the joiner serves from its own configured
 address behind the bridge translations, exactly like the paper's
@@ -45,6 +54,7 @@ original secondary.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Generator, List, Optional, Set, Tuple
 
@@ -86,6 +96,37 @@ class AppResume:
 ResumeApp = Callable[[object, SimSocket, AppResume], Generator]
 
 
+class ReintegrationPhase(enum.Enum):
+    """The five-phase machine from the module docstring, made explicit.
+
+    ``QUIESCE``/``SNAPSHOT`` happen atomically inside the starting event;
+    ``INSTALL``/``REARM``/``MERGE`` are separate simulation events, so a
+    crash of either host can interleave — any live phase aborts.  The
+    declared transition graph lives in
+    :mod:`repro.analysis.specs.reintegration` and is model-checked
+    against this file by ``repro lint --semantic``.
+    """
+
+    QUIESCE = "QUIESCE"
+    SNAPSHOT = "SNAPSHOT"
+    INSTALL = "INSTALL"
+    REARM = "REARM"
+    MERGE = "MERGE"
+    COMPLETE = "COMPLETE"
+    ABORTED = "ABORTED"
+
+
+#: Phases during which a crash (or a second reintegration attempt) must
+#: abort the run; the two terminal phases are excluded.
+LIVE_PHASES = (
+    ReintegrationPhase.QUIESCE,
+    ReintegrationPhase.SNAPSHOT,
+    ReintegrationPhase.INSTALL,
+    ReintegrationPhase.REARM,
+    ReintegrationPhase.MERGE,
+)
+
+
 @dataclass
 class ReintegrationResult:
     """Mutable record of one reintegration run (completed asynchronously)."""
@@ -93,6 +134,7 @@ class ReintegrationResult:
     case: str  # "rejoin" (survivor was promoted, §5) or "remerge" (§6)
     survivor: str
     joiner: str
+    phase: ReintegrationPhase = ReintegrationPhase.QUIESCE
     resumed_keys: List[BridgeKey] = field(default_factory=list)
     bypassed_keys: List[BridgeKey] = field(default_factory=list)
     snapshot_bytes: int = 0
@@ -109,6 +151,10 @@ class ReintegrationResult:
     @property
     def bypassed(self) -> int:
         return len(self.bypassed_keys)
+
+    @property
+    def aborted(self) -> bool:
+        return self.phase is ReintegrationPhase.ABORTED
 
 
 def export_resumable_connections(
@@ -258,6 +304,7 @@ def perform_reintegration(
         sim.now, "reintegration.snapshot", survivor.name,
         conns=len(snapshots), bypassed=len(bypass), bytes=result.snapshot_bytes,
     )
+    result.phase = ReintegrationPhase.SNAPSHOT
 
     # ---- merge-completion watch ---------------------------------------
     pending: Set[BridgeKey] = set(result.resumed_keys)
@@ -268,22 +315,48 @@ def perform_reintegration(
             complete()
 
     def complete() -> None:
+        if result.phase is not ReintegrationPhase.MERGE:
+            return  # aborted mid-flight, or a stray late merge callback
+        result.phase = ReintegrationPhase.COMPLETE
         result.merge_complete = True
+        detach_hooks()
         m_complete.inc()
         tracer.emit(
             sim.now, "reintegration.complete", survivor.name,
             resumed=result.resumed, joiner=joiner.name,
         )
 
+    def abort(reason: str) -> None:
+        if result.phase not in LIVE_PHASES:
+            return
+        result.phase = ReintegrationPhase.ABORTED
+        detach_hooks()
+        tracer.emit(
+            sim.now, "reintegration.aborted", survivor.name,
+            joiner=joiner.name, reason=reason,
+        )
+
+    def _abort_on_crash(host: "Host") -> None:
+        abort(f"{host.name} crashed")
+
+    def detach_hooks() -> None:
+        survivor.remove_crash_hook(_abort_on_crash)
+        joiner.remove_crash_hook(_abort_on_crash)
+
+    survivor.add_crash_hook(_abort_on_crash)
+    joiner.add_crash_hook(_abort_on_crash)
+
     if pending:
         bridge.on_resume_merged = merged
 
     # ---- install on the joiner after the transfer delay ---------------
     def do_install() -> None:
+        if result.phase is not ReintegrationPhase.SNAPSHOT:
+            return  # a crash hook already aborted the run
         if not joiner.alive or not survivor.alive:
-            tracer.emit(sim.now, "reintegration.aborted", survivor.name,
-                        joiner=joiner.name)
+            abort("host dead at install time")
             return
+        result.phase = ReintegrationPhase.INSTALL
         joiner_bridge = SecondaryBridge(
             joiner, config.copy(), service_ip,
             tracer=tracer, bridge_cost=bridge_cost,
@@ -318,11 +391,13 @@ def perform_reintegration(
                     ),
                     f"resume@{joiner.name}:{conn.local_port}",
                 )
+        result.phase = ReintegrationPhase.REARM
         if on_armed is not None:
             on_armed(result)
         tracer.emit(
             sim.now, "reintegration.armed", survivor.name, joiner=joiner.name
         )
+        result.phase = ReintegrationPhase.MERGE
         if not pending:
             complete()  # nothing to merge: redundancy is restored already
 

@@ -30,7 +30,7 @@ from repro.failover.reintegration import (
     perform_reintegration,
 )
 from repro.failover.secondary import SecondaryBridge
-from repro.failover.takeover import perform_ip_takeover
+from repro.failover.takeover import TakeoverProcedure, perform_ip_takeover
 from repro.net.host import Host
 from repro.obs.spans import SpanContext
 
@@ -120,6 +120,8 @@ class ReplicatedServerPair:
         )
         self.failed_over = False
         self.secondary_removed = False
+        # The in-flight (or completed) §5 takeover procedure, if any.
+        self.takeover: Optional[TakeoverProcedure] = None
         self._apps: List[object] = []
         self._detectors_started = False
         self._resume_app: Optional[ResumeApp] = None
@@ -198,7 +200,7 @@ class ReplicatedServerPair:
         if self.failed_over:
             return
         self.failed_over = True
-        perform_ip_takeover(
+        self.takeover = perform_ip_takeover(
             self.secondary_bridge,
             self.primary_ip,
             resume_delay=self.takeover_resume_delay,
@@ -245,6 +247,10 @@ class ReplicatedServerPair:
             self.primary_detector.stop()
         elif host is self.secondary:
             self.secondary_detector.stop()
+        if self.takeover is not None and self.takeover.host is host:
+            # An in-flight §5 takeover on the fenced host must never
+            # resume transmission on the address it just yielded.
+            self.takeover.fence()
         host.remove_bridge()
 
     # ------------------------------------------------------------------
@@ -366,6 +372,7 @@ class ReplicatedServerPair:
         self.secondary_bridge = result.joiner_bridge
         self.failed_over = False
         self.secondary_removed = False
+        self.takeover = None
         self.primary_detector = FaultDetector(
             self.primary,
             self.secondary_ip,

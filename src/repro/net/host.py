@@ -169,6 +169,7 @@ class Host:
         # segment is sent from (or delivered to) a fenced address.
         self.fenced_ips: set = set()
         self._restart_hooks: List[Callable[["Host"], None]] = []
+        self._crash_hooks: List[Callable[["Host"], None]] = []
         self._conflict_handlers: List[Callable[[Ipv4Address, MacAddress], None]] = []
 
     # -- topology wiring ---------------------------------------------------
@@ -387,6 +388,23 @@ class Host:
         """Run ``hook(host)`` after every :meth:`restart` (reintegration)."""
         self._restart_hooks.append(hook)
 
+    def add_crash_hook(self, hook: Callable[["Host"], None]) -> None:
+        """Run ``hook(host)`` on every :meth:`crash`.
+
+        The hook runs *after* the host went silent, so it must not try to
+        send anything through it.  In-flight multi-event procedures
+        (reintegration) register one to abort instead of installing state
+        on a corpse.
+        """
+        self._crash_hooks.append(hook)
+
+    def remove_crash_hook(self, hook: Callable[["Host"], None]) -> None:
+        """Deregister a crash hook; missing hooks are ignored."""
+        try:
+            self._crash_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def spawn(self, generator: Generator, name: str = "") -> Process:
         return spawn(self.sim, generator, name=name or f"{self.name}.proc")
 
@@ -396,6 +414,8 @@ class Host:
         for nic in self.nics:
             nic.up = False
         self.tracer.emit(self.sim.now, "host.crash", self.name)
+        for hook in list(self._crash_hooks):
+            hook(self)
 
     def restart(self) -> None:
         """Reboot after a crash: the NIC comes back, all TCP state is lost.

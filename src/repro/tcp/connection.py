@@ -256,6 +256,8 @@ class TcpConnection:
 
     def open_active(self) -> None:
         """Client side: send SYN."""
+        if self.state is not TcpState.CLOSED:
+            raise ValueError(f"open_active requires a fresh connection, not {self}")
         self.iss = self.layer.choose_iss()
         self.snd_una = self.iss
         self.snd_max = self.iss
@@ -265,6 +267,8 @@ class TcpConnection:
 
     def open_passive(self, syn: TcpSegment) -> None:
         """Server side: accept SYN, answer SYN-ACK."""
+        if self.state is not TcpState.CLOSED:
+            raise ValueError(f"open_passive requires a fresh connection, not {self}")
         self.iss = self.layer.choose_iss()
         self.snd_una = self.iss
         self.snd_max = self.iss

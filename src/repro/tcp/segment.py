@@ -219,6 +219,7 @@ def incremental_rewrite(
 
     def swap(old_value: int, new_value: int) -> None:
         nonlocal total
+        # replint: allow(seq-taint) -- RFC 1624 ones-complement update: header words are 16-bit sum terms, not sequence-space points
         total = csum_fold(total + _CSUM_MOD - (old_value % _CSUM_MOD) + new_value)
 
     if new_src is not None and new_src != old_src:

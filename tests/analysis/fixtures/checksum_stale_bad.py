@@ -1,0 +1,21 @@
+# Branch-sensitive staleness: every function *does* contain a checksum
+# fixup somewhere (so the function-granular checksum-pair rule stays
+# quiet) but at least one path still carries the rewritten segment to a
+# wire sink unsealed.
+
+from dataclasses import replace
+
+
+class Diverter:
+    def divert(self, seg, fast, ip_src, ip_dst):
+        seg = replace(seg, window=0)  # checksum now stale
+        if fast:
+            seg = seg.sealed(ip_src, ip_dst)
+        self._send_datagram(seg)  # slow path sends it stale
+
+    def forward(self, seg, resealed, ip_src, ip_dst):
+        out = replace(seg, window=1024)
+        msg = out  # dirtiness follows the copy
+        if resealed:
+            msg = msg.sealed(ip_src, ip_dst)
+        self.transmit(msg)  # unsealed on the not-resealed path

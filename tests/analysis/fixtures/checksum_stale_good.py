@@ -1,0 +1,25 @@
+# Rewritten segments sealed on every path before any wire sink.
+
+from dataclasses import replace
+
+from repro.tcp.segment import incremental_rewrite
+
+
+class Diverter:
+    def divert(self, seg, ip_src, ip_dst):
+        seg = replace(seg, window=0)
+        seg = seg.sealed(ip_src, ip_dst)  # sealed on the only path
+        self._send_datagram(seg)
+
+    def branchy(self, seg, incremental, ip_src, ip_dst, new_win):
+        if incremental:
+            seg = incremental_rewrite(seg, ip_src, ip_dst, window=new_win)
+        else:
+            seg = replace(seg, window=new_win).sealed(ip_src, ip_dst)
+        self.transmit(seg)
+
+    def reads_are_free(self, seg, ip_src, ip_dst):
+        fresh = replace(seg, window=0)
+        if not fresh.checksum_ok(ip_src, ip_dst):
+            return None
+        return fresh.sealed(ip_src, ip_dst)

@@ -1,0 +1,16 @@
+# Watched objects escaping into mutations through aliases — the shapes
+# the direct-store obs-passive rule cannot see.
+
+
+class Checker:
+    def attach(self, bridge):
+        b = bridge  # alias of a handed-in object
+        b.emit_cost = 0.0  # ...mutated one hop later
+
+    def sweep(self, host):
+        for conn in host.connections.values():
+            conn.crash()  # element of a foreign container
+
+    def tweak(self, sim, handler):
+        loop = sim
+        loop.call_later(0.1, handler)  # scheduling through an alias

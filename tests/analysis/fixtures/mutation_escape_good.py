@@ -1,0 +1,20 @@
+# Observing without driving: reads of watched objects land in owned
+# structures; copies are mutated freely.
+
+
+class Checker:
+    def __init__(self):
+        self.costs = []
+        self.states = []
+
+    def attach(self, bridge):
+        self.costs.append(bridge.emit_cost)  # read into an owned list
+
+    def sweep(self, host):
+        snapshot = [conn.state for conn in host.connections.values()]
+        self.states = snapshot
+
+    def fold(self, records):
+        owned = list(records)  # a copy is ours to rearrange
+        owned.sort(key=lambda r: r.time)
+        return owned

@@ -1,0 +1,27 @@
+# A machine whose implementation drifts from its declaration: the spec
+# in tests/analysis/test_protocol.py declares IDLE -> RUNNING -> DONE,
+# but skip() jumps straight to DONE from anywhere.
+
+import enum
+
+
+class Phase(enum.Enum):
+    IDLE = "IDLE"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+
+
+class Job:
+    def __init__(self):
+        self.phase = Phase.IDLE
+
+    def start(self):
+        if self.phase is Phase.IDLE:
+            self.phase = Phase.RUNNING
+
+    def finish(self):
+        if self.phase is Phase.RUNNING:
+            self.phase = Phase.DONE
+
+    def skip(self):
+        self.phase = Phase.DONE  # the hole: undeclared IDLE -> DONE

@@ -31,3 +31,11 @@ def manual_mod_shift(value):
 
 def advance(buffer, count):
     buffer.rcv_nxt += count  # augmented assign on a seq point
+
+
+def walrus_operand(snd_nxt, count):
+    return (end := snd_nxt) + count  # the walrus hides the seq point
+
+
+def ifexp_operand(use_fin, snd_nxt, rcv_nxt):
+    return (snd_nxt if use_fin else rcv_nxt) + 1  # either arm is a point

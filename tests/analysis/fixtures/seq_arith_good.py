@@ -36,3 +36,11 @@ def counters_with_seqish_words(merge, conn):
 
 def equality_is_exact(seq_a, seq_b):
     return seq_a == seq_b or seq_a != seq_b
+
+
+def walrus_operand(snd_nxt, count):
+    return seq_add((end := snd_nxt), count)
+
+
+def ifexp_operand(use_fin, snd_nxt, rcv_nxt):
+    return seq_add(snd_nxt if use_fin else rcv_nxt, 1)

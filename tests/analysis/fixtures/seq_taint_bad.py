@@ -1,0 +1,30 @@
+# Sequence points laundered past the name heuristic: through helper
+# parameters, through innocuously named locals, through helper returns.
+# Every raw operation here is invisible to seq-arith and must be caught
+# by the flow-sensitive seq-taint pass.
+
+
+def shift_helper(cursor, count):
+    return cursor + count  # cursor is fed seq points by shift()
+
+
+def shift(snd_nxt, length):
+    return shift_helper(snd_nxt, length)
+
+
+def window_edge(conn):
+    edge = conn.snd_una  # innocuous name, sequence value
+    return edge + 4096  # raw add on the laundered point
+
+
+def base_point(conn):
+    return conn.rcv_nxt
+
+
+def in_window(conn, limit):
+    return base_point(conn) < limit  # helper return carries a point
+
+
+def merged_mark(conn, cap):
+    mark = conn.snd_una
+    return min(mark, cap)  # numeric min on a laundered point

@@ -1,0 +1,35 @@
+# The same helper shapes done correctly: laundered points flow into the
+# seqnum helpers, and genuine counts stay free for plain arithmetic.
+
+from repro.tcp.seqnum import seq_add, seq_lt, seq_min
+
+
+def shift_helper(cursor, count):
+    return seq_add(cursor, count)
+
+
+def shift(snd_nxt, length):
+    return shift_helper(snd_nxt, length)
+
+
+def window_edge(conn):
+    edge = conn.snd_una
+    return seq_add(edge, 4096)
+
+
+def base_point(conn):
+    return conn.rcv_nxt
+
+
+def in_window(conn, limit):
+    return seq_lt(base_point(conn), limit)
+
+
+def merged_mark(conn, cap):
+    mark = conn.snd_una
+    return seq_min(mark, cap)
+
+
+def distance_is_plain(conn):
+    span = conn.window_bytes  # a count, not a point: free to add
+    return span + 1

@@ -10,6 +10,8 @@ from repro.analysis.baseline import (
     BaselineEntry,
     baseline_from_violations,
     load_baseline,
+    merge_baseline,
+    write_baseline,
 )
 from repro.analysis.engine import LintEngine, Violation
 
@@ -97,6 +99,69 @@ def test_loader_canonicalises_entry_paths(tmp_path):
             "why": "pre-dates the linter",
         }],
     }))
+    loaded = load_baseline(str(path))
+    assert loaded.filter([_violation()]) == []
+
+
+def test_merge_keeps_documented_why_for_live_entries():
+    old = Baseline(entries=[BaselineEntry(
+        path="src/repro/tcp/fake.py", rule="seq-arith",
+        snippet="return seq + 1", why="documented reason",
+    )])
+    merged = merge_baseline(old, [_violation()])
+    assert len(merged.entries) == 1
+    assert merged.entries[0].why == "documented reason"
+
+
+def test_merge_drops_stale_entries():
+    old = Baseline(entries=[BaselineEntry(
+        path="src/repro/gone.py", rule="seq-arith",
+        snippet="return seq + 1", why="was fixed since",
+    )])
+    merged = merge_baseline(old, [_violation()])
+    assert [e.path for e in merged.entries] == ["src/repro/tcp/fake.py"]
+
+
+def test_merge_adds_new_findings_with_empty_why_stub():
+    merged = merge_baseline(None, [_violation()])
+    assert len(merged.entries) == 1
+    assert merged.entries[0].why == ""
+
+
+def test_merge_excludes_meta_diagnostics():
+    meta = [
+        _violation(rule="pragma"),
+        _violation(rule="baseline"),
+        _violation(rule="syntax"),
+    ]
+    assert merge_baseline(None, meta).entries == []
+
+
+def test_write_baseline_is_canonical(tmp_path):
+    entries = [
+        BaselineEntry(path="src/repro/z.py", rule="seq-arith",
+                      snippet="z", why="w"),
+        BaselineEntry(path="src/repro/a.py", rule="seq-arith",
+                      snippet="a", why="w"),
+    ]
+    path = tmp_path / "baseline.json"
+    write_baseline(Baseline(entries=entries), str(path))
+    text = path.read_text()
+    assert text.endswith("\n")
+    payload = json.loads(text)
+    assert payload["version"] == BASELINE_VERSION
+    paths = [e["path"] for e in payload["entries"]]
+    assert paths == sorted(paths)
+    # Writing the same logical content twice is byte-identical.
+    write_baseline(Baseline(entries=list(reversed(entries))), str(path))
+    assert path.read_text() == text
+
+
+def test_merge_then_write_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    merged = merge_baseline(None, [_violation()])
+    merged.entries[0].why = "documented"
+    write_baseline(merged, str(path))
     loaded = load_baseline(str(path))
     assert loaded.filter([_violation()]) == []
 

@@ -1,0 +1,188 @@
+"""CFG construction: edge shapes for each statement kind."""
+
+import ast
+
+from repro.analysis.cfg import CFG, statement_exprs
+
+
+def _cfg(source):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return CFG(func)
+
+
+def _node_of(cfg, lineno):
+    for i, stmt in enumerate(cfg.stmts):
+        if stmt is not None and stmt.lineno == lineno:
+            return i
+    raise AssertionError(f"no CFG node at line {lineno}")
+
+
+def _edges(cfg):
+    return {
+        (edge.src, edge.dst, edge.branch)
+        for edges in cfg.succs.values()
+        for edge in edges
+    }
+
+
+def test_straight_line_chain():
+    cfg = _cfg("def f():\n    a = 1\n    b = 2\n    return b\n")
+    a, b, ret = _node_of(cfg, 2), _node_of(cfg, 3), _node_of(cfg, 4)
+    edges = _edges(cfg)
+    assert (cfg.entry, a, None) in edges
+    assert (a, b, None) in edges
+    assert (b, ret, None) in edges
+    assert (ret, cfg.exit, None) in edges
+
+
+def test_if_else_branch_labels():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    return a\n"
+    )
+    test, then, other, ret = (
+        _node_of(cfg, 2), _node_of(cfg, 3), _node_of(cfg, 5), _node_of(cfg, 6)
+    )
+    edges = _edges(cfg)
+    assert (test, then, True) in edges
+    assert (test, other, False) in edges
+    assert (then, ret, None) in edges
+    assert (other, ret, None) in edges
+
+
+def test_if_without_else_falls_through_on_false():
+    cfg = _cfg("def f(x):\n    if x:\n        a = 1\n    return 0\n")
+    test, ret = _node_of(cfg, 2), _node_of(cfg, 4)
+    assert (test, ret, False) in _edges(cfg)
+
+
+def test_while_loop_back_edge_and_exit():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    while x:\n"
+        "        x = x - 1\n"
+        "    return x\n"
+    )
+    head, body, ret = _node_of(cfg, 2), _node_of(cfg, 3), _node_of(cfg, 4)
+    edges = _edges(cfg)
+    assert (head, body, True) in edges
+    assert (body, head, None) in edges  # back edge
+    assert (head, ret, False) in edges
+
+
+def test_break_exits_loop_continue_reenters():
+    cfg = _cfg(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        if x:\n"
+        "            break\n"
+        "        continue\n"
+        "    return 0\n"
+    )
+    head = _node_of(cfg, 2)
+    brk, cont, ret = _node_of(cfg, 4), _node_of(cfg, 5), _node_of(cfg, 6)
+    edges = _edges(cfg)
+    assert (brk, ret, None) in edges
+    assert (cont, head, None) in edges
+
+
+def test_return_and_raise_edge_to_exit():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"
+        "        raise ValueError(x)\n"
+        "    return x\n"
+    )
+    raiser, ret = _node_of(cfg, 3), _node_of(cfg, 4)
+    edges = _edges(cfg)
+    assert (raiser, cfg.exit, None) in edges
+    assert (ret, cfg.exit, None) in edges
+    # Nothing flows out of the raise into the return.
+    assert (raiser, ret, None) not in edges
+
+
+def test_try_body_statements_all_reach_handler():
+    cfg = _cfg(
+        "def f():\n"
+        "    try:\n"
+        "        a = 1\n"
+        "        b = 2\n"
+        "    except ValueError:\n"
+        "        b = 3\n"
+        "    return b\n"
+    )
+    a, b, handler = _node_of(cfg, 3), _node_of(cfg, 4), _node_of(cfg, 6)
+    edges = _edges(cfg)
+    assert (a, handler, None) in edges
+    assert (b, handler, None) in edges
+
+
+def test_assert_true_branch_continues_false_exits():
+    cfg = _cfg("def f(x):\n    assert x\n    return x\n")
+    check, ret = _node_of(cfg, 2), _node_of(cfg, 3)
+    edges = _edges(cfg)
+    assert (check, ret, True) in edges
+    assert (check, cfg.exit, False) in edges
+
+
+def test_nested_def_is_one_opaque_statement():
+    cfg = _cfg(
+        "def f():\n"
+        "    def inner():\n"
+        "        return 1\n"
+        "    return inner\n"
+    )
+    # The inner return (line 3) is not a node of the outer CFG.
+    lines = {s.lineno for s in cfg.stmts if s is not None}
+    assert lines == {2, 4}
+
+
+def test_statement_nodes_in_source_order():
+    cfg = _cfg("def f():\n    a = 1\n    b = 2\n    return b\n")
+    nodes = cfg.statement_nodes()
+    lines = [cfg.stmts[n].lineno for n in nodes]
+    assert lines == sorted(lines)
+
+
+# -- statement_exprs -----------------------------------------------------
+
+
+def _stmt(source):
+    return ast.parse(source).body[0]
+
+
+def _names(exprs):
+    return {
+        n.id for e in exprs for n in ast.walk(e) if isinstance(n, ast.Name)
+    }
+
+
+def test_statement_exprs_excludes_child_statement_bodies():
+    stmt = _stmt("if cond:\n    body_call()\nelse:\n    other_call()\n")
+    assert _names(statement_exprs(stmt)) == {"cond"}
+
+
+def test_statement_exprs_covers_assign_both_sides():
+    stmt = _stmt("target = source(arg)\n")
+    assert _names(statement_exprs(stmt)) == {"target", "source", "arg"}
+
+
+def test_statement_exprs_covers_for_iter_not_body():
+    stmt = _stmt("for x in xs:\n    hidden()\n")
+    assert _names(statement_exprs(stmt)) == {"x", "xs"}
+
+
+def test_statement_exprs_covers_with_items_not_body():
+    stmt = _stmt("with open(p) as fh:\n    hidden()\n")
+    assert _names(statement_exprs(stmt)) == {"open", "p", "fh"}
+
+
+def test_statement_exprs_skips_nested_def_body():
+    stmt = _stmt("def g(a=default):\n    hidden()\n")
+    assert "hidden" not in _names(statement_exprs(stmt))

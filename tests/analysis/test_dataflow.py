@@ -1,0 +1,129 @@
+"""Worklist dataflow: joins, branch refinement, reachability, exit facts."""
+
+import ast
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import ForwardAnalysis, exit_fact, solve, visit
+
+
+class AssignedNames(ForwardAnalysis):
+    """Fact: names that may have been assigned so far."""
+
+    def initial_fact(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, stmt, fact):
+        if isinstance(stmt, ast.Assign):
+            return fact | {
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            }
+        return fact
+
+
+class NonNoneNames(AssignedNames):
+    """Adds refinement: ``if x is None`` drops x on the True edge."""
+
+    def refine(self, test, branch, fact):
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return fact - {test.left.id} if branch else fact
+        return fact
+
+
+def _cfg(source):
+    return CFG(ast.parse(source).body[0])
+
+
+def _fact_at_line(cfg, facts, lineno):
+    for node in cfg.statement_nodes():
+        if cfg.stmts[node].lineno == lineno:
+            return facts[node]
+    raise AssertionError(f"no fact at line {lineno}")
+
+
+def test_facts_accumulate_down_straight_line():
+    cfg = _cfg("def f():\n    a = 1\n    b = 2\n    return a + b\n")
+    facts = solve(cfg, AssignedNames())
+    assert _fact_at_line(cfg, facts, 2) == frozenset()
+    assert _fact_at_line(cfg, facts, 3) == {"a"}
+    assert _fact_at_line(cfg, facts, 4) == {"a", "b"}
+
+
+def test_join_unions_branch_facts():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    return 0\n"
+    )
+    facts = solve(cfg, AssignedNames())
+    assert _fact_at_line(cfg, facts, 6) == {"a", "b"}
+
+
+def test_loop_reaches_fixpoint():
+    cfg = _cfg(
+        "def f(xs):\n"
+        "    while xs:\n"
+        "        a = 1\n"
+        "        b = 2\n"
+        "    return 0\n"
+    )
+    facts = solve(cfg, AssignedNames())
+    # Facts from the loop body flow back into the head.
+    assert _fact_at_line(cfg, facts, 2) == {"a", "b"}
+
+
+def test_refinement_narrows_one_branch_only():
+    cfg = _cfg(
+        "def f():\n"
+        "    x = 1\n"
+        "    if x is None:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    return 0\n"
+    )
+    facts = solve(cfg, NonNoneNames())
+    assert "x" not in _fact_at_line(cfg, facts, 4)  # True edge: refined away
+    assert "x" in _fact_at_line(cfg, facts, 6)  # False edge: untouched
+    assert "x" in _fact_at_line(cfg, facts, 7)  # join re-unions
+
+
+def test_unreachable_statements_get_no_fact():
+    cfg = _cfg("def f():\n    return 1\n    dead = 2\n")
+    facts = solve(cfg, AssignedNames())
+    seen = []
+    visit(cfg, facts, lambda stmt, fact: seen.append(stmt.lineno))
+    assert seen == [2]  # the dead store is never visited
+
+
+def test_visit_replays_in_source_order():
+    cfg = _cfg("def f(x):\n    if x:\n        a = 1\n    b = 2\n    return b\n")
+    facts = solve(cfg, AssignedNames())
+    seen = []
+    visit(cfg, facts, lambda stmt, fact: seen.append(stmt.lineno))
+    assert seen == sorted(seen)
+
+
+def test_exit_fact_joins_all_returns():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "        return a\n"
+        "    b = 2\n"
+        "    return b\n"
+    )
+    facts = solve(cfg, AssignedNames())
+    assert exit_fact(cfg, AssignedNames(), facts) == {"a", "b"}

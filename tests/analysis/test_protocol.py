@@ -1,0 +1,292 @@
+"""Protocol extraction and model checking: toy machines, the fixture
+hole, and zero-divergence of the three real machines against their
+declared specs (the paper's TCB / reintegration / takeover lifecycles).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.protocol import (
+    ProtocolSpec,
+    check_machine,
+    check_source,
+    extract_machine,
+)
+from repro.analysis.rules.protocol import ProtocolRule
+from repro.analysis.specs import ALL_SPECS
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+JOB_PATH = "src/repro/failover/job.py"
+
+
+def job_spec(**overrides):
+    base = dict(
+        name="job",
+        path=JOB_PATH,
+        enum="Phase",
+        attribute="phase",
+        owner="Job",
+        states=frozenset({"IDLE", "RUNNING", "DONE"}),
+        initial=frozenset({"IDLE"}),
+        terminal=frozenset({"DONE"}),
+        transitions=frozenset({("IDLE", "RUNNING"), ("RUNNING", "DONE")}),
+    )
+    base.update(overrides)
+    return ProtocolSpec(**base)
+
+
+CLEAN_JOB = """
+import enum
+
+
+class Phase(enum.Enum):
+    IDLE = "IDLE"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+
+
+class Job:
+    def __init__(self):
+        self.phase = Phase.IDLE
+
+    def start(self):
+        if self.phase is Phase.IDLE:
+            self.phase = Phase.RUNNING
+
+    def finish(self):
+        if self.phase is Phase.RUNNING:
+            self.phase = Phase.DONE
+"""
+
+
+def test_clean_machine_verifies():
+    assert check_source(job_spec(), CLEAN_JOB, JOB_PATH) == []
+
+
+def test_guard_narrows_transition_sources():
+    machine = extract_machine_from(CLEAN_JOB, job_spec())
+    edges = machine.edge_set()
+    assert edges == {("IDLE", "RUNNING"), ("RUNNING", "DONE")}
+
+
+def extract_machine_from(source, spec):
+    import ast
+
+    return extract_machine(spec, ast.parse(source), spec.path)
+
+
+def test_unguarded_assignment_fans_from_all_states():
+    source = CLEAN_JOB + (
+        "\n"
+        "    def reset_anytime(self):\n"
+        "        self.phase = Phase.IDLE\n"
+    )
+    machine = extract_machine_from(source, job_spec())
+    # Public method, no guard: every non-IDLE state gains an edge to IDLE.
+    assert ("RUNNING", "IDLE") in machine.edge_set()
+    assert ("DONE", "IDLE") in machine.edge_set()
+
+
+def test_undeclared_transition_is_line_accurate():
+    source = CLEAN_JOB + (
+        "\n"
+        "    def skip(self):\n"
+        "        self.phase = Phase.DONE\n"
+    )
+    bad_line = len(source.splitlines())  # the skip() assignment
+    problems = check_source(job_spec(), source, JOB_PATH)
+    assert any(
+        v.line == bad_line and "undeclared transition IDLE -> DONE" in v.message
+        for v in problems
+    ), [str(v) for v in problems]
+
+
+def test_dead_spec_edge_is_reported():
+    spec = job_spec(transitions=frozenset({
+        ("IDLE", "RUNNING"), ("RUNNING", "DONE"), ("DONE", "RUNNING"),
+    }))
+    problems = check_source(spec, CLEAN_JOB, JOB_PATH)
+    assert any("dead spec edge" in v.message for v in problems)
+
+
+def test_unreachable_state_is_reported():
+    spec = job_spec(
+        states=frozenset({"IDLE", "RUNNING", "DONE", "ORPHAN"}),
+    )
+    source = CLEAN_JOB.replace(
+        'DONE = "DONE"', 'DONE = "DONE"\n    ORPHAN = "ORPHAN"'
+    )
+    problems = check_source(spec, source, JOB_PATH)
+    assert any(
+        "ORPHAN" in v.message and "unreachable" in v.message for v in problems
+    )
+
+
+def test_state_without_terminal_exit_is_reported():
+    # RUNNING -> DONE removed: RUNNING becomes a wedge-on-crash state.
+    spec = job_spec(transitions=frozenset({("IDLE", "RUNNING")}))
+    source = CLEAN_JOB.replace(
+        "        if self.phase is Phase.RUNNING:\n"
+        "            self.phase = Phase.DONE\n",
+        "        pass\n",
+    )
+    problems = check_source(spec, source, JOB_PATH)
+    assert any(
+        "RUNNING" in v.message and "no exit path" in v.message
+        for v in problems
+    )
+
+
+def test_from_any_target_needs_no_declared_edges():
+    spec = job_spec(
+        states=frozenset({"IDLE", "RUNNING", "DONE", "ABORTED"}),
+        terminal=frozenset({"DONE", "ABORTED"}),
+        from_any=frozenset({"ABORTED"}),
+    )
+    source = CLEAN_JOB.replace(
+        'DONE = "DONE"', 'DONE = "DONE"\n    ABORTED = "ABORTED"'
+    ) + (
+        "\n"
+        "    def abort(self):\n"
+        "        self.phase = Phase.ABORTED\n"
+    )
+    assert check_source(spec, source, JOB_PATH) == []
+
+
+def test_bad_initialisation_is_reported():
+    source = CLEAN_JOB.replace(
+        "        self.phase = Phase.IDLE\n"
+        "\n"
+        "    def start",
+        "        self.phase = Phase.RUNNING\n"
+        "\n"
+        "    def start",
+    )
+    problems = check_source(job_spec(), source, JOB_PATH)
+    assert any("not a declared initial state" in v.message for v in problems)
+
+
+def test_unanalyzable_assignment_is_reported():
+    source = CLEAN_JOB + (
+        "\n"
+        "    def install(self, computed):\n"
+        "        if self.phase is Phase.IDLE:\n"
+        "            self.phase = computed\n"
+    )
+    problems = check_source(job_spec(), source, JOB_PATH)
+    assert any("unanalyzable assignment" in v.message for v in problems)
+
+
+def test_dynamic_spec_entry_covers_computed_assignment():
+    source = CLEAN_JOB + (
+        "\n"
+        "    def install(self, computed):\n"
+        "        if self.phase is Phase.IDLE:\n"
+        "            self.phase = computed\n"
+    )
+    spec = job_spec(dynamic={"Job.install": frozenset({"RUNNING"})})
+    assert check_source(spec, source, JOB_PATH) == []
+
+
+def test_private_helper_inherits_call_site_fact():
+    source = CLEAN_JOB.replace(
+        "    def finish(self):\n"
+        "        if self.phase is Phase.RUNNING:\n"
+        "            self.phase = Phase.DONE\n",
+        "    def finish(self):\n"
+        "        if self.phase is Phase.RUNNING:\n"
+        "            self._complete()\n"
+        "\n"
+        "    def _complete(self):\n"
+        "        self.phase = Phase.DONE\n",
+    )
+    machine = extract_machine_from(source, job_spec())
+    # The helper starts from exactly the caller's guarded fact.
+    assert machine.entry_facts["Job._complete"] == frozenset({"RUNNING"})
+    assert check_source(job_spec(), source, JOB_PATH) == []
+
+
+def test_dispatch_table_seeds_handlers_per_key():
+    source = CLEAN_JOB + (
+        "\n"
+        "    def poke(self):\n"
+        "        {Phase.IDLE: self._on_idle,\n"
+        "         Phase.RUNNING: self._on_running}.get(\n"
+        "            self.phase, self._otherwise)()\n"
+        "\n"
+        "    def _on_idle(self):\n"
+        "        self.phase = Phase.RUNNING\n"
+        "\n"
+        "    def _on_running(self):\n"
+        "        self.phase = Phase.DONE\n"
+        "\n"
+        "    def _otherwise(self):\n"
+        "        pass\n"
+    )
+    machine = extract_machine_from(source, job_spec())
+    assert machine.entry_facts["Job._on_idle"] == frozenset({"IDLE"})
+    assert machine.entry_facts["Job._on_running"] == frozenset({"RUNNING"})
+    assert machine.entry_facts["Job._otherwise"] == frozenset({"DONE"})
+    assert check_source(job_spec(), source, JOB_PATH) == []
+
+
+def test_named_enum_set_guard_refines():
+    source = CLEAN_JOB.replace(
+        "import enum\n",
+        "import enum\n",
+    ) + (
+        "\n"
+        "\n"
+        "LIVE = (Phase.IDLE, Phase.RUNNING)\n"
+    )
+    source = source.replace(
+        "        if self.phase is Phase.RUNNING:\n"
+        "            self.phase = Phase.DONE\n",
+        "        if self.phase not in LIVE:\n"
+        "            return\n"
+        "        if self.phase is Phase.RUNNING:\n"
+        "            self.phase = Phase.DONE\n",
+    )
+    assert check_source(job_spec(), source, JOB_PATH) == []
+
+
+# -- the fixture hole through the rule adapter ---------------------------
+
+
+def test_protocol_rule_catches_fixture_hole_line_accurately():
+    fixture = FIXTURES / "protocol_hole.py"
+    source = fixture.read_text(encoding="utf-8")
+    spec = job_spec(path="src/repro/failover/protocol_hole.py")
+    engine = LintEngine(rules=[ProtocolRule(specs=[spec])])
+    violations = engine.lint_source(source, spec.path)
+    hole_line = next(
+        i + 1 for i, text in enumerate(source.splitlines())
+        if "the hole" in text
+    )
+    assert [v.line for v in violations] == [hole_line]
+    assert "undeclared transition IDLE -> DONE" in violations[0].message
+
+
+# -- the three real machines verify with zero divergence -----------------
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=[s.name for s in ALL_SPECS])
+def test_real_machine_matches_spec(spec):
+    source = (REPO / spec.path).read_text(encoding="utf-8")
+    assert check_source(spec, source, spec.path) == []
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=[s.name for s in ALL_SPECS])
+def test_real_machine_extracts_transitions(spec):
+    import ast
+
+    source = (REPO / spec.path).read_text(encoding="utf-8")
+    machine = extract_machine(spec, ast.parse(source), spec.path)
+    # Every declared non-from_any edge is implemented somewhere.
+    assert spec.transitions - {
+        (s, d) for s, d in spec.transitions if d in spec.from_any
+    } <= machine.edge_set()

@@ -27,10 +27,20 @@ CASES = [
     ("handler_except", "handler-except", "src/repro/failover/fake.py"),
 ]
 
+#: Same shape for the --semantic plane; linted with semantic=True.  The
+#: pretend paths route each fixture into its rule's scope (the
+#: mutation-escape corpus poses as the invariant checker, where the
+#: syntactic obs-passive rule does not also apply).
+SEMANTIC_CASES = [
+    ("seq_taint", "seq-taint", "src/repro/tcp/fake.py"),
+    ("checksum_stale", "checksum-staleness", "src/repro/failover/fake.py"),
+    ("mutation_escape", "mutation-escape", "src/repro/harness/invariants.py"),
+]
 
-def _lint_fixture(stem: str, pretend_path: str):
+
+def _lint_fixture(stem: str, pretend_path: str, semantic: bool = False):
     source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
-    return lint_source(source, pretend_path)
+    return lint_source(source, pretend_path, semantic=semantic)
 
 
 @pytest.mark.parametrize(
@@ -48,6 +58,38 @@ def test_bad_fixture_fails(stem, rule, pretend):
 def test_good_fixture_is_clean(stem, rule, pretend):
     violations = _lint_fixture(f"{stem}_good", pretend)
     assert violations == [], [str(v) for v in violations]
+
+
+@pytest.mark.parametrize(
+    "stem,rule,pretend", SEMANTIC_CASES, ids=[c[1] for c in SEMANTIC_CASES]
+)
+def test_semantic_bad_fixture_fails(stem, rule, pretend):
+    violations = _lint_fixture(f"{stem}_bad", pretend, semantic=True)
+    assert violations, f"{stem}_bad.py produced no findings"
+    assert {v.rule for v in violations} == {rule}, [str(v) for v in violations]
+
+
+@pytest.mark.parametrize(
+    "stem,rule,pretend", SEMANTIC_CASES, ids=[c[1] for c in SEMANTIC_CASES]
+)
+def test_semantic_good_fixture_is_clean(stem, rule, pretend):
+    violations = _lint_fixture(f"{stem}_good", pretend, semantic=True)
+    assert violations == [], [str(v) for v in violations]
+
+
+@pytest.mark.parametrize(
+    "stem,rule,pretend", SEMANTIC_CASES, ids=[c[1] for c in SEMANTIC_CASES]
+)
+def test_semantic_bad_fixture_is_line_accurate(stem, rule, pretend):
+    # Every flagged line carries a comment explaining the deliberate
+    # hole; every hole line is flagged.
+    source = (FIXTURES / f"{stem}_bad.py").read_text(encoding="utf-8")
+    violations = _lint_fixture(f"{stem}_bad", pretend, semantic=True)
+    lines = source.splitlines()
+    for violation in violations:
+        assert "#" in lines[violation.line - 1], (
+            f"finding at undocumented line {violation.line}: {violation}"
+        )
 
 
 # -- targeted scope/behaviour checks ------------------------------------
