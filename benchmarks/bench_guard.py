@@ -36,6 +36,10 @@ RATIO_FLOORS = {
     # included) keeps at least 70% of the attack-free cell's goodput
     # per host-CPU second — spoofed probes must never amplify.
     "adversary:ratio": {"sweep_over_off": 0.70},
+    # E14's flagship cell: the DNS-flip-with-stale-pools path must show
+    # at least 1.5x the bridge path's p99 client-visible downtime (the
+    # measured seed-1 value is ~4.2x) — transparent failover has to win.
+    "clients:ratio": {"dns_over_bridge_p99": 1.5},
 }
 
 

@@ -10,12 +10,13 @@ from repro.analysis.engine import FileContext, Violation
 if TYPE_CHECKING:
     from repro.analysis.callgraph import ProjectIndex
 
-#: The four deterministic-simulation layers (sim-safety scope).
+#: The deterministic-simulation layers (sim-safety scope).
 SIM_LAYERS: Tuple[str, ...] = (
     "src/repro/sim/",
     "src/repro/tcp/",
     "src/repro/failover/",
     "src/repro/net/",
+    "src/repro/clients/",
 )
 
 

@@ -119,7 +119,7 @@ class MutationEscapeRule(Rule):
         " store"
     )
 
-    _SCOPES = ("src/repro/obs/",)
+    _SCOPES = ("src/repro/obs/", "src/repro/clients/")
     _FILES = ("src/repro/harness/invariants.py",)
 
     def applies_to(self, path: str) -> bool:

@@ -1,0 +1,44 @@
+"""Client tier: pools, proxy, DNS, and the recovery-path comparison.
+
+The paper recovers failures *below* the client (transparent TCB
+failover); production recovers *above* it (pools, proxies, DNS).  This
+package models the production client tier so E14 can compare both
+worlds on one seeded workload.  See DESIGN.md §14.
+"""
+
+from repro.clients.dns import (
+    AuthoritativeZone, DnsError, HealthCheckedRecord, ResolverCache,
+)
+from repro.clients.health import HealthMonitor
+from repro.clients.pool import (
+    ConnectionPool, PoolRequestFailed, RequestLedger, constant_resolver,
+)
+from repro.clients.proxy import (
+    L4Proxy, PRIMARY_WEIGHT, ProxyRunbook, STANDBY_WEIGHT,
+)
+from repro.clients.paths import (
+    PATHS, PathResult, PathStats, client_paths_bench_rows,
+    run_client_path, run_client_paths,
+)
+
+__all__ = [
+    "AuthoritativeZone",
+    "ConnectionPool",
+    "DnsError",
+    "HealthCheckedRecord",
+    "HealthMonitor",
+    "L4Proxy",
+    "PATHS",
+    "PathResult",
+    "PathStats",
+    "PoolRequestFailed",
+    "PRIMARY_WEIGHT",
+    "ProxyRunbook",
+    "RequestLedger",
+    "ResolverCache",
+    "STANDBY_WEIGHT",
+    "client_paths_bench_rows",
+    "constant_resolver",
+    "run_client_path",
+    "run_client_paths",
+]

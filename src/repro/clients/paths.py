@@ -1,0 +1,556 @@
+"""E14: one seeded workload, four recovery paths (EXPERIMENTS.md §E14).
+
+The paper recovers a failed server *below* the client: the secondary
+takes over the primary's IP with synchronized TCBs and established
+connections simply continue.  Production mostly recovers *above* the
+client instead.  This experiment runs the **same seeded workload** —
+identical per-session request-size and think-time streams — through
+four recovery paths and measures what each client actually saw:
+
+* ``bridge`` — the paper's transparent failover
+  (:class:`ReplicatedServerPair`): connections survive, in-flight
+  requests stall only for detection + takeover + one retransmit.
+* ``vip``    — bare IP takeover without TCB replication: the standby
+  grabs the VIP and answers retransmissions with RSTs; pools
+  invalidate and reconnect.
+* ``proxy``  — an L4 proxy (PCR-style weights 100/10) health-checks the
+  backends and flips routing via its runbook; severed relays surface to
+  pools as resets.
+* ``dns``    — the GitHub-incident path: distinct server addresses, a
+  Route 53-style health-checked record flips the zone, and recovery
+  waits on every resolver cache's TTL.  Clients in the TTL-ignoring
+  misbehavior mode keep dialing the corpse until their retry budgets
+  die — the only path that *fails* requests.
+
+Per-path output: the per-request latency distribution in pre/during/
+post windows, the client-visible blackout (last success before the
+crash to first success after it), failed-request counts, and pool/DNS
+counters.  ``client_paths_bench_rows`` folds it into
+``BENCH_client_paths.json``; byte-identical replay is part of the
+artifact's contract (CI runs the cell twice and ``cmp``'s them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.apps.request_reply import pattern_bytes, reply_server
+from repro.clients.dns import AuthoritativeZone, HealthCheckedRecord, ResolverCache
+from repro.clients.health import HealthMonitor
+from repro.clients.pool import (
+    ConnectionPool, PoolRequestFailed, RequestLedger, constant_resolver,
+)
+from repro.clients.proxy import L4Proxy, PRIMARY_WEIGHT, STANDBY_WEIGHT
+from repro.harness.invariants import InvariantChecker
+from repro.harness.metrics import Stats, summarize
+from repro.harness.topology import (
+    BRIDGE_COST, CLIENT_ARP_DELAY, CLIENT_PROFILE, EMIT_COST, SERVER_PROFILE,
+    HostProfile,
+)
+from repro.failover.replicated import ReplicatedServerPair
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.ethernet import EthernetSegment
+from repro.net.host import Host
+from repro.obs.spans import NULL_SPANS, SpanTracer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+#: The recovery paths E14 compares, in publication order.  The ISSUE's
+#: three required paths are bridge/vip/dns; proxy rides along because
+#: the PCR repo's production stack is proxy-shaped.
+PATHS: Tuple[str, ...] = ("bridge", "vip", "proxy", "dns")
+
+SERVICE_NAME = "svc.shop.example"
+SERVICE_PORT = 8000
+
+PRIMARY_IP = Ipv4Address("10.0.0.2")
+SECONDARY_IP = Ipv4Address("10.0.0.3")
+MONITOR_IP = Ipv4Address("10.0.0.9")
+PROXY_IP = Ipv4Address("10.0.0.10")
+
+#: Trace categories that mark recovery milestones, for the timeline.
+TIMELINE_CATEGORIES = (
+    "detector.failure",
+    "takeover.complete",
+    "clients.health.down",
+    "clients.dns.flip",
+    "clients.proxy.failover",
+    "clients.vip.takeover",
+)
+
+EMPTY_STATS = Stats(count=0, median=0.0, mean=0.0, minimum=0.0, maximum=0.0,
+                    p90=0.0, p99=0.0, stddev=0.0)
+
+
+def _summarize(samples: List[float]) -> Stats:
+    return summarize(samples) if samples else EMPTY_STATS
+
+
+def _mac(index: int) -> MacAddress:
+    return MacAddress(0x0200_00CE_0000 + index)
+
+
+def _client_ip(index: int) -> Ipv4Address:
+    return Ipv4Address(f"10.0.0.{50 + index}")
+
+
+class PathStats:
+    """Per-request samples and failures for one path's run."""
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[float, float, int]] = []  # (t, latency, session)
+        self.failures: List[Tuple[float, int, str]] = []
+        self.corrupt_replies = 0
+        self.sessions_started = 0
+        self.sessions_completed = 0
+        self.sessions_failed = 0
+
+    def record(self, now: float, latency: float, session: int) -> None:
+        self.samples.append((now, latency, session))
+
+    def record_failure(self, now: float, session: int, reason: str) -> None:
+        self.failures.append((now, session, reason))
+
+    def latencies_between(self, start: float, end: float) -> List[float]:
+        return [lat for t, lat, _ in self.samples if start <= t < end]
+
+    @property
+    def requests_completed(self) -> int:
+        return len(self.samples)
+
+    @property
+    def requests_failed(self) -> int:
+        return len(self.failures)
+
+    def blackout(self, crash_at: float) -> Optional[float]:
+        """Last success before the crash → first success at/after it."""
+        before = [t for t, _, _ in self.samples if t < crash_at]
+        after = [t for t, _, _ in self.samples if t >= crash_at]
+        if not before or not after:
+            return None
+        return min(after) - max(before)
+
+
+class PathResult:
+    """Everything one recovery-path run measured."""
+
+    def __init__(
+        self,
+        path: str,
+        stats: PathStats,
+        ledger: RequestLedger,
+        checker: InvariantChecker,
+        tracer: Tracer,
+        pools: List[ConnectionPool],
+        crash_at: float,
+        recovery_window: float,
+        finished_at: float,
+        extras: Dict[str, object],
+    ):
+        self.path = path
+        self.stats = stats
+        self.ledger = ledger
+        self.checker = checker
+        self.tracer = tracer
+        self.pools = pools
+        self.crash_at = crash_at
+        self.recovery_window = recovery_window
+        self.finished_at = finished_at
+        self.extras = extras
+
+    def latency_windows(self) -> Dict[str, Stats]:
+        stats = self.stats
+        return {
+            "pre": _summarize(stats.latencies_between(0.0, self.crash_at)),
+            "during": _summarize(stats.latencies_between(
+                self.crash_at, self.crash_at + self.recovery_window)),
+            "post": _summarize(stats.latencies_between(
+                self.crash_at + self.recovery_window, self.finished_at + 1.0)),
+        }
+
+    def timeline(self) -> List[Tuple[float, str, str]]:
+        """First occurrence of each recovery milestone, time-ordered."""
+        seen: Dict[str, Tuple[float, str]] = {}
+        for category in TIMELINE_CATEGORIES:
+            for record in self.tracer.select(category=category):
+                if category not in seen:
+                    seen[category] = (record.time, record.node)
+        return sorted(
+            (time, category, node)
+            for category, (time, node) in seen.items()
+        )
+
+    def pool_counters(self) -> Dict[str, int]:
+        totals = {"dials": 0, "reuses": 0, "invalidated": 0, "evicted": 0,
+                  "retries": 0, "timeouts": 0}
+        for pool in self.pools:
+            totals["dials"] += pool.dials
+            totals["reuses"] += pool.reuses
+            totals["invalidated"] += pool.invalidated
+            totals["evicted"] += pool.evicted
+            totals["retries"] += pool.retries
+            totals["timeouts"] += pool.timeouts
+        return totals
+
+    def invariants_ok(self) -> bool:
+        return self.checker.ok
+
+
+class _PathLan:
+    """One path's topology: clients, servers and the recovery machinery."""
+
+    def __init__(self, seed: int, clients: int, span_sample_rate: float,
+                 record_traces: bool):
+        self.sim = Simulator()
+        self.registry = RngRegistry(seed)
+        self.tracer = Tracer(record=record_traces, max_records=200_000)
+        if span_sample_rate > 0:
+            self.spans: SpanTracer = SpanTracer(
+                sample_rate=span_sample_rate,
+                rng=self.registry.stream("obs.spans"),
+            )
+        else:
+            self.spans = NULL_SPANS
+        self.segment = EthernetSegment(
+            self.sim, name="lan", collision_prob=0.0, tracer=self.tracer,
+            rng=self.registry.stream("ethernet"),
+        )
+        self.clients: List[Host] = []
+        for i in range(clients):
+            client = self._host(f"client{i}", 50 + i, CLIENT_PROFILE,
+                                gratuitous_apply_delay=CLIENT_ARP_DELAY)
+            client.attach_ethernet(self.segment, _client_ip(i))
+            client.tcp.conn_defaults.update({"min_rto": 0.05})
+            self.clients.append(client)
+        self.servers: List[Host] = []
+
+    def _host(self, name: str, index: int, profile: HostProfile,
+              gratuitous_apply_delay: float = 0.0) -> Host:
+        return Host(
+            self.sim, name, _mac(index), tracer=self.tracer,
+            rng=self.registry.stream(f"host.{name}"),
+            spans=self.spans,
+            rx_segment_cost=profile.rx_segment_cost,
+            rx_byte_cost=profile.rx_byte_cost,
+            tx_segment_cost=profile.tx_segment_cost,
+            tx_byte_cost=profile.tx_byte_cost,
+            cpu_jitter=profile.cpu_jitter,
+            cpu_spike_prob=profile.cpu_spike_prob,
+            cpu_spike_cost=profile.cpu_spike_cost,
+            app_write_fixed_cost=profile.app_write_fixed_cost,
+            app_write_byte_cost=profile.app_write_byte_cost,
+            gratuitous_apply_delay=gratuitous_apply_delay,
+        )
+
+    def add_server(self, name: str, index: int, ip: Ipv4Address) -> Host:
+        server = self._host(name, index, SERVER_PROFILE)
+        server.attach_ethernet(self.segment, ip)
+        self.servers.append(server)
+        return server
+
+    def warm_arp(self) -> None:
+        """Prime every host pair so ARP traffic never perturbs timing."""
+        hosts = self.clients + self.servers
+        for a in hosts:
+            for b in hosts:
+                if a is b:
+                    continue
+                a.eth_interface.arp.prime(
+                    b.ip.primary_address(), b.nic.mac,
+                )
+
+
+class ClientWorkload:
+    """Closed-loop sessions round-robinned over the per-client pools.
+
+    Request sizes and think times come from per-session named streams,
+    so every path replays the identical workload regardless of how its
+    recovery machinery interleaves events.  The workload owns its
+    :class:`PathStats` and completion counter.
+    """
+
+    def __init__(self, lan: _PathLan, pools: List[ConnectionPool],
+                 sessions: int, stop_at: float, think_mean: float):
+        self.lan = lan
+        self.pools = pools
+        self.sessions = sessions
+        self.stop_at = stop_at
+        self.think_mean = think_mean
+        self.stats = PathStats()
+        self.finished = 0
+
+    @property
+    def done(self) -> bool:
+        return self.finished >= self.sessions
+
+    def start(self) -> None:
+        for i in range(self.sessions):
+            pool = self.pools[i % len(self.pools)]
+            rng = self.lan.registry.stream(f"clients.workload.session{i}")
+            start_at = 0.010 + 0.005 * i
+            self.stats.sessions_started += 1
+            self.lan.sim.call_at(
+                start_at,
+                pool.client.spawn,
+                self._session(pool, i, rng),
+                f"session{i}",
+            )
+
+    def _session(self, pool: ConnectionPool, session_id: int,
+                 rng) -> Generator:
+        failed = False
+        while self.lan.sim.now < self.stop_at:
+            size = 64 + int(rng.random() * 960)
+            started = self.lan.sim.now
+            try:
+                reply = yield from pool.request(size, label=f"s{session_id}")
+            except (PoolRequestFailed, OSError) as exc:
+                self.stats.record_failure(
+                    self.lan.sim.now, session_id, type(exc).__name__)
+                failed = True
+                break
+            if reply != pattern_bytes(size, salt=size & 0xFF):
+                self.stats.corrupt_replies += 1
+            self.stats.record(
+                self.lan.sim.now, self.lan.sim.now - started, session_id)
+            yield self.think_mean * -_ln(1.0 - rng.random())
+        if failed:
+            self.stats.sessions_failed += 1
+        else:
+            self.stats.sessions_completed += 1
+        self.finished += 1
+
+
+def _ln(x: float) -> float:
+    # math.log inlined via import at module scope would be fine; keep the
+    # exponential-think draw explicit and centralized here.
+    import math
+    return math.log(x) if x > 0 else -50.0
+
+
+def run_client_path(
+    path: str,
+    seed: int = 0,
+    *,
+    clients: int = 3,
+    sessions: int = 12,
+    crash_at: float = 0.35,
+    recovery_window: float = 2.0,
+    hold_after: float = 0.8,
+    think_mean: float = 0.080,
+    pool_size: int = 2,
+    retry_budget: int = 6,
+    backoff_base: float = 0.050,
+    attempt_timeout: float = 0.250,
+    health_interval: float = 0.500,
+    ttl: float = 1.0,
+    ttl_ignoring_clients: int = 1,
+    lookup_delay: float = 0.002,
+    detector_interval: float = 0.010,
+    detector_timeout: float = 0.050,
+    span_sample_rate: float = 0.0,
+    record_traces: bool = True,
+) -> PathResult:
+    """Run one recovery path's cell and return its measurements."""
+    if path not in PATHS:
+        raise ValueError(f"unknown path {path!r}; expected one of {PATHS}")
+    lan = _PathLan(seed, clients, span_sample_rate, record_traces)
+    ledger = RequestLedger()
+    extras: Dict[str, object] = {}
+    crash_time = float(crash_at)
+    stop_at = crash_time + recovery_window + hold_after
+
+    # -- servers and the recovery machinery ------------------------------
+    crash: Callable[[], None]
+    resolvers: List[Callable[[], Generator]] = []
+    if path == "bridge":
+        primary = lan.add_server("primary", 2, PRIMARY_IP)
+        secondary = lan.add_server("secondary", 3, SECONDARY_IP)
+        pair = ReplicatedServerPair(
+            primary, secondary, failover_ports=(SERVICE_PORT,),
+            detector_interval=detector_interval,
+            detector_timeout=detector_timeout,
+            bridge_cost=BRIDGE_COST, emit_cost=EMIT_COST,
+        )
+        lan.warm_arp()
+        pair.run_app(
+            lambda host: reply_server(host, SERVICE_PORT, max_requests=None),
+            name="reply",
+        )
+        pair.start_detectors()
+        service_ip = pair.service_ip
+        crash = pair.crash_primary
+        resolvers = [constant_resolver(service_ip) for _ in range(clients)]
+        extras["pair"] = pair
+    elif path == "vip":
+        primary = lan.add_server("primary", 2, PRIMARY_IP)
+        standby = lan.add_server("standby", 3, SECONDARY_IP)
+        lan.warm_arp()
+        primary.spawn(
+            reply_server(primary, SERVICE_PORT, max_requests=None), "reply")
+        standby.spawn(
+            reply_server(standby, SERVICE_PORT, max_requests=None), "reply")
+
+        def take_vip() -> None:
+            standby.eth_interface.add_address(PRIMARY_IP)
+            standby.eth_interface.arp.announce(PRIMARY_IP)
+            lan.tracer.emit(
+                lan.sim.now, "clients.vip.takeover", standby.name,
+                ip=str(PRIMARY_IP),
+            )
+
+        monitor = HealthMonitor(
+            standby, primary, take_vip,
+            interval=detector_interval, timeout=detector_timeout,
+        )
+        monitor.start()
+        crash = primary.crash
+        resolvers = [constant_resolver(PRIMARY_IP) for _ in range(clients)]
+        extras["monitor"] = monitor
+    elif path == "proxy":
+        primary = lan.add_server("primary", 2, PRIMARY_IP)
+        standby = lan.add_server("standby", 3, SECONDARY_IP)
+        frontend = lan.add_server("proxy", 10, PROXY_IP)
+        lan.warm_arp()
+        primary.spawn(
+            reply_server(primary, SERVICE_PORT, max_requests=None), "reply")
+        standby.spawn(
+            reply_server(standby, SERVICE_PORT, max_requests=None), "reply")
+        proxy = L4Proxy(
+            frontend, SERVICE_PORT, lan.registry.stream("clients.proxy"),
+            health_interval=detector_interval, health_timeout=detector_timeout,
+        )
+        proxy.add_backend("primary", primary, SERVICE_PORT,
+                          weight=PRIMARY_WEIGHT)
+        proxy.add_backend("standby", standby, SERVICE_PORT,
+                          weight=STANDBY_WEIGHT)
+        proxy.start()
+        crash = primary.crash
+        resolvers = [constant_resolver(PROXY_IP) for _ in range(clients)]
+        extras["proxy"] = proxy
+    else:  # dns
+        primary = lan.add_server("primary", 2, PRIMARY_IP)
+        standby = lan.add_server("standby", 3, SECONDARY_IP)
+        monitor_host = lan.add_server("dns-monitor", 9, MONITOR_IP)
+        lan.warm_arp()
+        primary.spawn(
+            reply_server(primary, SERVICE_PORT, max_requests=None), "reply")
+        standby.spawn(
+            reply_server(standby, SERVICE_PORT, max_requests=None), "reply")
+        zone = AuthoritativeZone(lan.sim, tracer=lan.tracer)
+        record = HealthCheckedRecord(
+            zone, SERVICE_NAME, PRIMARY_IP, SECONDARY_IP, ttl,
+            monitor_host, primary,
+            check_interval=detector_interval, check_timeout=detector_timeout,
+        )
+        record.start()
+        caches: List[ResolverCache] = []
+        for i, client in enumerate(lan.clients):
+            cache = ResolverCache(
+                client, zone,
+                respect_ttl=(i >= ttl_ignoring_clients),
+                lookup_delay=lookup_delay,
+            )
+            caches.append(cache)
+            resolvers.append(cache.resolver_for(SERVICE_NAME))
+        crash = primary.crash
+        extras["zone"] = zone
+        extras["record"] = record
+        extras["caches"] = caches
+
+    # -- pools and workload ----------------------------------------------
+    pools: List[ConnectionPool] = []
+    for i, client in enumerate(lan.clients):
+        pool = ConnectionPool(
+            client, SERVICE_PORT, resolvers[i],
+            lan.registry.stream(f"clients.pool.client{i}"),
+            max_size=pool_size, retry_budget=retry_budget,
+            backoff_base=backoff_base, attempt_timeout=attempt_timeout,
+            health_interval=health_interval, ledger=ledger,
+            name=f"pool{i}",
+        )
+        if health_interval > 0:
+            pool.start_health_probes()
+        pools.append(pool)
+    workload = ClientWorkload(lan, pools, sessions, stop_at, think_mean)
+    workload.start()
+
+    # -- run ---------------------------------------------------------------
+    lan.sim.call_at(crash_time, crash)
+    deadline = stop_at + retry_budget * (attempt_timeout + 2 * backoff_base) + 5.0
+    lan.sim.run_until(lambda: workload.done, timeout=deadline)
+    finished_at = lan.sim.now
+    lan.sim.run(until=finished_at + 0.5)
+
+    checker = InvariantChecker(lan.tracer)
+    checker.check_client_outcomes(ledger, now=finished_at)
+    return PathResult(
+        path=path, stats=workload.stats, ledger=ledger, checker=checker,
+        tracer=lan.tracer, pools=pools, crash_at=crash_time,
+        recovery_window=recovery_window, finished_at=finished_at,
+        extras=extras,
+    )
+
+
+def run_client_paths(
+    seed: int = 0,
+    paths: Tuple[str, ...] = PATHS,
+    **cell,
+) -> Dict[str, PathResult]:
+    """Run every requested path from the same seed; dict in PATHS order."""
+    results: Dict[str, PathResult] = {}
+    for path in PATHS:
+        if path in paths:
+            results[path] = run_client_path(path, seed, **cell)
+    return results
+
+
+def client_paths_bench_rows(
+    results: Dict[str, PathResult], seed: int, **cell
+) -> Dict[str, object]:
+    """The BENCH-artifact payload (params / results / stats) for one run."""
+    rows: List[Dict[str, object]] = []
+    stats_block: Dict[str, Dict[str, float]] = {}
+    p99_during: Dict[str, float] = {}
+    for path, result in results.items():
+        windows = result.latency_windows()
+        counters = result.pool_counters()
+        blackout = result.stats.blackout(result.crash_at)
+        p99_during[path] = windows["during"].p99
+        metrics: Dict[str, object] = {
+            "requests_completed": result.stats.requests_completed,
+            "requests_failed": result.stats.requests_failed,
+            "sessions_completed": result.stats.sessions_completed,
+            "sessions_failed": result.stats.sessions_failed,
+            "corrupt_replies": result.stats.corrupt_replies,
+            "blackout_ms": round(blackout * 1e3, 3) if blackout is not None else -1.0,
+            "during_p50_ms": round(windows["during"].median * 1e3, 3),
+            "during_p99_ms": round(windows["during"].p99 * 1e3, 3),
+            "during_max_ms": round(windows["during"].maximum * 1e3, 3),
+            "pool_dials": counters["dials"],
+            "pool_invalidated": counters["invalidated"],
+            "pool_evicted": counters["evicted"],
+            "pool_retries": counters["retries"],
+            "pool_timeouts": counters["timeouts"],
+            "outcomes_ok": int(result.invariants_ok()),
+        }
+        if path == "dns":
+            caches = result.extras.get("caches", [])
+            metrics["dns_stale_hits"] = sum(c.stale_hits for c in caches)
+            metrics["dns_authoritative_queries"] = sum(
+                c.authoritative_queries for c in caches)
+        rows.append({"label": path, "metrics": metrics})
+        for label, window in windows.items():
+            stats_block[f"{path}.{label}"] = window.as_dict()
+    if "bridge" in p99_during and "dns" in p99_during and p99_during["bridge"] > 0:
+        rows.append({
+            "label": "clients:ratio",
+            "metrics": {
+                "dns_over_bridge_p99": round(
+                    p99_during["dns"] / p99_during["bridge"], 3),
+            },
+        })
+    params: Dict[str, object] = {"seed": seed, "paths": sorted(results)}
+    params.update({key: cell[key] for key in sorted(cell)})
+    return {"params": params, "results": rows, "stats": stats_block}

@@ -210,6 +210,9 @@ def rebind_failover_connections(
         del host.tcp.connections[conn.key]
         conn.rebind_local_ip(new_ip)
         host.tcp.connections[conn.key] = conn
+    # TIME_WAIT-retired failover TCBs live on only as linger records;
+    # their stragglers follow the taken-over address too.
+    host.tcp.rebind_lingering(old_ip, new_ip, config.covers)
 
 
 # Backwards-compatible alias for the pre-public name.

@@ -12,6 +12,7 @@ A pytest-free way to regenerate any of the paper's tables/figures::
     python -m repro chain               # E9  daisy-chain depth sweep
     python -m repro reintegrate         # E11 crash -> rejoin -> crash again
     python -m repro adversary --quick   # E13 seeded attack-matrix shard
+    python -m repro clients             # E14 recovery-path comparison
     python -m repro all --quick
 
 Observability (the flight recorder / pcap plane)::
@@ -416,6 +417,61 @@ def _obs_timeline(args) -> None:
               f" schema ok)")
 
 
+def cmd_clients(args) -> None:
+    """E14: one seeded workload, four client-tier recovery paths."""
+    from repro.clients import PATHS, client_paths_bench_rows, run_client_paths
+
+    # `repro all` reaches here with cluster-scale defaults; E14's flagship
+    # cell is deliberately small, so direct invocations win and `all` runs
+    # the documented cell.
+    direct = args.experiment == "clients"
+    cell = {
+        "clients": args.clients if direct and args.clients else 3,
+        "sessions": args.sessions if direct and args.sessions else 12,
+    }
+    results = run_client_paths(seed=args.seed, **cell)
+    rows = client_paths_bench_rows(results, seed=args.seed, **cell)
+    table_rows = []
+    for path in PATHS:
+        result = results[path]
+        windows = result.latency_windows()
+        blackout = result.stats.blackout(result.crash_at)
+        table_rows.append((
+            path,
+            result.stats.requests_completed,
+            result.stats.requests_failed,
+            f"{windows['during'].median*1e3:.2f}ms",
+            f"{windows['during'].p99*1e3:.2f}ms",
+            f"{windows['during'].maximum*1e3:.2f}ms",
+            f"{blackout*1e3:.1f}ms" if blackout is not None else "-",
+        ))
+    _table(
+        f"E14: client-visible downtime by recovery path "
+        f"(seed={args.seed}, sessions={cell['sessions']})",
+        ["path", "ok", "failed", "p50", "p99", "max", "blackout"],
+        table_rows,
+    )
+    print()
+    print("recovery timelines (first occurrence per milestone):")
+    for path in PATHS:
+        result = results[path]
+        line = ", ".join(
+            f"{category}@{time*1e3:.1f}ms"
+            for time, category, _ in result.timeline()
+        )
+        print(f"  {path:>7}: {line or '(no milestones recorded)'}")
+    for path in PATHS:
+        checker = results[path].checker
+        if not checker.ok:
+            print(f"  {path}: {checker.report()}")
+    if all(results[path].checker.ok for path in PATHS):
+        audited = sum(results[path].ledger.total for path in PATHS)
+        print(f"client-outcome invariant held on every path"
+              f" ({audited} requests audited)")
+    _write_bench(args, "client_paths", rows["params"], rows["results"],
+                 stats=rows["stats"])
+
+
 def cmd_adversary(args) -> None:
     """E13: seeded shard of the adversarial attack matrix.
 
@@ -554,6 +610,7 @@ COMMANDS = {
     "reintegrate": cmd_reintegrate,
     "cluster": cmd_cluster,
     "adversary": cmd_adversary,
+    "clients": cmd_clients,
 }
 
 
@@ -618,10 +675,12 @@ def main(argv: List[str] = None) -> int:
     if args.shards is None:
         args.shards = 8 if cluster_run and not args.quick else 4
     if args.clients is None:
-        args.clients = 4
+        args.clients = 3 if args.experiment == "clients" else 4
     if args.sessions is None:
         if cluster_run and not args.quick:
             args.sessions = 256
+        elif args.experiment == "clients":
+            args.sessions = 12
         else:
             args.sessions = 64
     if args.trials is None:

@@ -296,6 +296,42 @@ class InvariantChecker:
                 f" (max_flows={service.max_flows})",
             ))
 
+    def check_client_outcomes(self, ledger, now: float = 0.0) -> None:
+        """Client-visible-outcome invariant: exactly one outcome per request.
+
+        Every request submitted through a connection pool must be
+        acknowledged exactly once or reported failed — regardless of how
+        many DNS flips, proxy re-routes, or IP takeovers happened while
+        it was in flight.  Three ways to break it:
+
+        * **silent loss** — submitted, but neither acked nor failed;
+        * **duplicate delivery** — more than one ack for one request id;
+        * **double outcome** — both acked and reported failed.
+        """
+        acks = ledger.acks
+        failures = ledger.failures
+        for rid, label in ledger.submitted.items():
+            ack_count = acks.get(rid, 0)
+            failed = bool(failures.get(rid))
+            if ack_count == 0 and not failed:
+                self.violations.append(Violation(
+                    now, "client-outcome",
+                    f"request {rid} ({label}) silently lost: submitted at"
+                    f" t={ledger.submit_times.get(rid, 0.0):.6f} with no ack"
+                    f" and no failure report",
+                ))
+            elif ack_count > 1:
+                self.violations.append(Violation(
+                    now, "client-outcome",
+                    f"request {rid} ({label}) delivered {ack_count} times",
+                ))
+            elif ack_count and failed:
+                self.violations.append(Violation(
+                    now, "client-outcome",
+                    f"request {rid} ({label}) both acked and reported"
+                    f" failed ({failures[rid][0]})",
+                ))
+
     def check_replica_agreement(self) -> None:
         """Invariant 7: no payload mismatch between the replicas."""
         for bridge in self.bridges:

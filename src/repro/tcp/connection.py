@@ -964,6 +964,12 @@ class TcpConnection:
         if not self.terminated_event.triggered:
             self.terminated_event.succeed()
         self._time_wait_timer = self.sim.schedule(2 * self.msl, self._time_wait_expired)
+        # Hand the 4-tuple to the layer's linger table right away: it
+        # answers stragglers and guards same-remote reuse, so the TCB
+        # itself no longer needs to occupy the connection table (which
+        # would hold the ephemeral port hostage for the full 2·MSL on
+        # top of the linger window — see TcpLayer.retire_to_linger).
+        self.layer.retire_to_linger(self)
 
     def _time_wait_expired(self) -> None:
         self._time_wait_timer = None

@@ -11,7 +11,7 @@ establishment) silently requires.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.addresses import Ipv4Address
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
@@ -22,10 +22,15 @@ from repro.sim.rng import seeded_rng
 from repro.sim.trace import Tracer
 from repro.tcp.connection import TcpConnection, TcpSnapshot, TcpState
 from repro.tcp.segment import FLAG_ACK, FLAG_RST, TcpSegment
+from repro.tcp.seqnum import seq_in_window
 from repro.tcp.table import ConnectionTable, ConnKey, LingerTable
 
 EPHEMERAL_PORT_START = 32768
 EPHEMERAL_PORT_END = 61000
+
+#: Receive window a lingering (TIME_WAIT) key advertises in its ACKs and
+#: uses to classify stray RSTs as in-window (RFC 5961 §3.2).
+LINGER_WINDOW = 0xFFFF
 
 
 class Listener:
@@ -99,6 +104,11 @@ class TcpLayer:
         self.linger_duration = 2.0
         self._lingering: LingerTable = LingerTable()
         self.linger_acks_sent = 0
+        # RFC 5961 §10 throttle state for lingering (TIME_WAIT) keys:
+        # key -> (window_start, challenges_sent_in_window).  A TIME_WAIT
+        # endpoint keeps answering in-window RST probes with challenge
+        # ACKs, so retiring the TCB must not retire the rate limit.
+        self._linger_challenges: Dict[ConnKey, Tuple[float, int]] = {}
 
     # ------------------------------------------------------------------
     # configuration and identity
@@ -152,6 +162,12 @@ class TcpLayer:
     def _prune_lingering(self) -> None:
         """Drop linger records whose TIME_WAIT-style window has expired."""
         self._lingering.prune(self.sim.now)
+        if self._linger_challenges:
+            self._linger_challenges = {
+                key: state
+                for key, state in self._linger_challenges.items()
+                if key in self._lingering
+            }
 
     def _port_in_use(self, port: int) -> bool:
         return port in self.listeners or self.connections.port_in_use(port)
@@ -279,10 +295,12 @@ class TcpLayer:
                     return  # silently drop: client will retry
                 self._accept_syn(listener, segment, src_ip, dst_ip)
                 return
-        if not segment.rst:
-            if not segment.syn and self._linger_ack(key, segment, src_ip, dst_ip):
-                return
-            self._send_rst_for(segment, src_ip, dst_ip)
+        if segment.rst:
+            self._linger_rst(key, segment, src_ip, dst_ip)
+            return
+        if not segment.syn and self._linger_ack(key, segment, src_ip, dst_ip):
+            return
+        self._send_rst_for(segment, src_ip, dst_ip)
 
     def icmp_frag_needed(
         self,
@@ -412,12 +430,18 @@ class TcpLayer:
         entry = self._lingering.get(key)
         if entry is None:
             return False
-        expiry, snd_nxt, rcv_nxt = entry
+        expiry, snd_nxt, rcv_nxt, failover = entry
         if self.sim.now >= expiry:
             del self._lingering[key]
             return False
         if not segment.fin and not segment.payload:
             return True  # a stray pure ACK needs no answer, only no RST
+        if segment.fin:
+            # The peer is still waiting on our last ACK — restart the
+            # quiet period, as TIME_WAIT restarts its 2·MSL timer.
+            self._lingering[key] = (
+                self.sim.now + self.linger_duration, snd_nxt, rcv_nxt, failover,
+            )
         ack = TcpSegment(
             src_port=segment.dst_port,
             dst_port=segment.src_port,
@@ -434,6 +458,88 @@ class TcpLayer:
         self.send_segment(ack, dst_ip, src_ip)
         return True
 
+    def _linger_rst(
+        self, key: ConnKey, segment: TcpSegment,
+        src_ip: Ipv4Address, dst_ip: Ipv4Address,
+    ) -> None:
+        """RFC 5961 §3.2 applied to a lingering (TIME_WAIT) 4-tuple.
+
+        A TCB retired to the linger table must keep the exact reset
+        semantics it had while tabled: an exact-match RST (seq ==
+        rcv_nxt) ends the quiet period — the same teardown the full TCB
+        honoured in TIME_WAIT — while an in-window RST draws a challenge
+        ACK so a genuine peer can re-assert itself.  The challenge is
+        throttled per key with the connection-class budget
+        (:attr:`TcpConnection.CHALLENGE_LIMIT` per
+        :attr:`TcpConnection.CHALLENGE_WINDOW`); without the throttle
+        the counter is the CVE-2016-5696 probe oracle, and TIME_WAIT
+        endpoints were part of that attack surface too.  Out-of-window
+        RSTs — and RSTs for unknown keys — stay silently dropped."""
+        entry = self._lingering.get(key)
+        if entry is None:
+            return
+        expiry, snd_nxt, rcv_nxt, _failover = entry
+        if self.sim.now >= expiry:
+            del self._lingering[key]
+            self._linger_challenges.pop(key, None)
+            return
+        if segment.seq == rcv_nxt:
+            del self._lingering[key]
+            self._linger_challenges.pop(key, None)
+            self.tracer.emit(
+                self.sim.now, "tcp.linger_reset", self.node_name,
+                key=f"{key[2]}:{key[3]}",
+            )
+            return
+        if not seq_in_window(rcv_nxt, segment.seq, LINGER_WINDOW):
+            return
+        window_start, sent = self._linger_challenges.get(key, (-1.0, 0))
+        if self.sim.now - window_start >= TcpConnection.CHALLENGE_WINDOW:
+            window_start, sent = self.sim.now, 0
+        if sent >= TcpConnection.CHALLENGE_LIMIT:
+            self._linger_challenges[key] = (window_start, sent)
+            return
+        self._linger_challenges[key] = (window_start, sent + 1)
+        self._m_challenge.inc()
+        self.tracer.emit(
+            self.sim.now, "tcp.challenge_ack", self.node_name,
+            conn=f"timewait {key[0]}:{key[1]}<->{key[2]}:{key[3]}",
+            reason="in-window-rst-timewait",
+        )
+        ack = TcpSegment(
+            src_port=segment.dst_port,
+            dst_port=segment.src_port,
+            seq=snd_nxt,
+            ack=rcv_nxt,
+            flags=FLAG_ACK,
+            window=LINGER_WINDOW,
+        )
+        self.send_segment(ack, dst_ip, src_ip)
+
+    def retire_to_linger(self, conn: TcpConnection) -> None:
+        """Move a TIME_WAIT TCB out of the connection table immediately.
+
+        The :class:`LingerTable` *is* this stack's TIME_WAIT store: it
+        answers retransmitted FINs/data with a pure ACK and blocks
+        same-remote port reuse until its window expires.  Keeping the
+        full TCB in the connection table for 2·MSL on top of that would
+        double-count the quiet period — under pool reconnect churn the
+        ephemeral range fills with dead-but-tabled connections and the
+        exhaustion error blames "live connections" for ports that are
+        merely cooling down.  Retiring at TIME_WAIT entry leaves one
+        consistent window (``linger_duration``) and one honest
+        diagnostic ("lingering after close")."""
+        existing = self.connections.get(conn.key)
+        if existing is not conn:
+            return
+        del self.connections[conn.key]
+        self._lingering[conn.key] = (
+            self.sim.now + self.linger_duration,
+            conn.snd_max,
+            conn.rcv_nxt,
+            conn.failover,
+        )
+
     def deregister(self, conn: TcpConnection) -> None:
         existing = self.connections.get(conn.key)
         if existing is conn:
@@ -444,6 +550,27 @@ class TcpLayer:
                     self.sim.now + self.linger_duration,
                     conn.snd_max,
                     conn.rcv_nxt,
+                    conn.failover,
+                )
+
+    def rebind_lingering(
+        self,
+        old_ip: Ipv4Address,
+        new_ip: Ipv4Address,
+        covers: Callable[[int, bool], bool],
+    ) -> None:
+        """Re-home TIME_WAIT-style records of failover connections.
+
+        A retired TCB is no longer in the connection table when a
+        takeover re-keys it, but its stragglers arrive addressed to the
+        taken-over IP afterwards; without moving the record, a
+        retransmitted FIN right after failover would draw a RST instead
+        of the linger ACK (the §2 no-client-reset rule)."""
+        for key in [k for k in self._lingering if k[0] == old_ip]:
+            entry = self._lingering[key]
+            if covers(key[1], entry[3]):
+                self._lingering[(new_ip, key[1], key[2], key[3])] = (
+                    self._lingering.pop(key)
                 )
 
     def rebind_local_ip(self, old_ip: Ipv4Address, new_ip: Ipv4Address) -> None:

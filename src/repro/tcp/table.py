@@ -47,8 +47,10 @@ if TYPE_CHECKING:
 #: (local IP, local port, remote IP, remote port)
 ConnKey = Tuple[Ipv4Address, int, Ipv4Address, int]
 
-#: (expiry, snd_nxt, rcv_nxt) — what a linger ACK needs to echo.
-LingerEntry = Tuple[float, int, int]
+#: (expiry, snd_nxt, rcv_nxt, failover) — what a linger ACK needs to
+#: echo, plus whether the closed connection was a failover one (so an IP
+#: takeover can re-home its record along with the live TCBs).
+LingerEntry = Tuple[float, int, int, bool]
 
 
 class ConnectionTable(MutableMapping[ConnKey, "TcpConnection"]):

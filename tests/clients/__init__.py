@@ -1,0 +1,1 @@
+"""Client-tier tests: pools, DNS, proxy, and the E14 comparison."""

@@ -1,0 +1,144 @@
+"""DNS model: zone records, resolver-cache TTL semantics, failover record."""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clients.dns import (
+    AuthoritativeZone, DnsError, HealthCheckedRecord, ResolverCache,
+)
+from repro.net.addresses import Ipv4Address
+from tests.util import SERVER_IP, TwoHostLan
+
+NAME = "svc.example"
+OLD_IP = Ipv4Address("10.0.0.2")
+NEW_IP = Ipv4Address("10.0.0.3")
+
+
+def _resolve_at(lan: TwoHostLan, cache: ResolverCache, when: float,
+                out: List) -> None:
+    def probe() -> Generator:
+        ip = yield from cache.resolve(NAME)
+        out.append((lan.sim.now, ip))
+
+    lan.sim.call_at(when, lan.client.spawn, probe(), f"probe@{when}")
+
+
+def test_zone_serial_and_nxdomain():
+    lan = TwoHostLan(seed=0)
+    zone = AuthoritativeZone(lan.sim, tracer=lan.tracer)
+    assert zone.serial == 0
+    zone.set_record(NAME, OLD_IP, ttl=1.0)
+    assert zone.serial == 1
+    assert zone.lookup(NAME) == (OLD_IP, 1.0)
+    with pytest.raises(DnsError):
+        zone.lookup("nope.example")
+    zone.set_record(NAME, NEW_IP, ttl=1.0)
+    assert zone.serial == 2
+    assert zone.lookup(NAME)[0] == NEW_IP
+
+
+def test_cache_hit_is_free_and_miss_costs_lookup_delay():
+    lan = TwoHostLan(seed=0)
+    zone = AuthoritativeZone(lan.sim)
+    zone.set_record(NAME, OLD_IP, ttl=10.0)
+    cache = ResolverCache(lan.client, zone, lookup_delay=0.005)
+    seen: List = []
+    _resolve_at(lan, cache, 0.1, seen)
+    _resolve_at(lan, cache, 0.2, seen)
+    lan.run(until=1.0)
+    assert [ip for _, ip in seen] == [OLD_IP, OLD_IP]
+    # Miss paid the authoritative round trip; hit was instantaneous.
+    assert seen[0][0] == pytest.approx(0.105)
+    assert seen[1][0] == pytest.approx(0.2)
+    assert cache.authoritative_queries == 1
+    assert cache.queries == 2
+
+
+@given(
+    ttl=st.floats(min_value=0.05, max_value=2.0),
+    flip_at=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_property_ttl_respecting_cache_converges_within_ttl(ttl, flip_at):
+    """A TTL-respecting client sees the new address at most TTL after a flip."""
+    lan = TwoHostLan(seed=0)
+    zone = AuthoritativeZone(lan.sim)
+    zone.set_record(NAME, OLD_IP, ttl=ttl)
+    cache = ResolverCache(lan.client, zone, respect_ttl=True,
+                          lookup_delay=0.0)
+    seen: List = []
+    _resolve_at(lan, cache, 0.0, seen)   # prime the cache with OLD_IP
+    lan.sim.call_at(flip_at, zone.set_record, NAME, NEW_IP, ttl)
+    # Probe just past the moment every pre-flip entry must have expired.
+    deadline = flip_at + ttl + 1e-6
+    _resolve_at(lan, cache, deadline, seen)
+    lan.run(until=deadline + 1.0)
+    assert seen[0][1] == OLD_IP
+    assert seen[-1][1] == NEW_IP
+    assert cache.stale_hits == 0
+
+
+@given(
+    ttl=st.floats(min_value=0.05, max_value=1.0),
+    probes=st.integers(min_value=1, max_value=6),
+)
+def test_property_ttl_ignoring_cache_never_converges(ttl, probes):
+    """The misbehaving cache serves the corpse forever, counting stale hits."""
+    lan = TwoHostLan(seed=0)
+    zone = AuthoritativeZone(lan.sim)
+    zone.set_record(NAME, OLD_IP, ttl=ttl)
+    cache = ResolverCache(lan.client, zone, respect_ttl=False,
+                          lookup_delay=0.0)
+    seen: List = []
+    _resolve_at(lan, cache, 0.0, seen)
+    lan.sim.call_at(0.01, zone.set_record, NAME, NEW_IP, ttl)
+    # Probe far past any number of TTLs: the answer never changes.
+    for i in range(probes):
+        _resolve_at(lan, cache, 0.02 + (i + 1) * (ttl + 0.05) * 3, seen)
+    lan.run(until=60.0)
+    assert all(ip == OLD_IP for _, ip in seen)
+    assert cache.stale_hits == probes
+    assert cache.authoritative_queries == 1
+
+
+def test_flush_forces_reresolution():
+    lan = TwoHostLan(seed=0)
+    zone = AuthoritativeZone(lan.sim)
+    zone.set_record(NAME, OLD_IP, ttl=100.0)
+    cache = ResolverCache(lan.client, zone, respect_ttl=False,
+                          lookup_delay=0.0)
+    seen: List = []
+    _resolve_at(lan, cache, 0.0, seen)
+
+    def flip_and_flush() -> None:
+        zone.set_record(NAME, NEW_IP, ttl=100.0)
+        cache.flush(NAME)
+
+    lan.sim.call_at(0.1, flip_and_flush)
+    _resolve_at(lan, cache, 0.2, seen)
+    lan.run(until=1.0)
+    assert [ip for _, ip in seen] == [OLD_IP, NEW_IP]
+
+
+def test_health_checked_record_flips_zone_on_primary_crash():
+    lan = TwoHostLan(seed=2)
+    zone = AuthoritativeZone(lan.sim, tracer=lan.tracer)
+    record = HealthCheckedRecord(
+        zone, NAME, SERVER_IP, NEW_IP, ttl=1.0,
+        monitor_host=lan.client, primary_host=lan.server,
+        check_interval=0.010, check_timeout=0.050,
+    )
+    record.start()
+    lan.sim.call_at(0.3, lan.server.crash)
+    lan.run(until=1.0)
+    assert record.flipped_at is not None
+    assert 0.3 < record.flipped_at < 0.5
+    assert zone.lookup(NAME)[0] == NEW_IP
+    # The flip is journalled for E14 timelines and is idempotent.
+    assert len(lan.tracer.select(category="clients.dns.flip")) == 1
+    before = zone.serial
+    record._flip()
+    assert zone.serial == before

@@ -1,0 +1,131 @@
+"""E14: determinism, the flagship ordering, and the outcome invariant."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.clients.paths import (
+    PATHS, client_paths_bench_rows, run_client_path, run_client_paths,
+)
+from repro.harness.invariants import InvariantChecker
+from repro.clients.pool import RequestLedger
+
+QUICK = dict(clients=2, sessions=4, recovery_window=1.5, hold_after=0.5)
+
+
+def test_unknown_path_is_rejected():
+    with pytest.raises(ValueError):
+        run_client_path("carrier-pigeon")
+
+
+def test_bridge_path_serves_every_request_without_failures():
+    result = run_client_path("bridge", seed=3, **QUICK)
+    assert result.stats.requests_completed > 0
+    assert result.stats.requests_failed == 0
+    assert result.stats.sessions_failed == 0
+    assert result.stats.corrupt_replies == 0
+    assert result.checker.ok, result.checker.report()
+    # Recovery milestones made it into the trace for the timeline view.
+    categories = [category for _, category, _ in result.timeline()]
+    assert "detector.failure" in categories
+    assert "takeover.complete" in categories
+
+
+def test_dns_path_shows_the_github_incident_signature():
+    result = run_client_path("dns", seed=3, **QUICK)
+    caches = result.extras["caches"]
+    # Client 0 ignores TTLs: it keeps dialing the corpse and its sessions
+    # burn their retry budgets — real failed requests, honestly reported.
+    assert caches[0].stale_hits > 0
+    assert result.stats.requests_failed > 0
+    assert result.stats.sessions_failed > 0
+    # TTL-respecting clients converge and finish.
+    assert result.stats.sessions_completed > 0
+    # ...and even the failures are accounted: no silent loss, no dupes.
+    assert result.checker.ok, result.checker.report()
+
+
+def test_flagship_bridge_p99_beats_dns_flip_with_stale_pools():
+    """The acceptance-criterion cell: transparent failover wins on p99."""
+    results = run_client_paths(seed=1)
+    bridge = results["bridge"].latency_windows()["during"]
+    dns = results["dns"].latency_windows()["during"]
+    assert bridge.p99 < dns.p99
+    # And on client-visible blackout, by a wide margin.
+    bridge_blackout = results["bridge"].stats.blackout(0.35)
+    dns_blackout = results["dns"].stats.blackout(0.35)
+    assert bridge_blackout is not None and dns_blackout is not None
+    assert bridge_blackout < dns_blackout
+    # Only the DNS path failed requests.
+    assert results["bridge"].stats.requests_failed == 0
+    assert results["dns"].stats.requests_failed > 0
+
+
+def test_same_seed_replays_byte_identically():
+    cell = dict(QUICK)
+    first = client_paths_bench_rows(
+        run_client_paths(seed=11, **cell), seed=11, **cell)
+    second = client_paths_bench_rows(
+        run_client_paths(seed=11, **cell), seed=11, **cell)
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_different_seeds_differ():
+    cell = dict(QUICK)
+    a = client_paths_bench_rows(
+        run_client_paths(seed=1, paths=("vip",), **cell), seed=1, **cell)
+    b = client_paths_bench_rows(
+        run_client_paths(seed=2, paths=("vip",), **cell), seed=2, **cell)
+    a["params"]["seed"] = b["params"]["seed"]
+    assert json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True)
+
+
+def test_bench_rows_schema_is_valid():
+    from repro.obs.bench import validate_bench_doc, SCHEMA_ID
+
+    cell = dict(QUICK)
+    rows = client_paths_bench_rows(
+        run_client_paths(seed=5, **cell), seed=5, **cell)
+    doc = {"schema": SCHEMA_ID, "name": "client_paths",
+           "params": rows["params"], "results": rows["results"],
+           "stats": rows["stats"]}
+    assert validate_bench_doc(doc) == []
+    labels = [row["label"] for row in rows["results"]]
+    assert set(PATHS) <= set(labels)
+    assert "clients:ratio" in labels
+
+
+def test_client_outcome_invariant_catches_misbehavior():
+    checker = InvariantChecker()
+    ledger = RequestLedger()
+    lost = ledger.submit("lost", 0.0)
+    duped = ledger.submit("duped", 0.1)
+    both = ledger.submit("both", 0.2)
+    clean = ledger.submit("clean", 0.3)
+    ledger.acked(duped)
+    ledger.acked(duped)
+    ledger.acked(both)
+    ledger.failed(both, "boom")
+    ledger.acked(clean)
+    checker.check_client_outcomes(ledger, now=1.0)
+    assert not checker.ok
+    kinds = [v.invariant for v in checker.violations]
+    assert kinds.count("client-outcome") == 3
+    text = checker.report()
+    assert "silently lost" in text
+    assert "delivered 2 times" in text
+    assert "both acked and reported" in text
+    assert str(lost) is not None  # ids remain addressable for debugging
+
+
+def test_client_outcome_invariant_passes_on_clean_ledger():
+    checker = InvariantChecker()
+    ledger = RequestLedger()
+    ok = ledger.submit("ok", 0.0)
+    bad = ledger.submit("bad", 0.1)
+    ledger.acked(ok)
+    ledger.failed(bad, "backend down")
+    checker.check_client_outcomes(ledger, now=1.0)
+    assert checker.ok

@@ -1,0 +1,237 @@
+"""Connection-pool behavior: bounds, invalidation, retry budget, probes."""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from hypothesis import given, strategies as st
+
+from repro.apps.request_reply import reply_server
+from repro.clients.pool import (
+    ConnectionPool, PoolRequestFailed, RequestLedger, constant_resolver,
+)
+from repro.harness.invariants import InvariantChecker
+from tests.util import SERVER_IP, TwoHostLan
+
+PORT = 9000
+
+
+def _pool(lan: TwoHostLan, **kwargs) -> ConnectionPool:
+    kwargs.setdefault("max_size", 2)
+    kwargs.setdefault("attempt_timeout", 0.25)
+    return ConnectionPool(
+        lan.client, PORT, constant_resolver(SERVER_IP),
+        lan.rng.stream("clients.pool.test"), **kwargs,
+    )
+
+
+def _serve(lan: TwoHostLan, **kwargs) -> None:
+    lan.server.spawn(reply_server(lan.server, PORT, **kwargs), "reply")
+
+
+def test_request_reuses_pooled_connection():
+    lan = TwoHostLan(seed=3)
+    _serve(lan)
+    pool = _pool(lan)
+    replies: List[bytes] = []
+
+    def driver() -> Generator:
+        for _ in range(6):
+            reply = yield from pool.request(64)
+            replies.append(reply)
+
+    lan.client.spawn(driver(), "driver")
+    lan.run(until=5.0)
+    assert len(replies) == 6
+    assert pool.dials == 1
+    assert pool.reuses == 5
+    assert pool.size == 1
+
+
+def test_pool_bound_holds_under_concurrent_checkout():
+    lan = TwoHostLan(seed=4)
+    _serve(lan)
+    pool = _pool(lan, max_size=2)
+    high_water = [0]
+    done = [0]
+
+    def worker() -> Generator:
+        for _ in range(4):
+            sock = yield from pool.checkout()
+            high_water[0] = max(high_water[0], pool.size)
+            yield 0.001
+            pool.checkin(sock)
+        done[0] += 1
+
+    for i in range(5):
+        lan.client.spawn(worker(), f"w{i}")
+    lan.run(until=10.0)
+    assert done[0] == 5
+    assert high_water[0] <= 2
+
+
+def test_invalidate_on_error_evicts_and_redials():
+    lan = TwoHostLan(seed=5)
+    _serve(lan)
+    pool = _pool(lan, retry_budget=6, backoff_base=0.020)
+    outcome: List[bytes] = []
+
+    def driver() -> Generator:
+        outcome.append((yield from pool.request(32)))
+        yield 0.5  # idle across the crash window
+        outcome.append((yield from pool.request(32)))
+
+    def revive() -> None:
+        lan.server.restart()
+        _serve(lan)
+
+    # Crash the server while the connection sits idle, then bring it
+    # back: the reused socket stalls, times out, gets invalidated, and
+    # the retry dials a fresh connection to the revived server.
+    lan.sim.call_at(0.20, lan.server.crash)
+    lan.sim.call_at(0.30, revive)
+    lan.client.spawn(driver(), "driver")
+    lan.run(until=10.0)
+    assert len(outcome) == 2
+    assert pool.invalidated >= 1
+    assert pool.dials >= 2
+    assert pool.retries >= 1
+
+
+def test_retry_budget_exhaustion_raises_and_journals():
+    lan = TwoHostLan(seed=6)
+    # No server at all: every dial times out or resets.
+    ledger = RequestLedger()
+    pool = _pool(lan, retry_budget=2, backoff_base=0.010,
+                 attempt_timeout=0.05, ledger=ledger)
+    errors: List[str] = []
+
+    def driver() -> Generator:
+        try:
+            yield from pool.request(64, label="doomed")
+        except PoolRequestFailed as exc:
+            errors.append(str(exc))
+
+    lan.client.spawn(driver(), "driver")
+    lan.run(until=10.0)
+    assert len(errors) == 1
+    assert "after 3 attempts" in errors[0]
+    assert ledger.failed_count == 1
+    assert ledger.acked_count == 0
+    checker = InvariantChecker(lan.tracer)
+    checker.check_client_outcomes(ledger, now=lan.sim.now)
+    assert checker.ok
+
+
+def test_health_probe_evicts_dead_idle_connection():
+    lan = TwoHostLan(seed=7)
+    _serve(lan)
+    pool = _pool(lan, health_interval=0.05, backoff_base=0.010)
+    served = [0]
+
+    def driver() -> Generator:
+        reply = yield from pool.request(16)
+        assert len(reply) == 16
+        served[0] += 1
+
+    lan.client.spawn(driver(), "driver")
+    pool.start_health_probes()
+    # Kill the server while the connection sits idle: the next probe's
+    # exchange stalls, hits the attempt timeout, and must evict the
+    # rotten socket rather than hand it to a future checkout.
+    lan.sim.call_at(0.20, lan.server.crash)
+    lan.run(until=5.0)
+    assert served[0] == 1
+    assert pool.evicted >= 1
+    assert pool.idle_count == 0
+
+
+@given(
+    max_size=st.integers(min_value=1, max_value=4),
+    workers=st.integers(min_value=1, max_value=6),
+    requests=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_pool_size_never_exceeds_bound(max_size, workers, requests, seed):
+    lan = TwoHostLan(seed=seed)
+    _serve(lan)
+    pool = _pool(lan, max_size=max_size)
+    high_water = [0]
+    completed = [0]
+
+    def worker() -> Generator:
+        for _ in range(requests):
+            yield from pool.request(32)
+            high_water[0] = max(high_water[0], pool.size)
+            completed[0] += 1
+
+    for i in range(workers):
+        lan.client.spawn(worker(), f"w{i}")
+    lan.run(until=30.0)
+    assert completed[0] == workers * requests
+    assert high_water[0] <= max_size
+    assert 0 <= pool.size <= max_size
+
+
+@given(
+    retry_budget=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_retry_budget_is_respected(retry_budget, seed):
+    lan = TwoHostLan(seed=seed)  # no server: every attempt fails
+    ledger = RequestLedger()
+    pool = _pool(lan, retry_budget=retry_budget, backoff_base=0.010,
+                 attempt_timeout=0.05, ledger=ledger)
+    failed = [0]
+
+    def driver() -> Generator:
+        try:
+            yield from pool.request(64)
+        except PoolRequestFailed:
+            failed[0] += 1
+
+    lan.client.spawn(driver(), "driver")
+    lan.run(until=30.0)
+    assert failed[0] == 1
+    # attempts = 1 initial + retry_budget retries, never more.
+    assert pool.retries == retry_budget
+    assert pool.timeouts + pool.exhausted_errors <= retry_budget + 1
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_property_invalidate_always_frees_the_slot(seed):
+    lan = TwoHostLan(seed=seed)
+    _serve(lan)
+    pool = _pool(lan, max_size=1)
+    done = [False]
+
+    def driver() -> Generator:
+        sock = yield from pool.checkout()
+        assert pool.size == 1
+        pool.invalidate(sock)
+        assert pool.size == 0
+        # The freed slot must be immediately dialable again.
+        sock2 = yield from pool.checkout()
+        assert pool.size == 1
+        pool.checkin(sock2)
+        done[0] = True
+
+    lan.client.spawn(driver(), "driver")
+    lan.run(until=10.0)
+    assert done[0]
+    assert pool.invalidated == 1
+
+
+def test_ledger_outcome_accounting():
+    ledger = RequestLedger()
+    a = ledger.submit("a", 0.0)
+    b = ledger.submit("b", 0.1)
+    c = ledger.submit("c", 0.2)
+    ledger.acked(a)
+    ledger.failed(b, "boom")
+    assert ledger.outcome(a) == "acked"
+    assert ledger.outcome(b) == "failed"
+    assert ledger.outcome(c) is None
+    assert ledger.total == 3
+    assert ledger.acked_count == 1
+    assert ledger.failed_count == 1

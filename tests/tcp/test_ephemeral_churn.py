@@ -1,0 +1,199 @@
+"""Ephemeral-port behavior under pool reconnect churn.
+
+A failover-aware connection pool cycles hundreds of short-lived
+connections against one backend (repro.clients.pool).  Each clean close
+must cost the client exactly one linger window (``linger_duration``) per
+4-tuple — not a 2·MSL TIME_WAIT table squat *plus* a linger window,
+which is what made a 16-port range unusable for ~12 simulated seconds
+and blamed "live connections" for ports that were merely cooling down.
+"""
+
+import struct
+
+import pytest
+
+from repro.apps.request_reply import reply_server
+from repro.tcp.connection import TcpState
+from repro.tcp.socket_api import SimSocket
+from tests.util import SERVER_IP, TwoHostLan
+
+PORT = 8000
+
+
+def _churn(lan, count, log, retry_delay=0.05):
+    """Connect/exchange/close ``count`` times, logging allocator errors."""
+    done = 0
+    while done < count:
+        try:
+            sock = SimSocket.connect(lan.client, SERVER_IP, PORT)
+        except OSError as exc:
+            log.append((lan.sim.now, str(exc)))
+            yield retry_delay
+            continue
+        yield from sock.wait_connected()
+        yield from sock.send_all(struct.pack(">I", 32))
+        yield from sock.recv_exactly(32)
+        yield from sock.send_all(struct.pack(">I", 0))
+        yield from sock.close_and_wait()
+        done += 1
+    return done
+
+
+def _shrink(layer, span):
+    layer.ephemeral_port_start = 40000
+    layer.ephemeral_port_end = 40000 + span
+    layer._next_ephemeral = 40000
+
+
+def test_time_wait_retires_to_linger_not_the_connection_table():
+    """After a clean close, neither side's TCB squats in the table."""
+    lan = TwoHostLan()
+    lan.server.spawn(reply_server(lan.server, PORT, max_requests=None), "srv")
+    log = []
+    lan.client.spawn(_churn(lan, 1, log), "churn")
+    lan.run(until=1.0)
+    assert log == []
+    assert len(lan.client.tcp.connections) == 0
+    assert len(lan.server.tcp.connections) == 0
+    # The closed 4-tuple lives on as a linger record on the client (the
+    # port allocator's cooldown), not as a live TCB.
+    assert any(k[3] == PORT for k in lan.client.tcp._lingering)
+
+
+def test_churn_exhaustion_is_attributed_to_lingering_ports():
+    """With every port cooling down, the error must say so — not claim
+    the range is held by live connections."""
+    lan = TwoHostLan()
+    _shrink(lan.client.tcp, 8)
+    lan.server.spawn(reply_server(lan.server, PORT, max_requests=None), "srv")
+    log = []
+    lan.client.spawn(_churn(lan, 24, log), "churn")
+    lan.run(until=30.0)
+    assert log, "an 8-port range must exhaust under back-to-back churn"
+    for _, message in log:
+        assert "0 held by live connections" in message
+        assert "8 lingering after close" in message
+
+
+def test_hundreds_of_short_lived_connections_recycle_promptly():
+    """200 short-lived connections through a 16-port range complete in
+    bounded time: ports recycle after one linger window each."""
+    lan = TwoHostLan()
+    _shrink(lan.client.tcp, 16)
+    lan.client.tcp.linger_duration = 0.2
+    lan.server.spawn(reply_server(lan.server, PORT, max_requests=None), "srv")
+    log = []
+    done = []
+
+    def run():
+        count = yield from _churn(lan, 200, log, retry_delay=0.025)
+        done.append((count, lan.sim.now))
+
+    lan.client.spawn(run(), "churn")
+    lan.run(until=60.0)
+    assert done and done[0][0] == 200
+    # 200 conns / 16 ports ≈ 12.5 linger windows of 0.2s plus exchange
+    # time; anything near the old 2·MSL regime would blow far past this.
+    assert done[0][1] < 10.0
+    assert len(lan.client.tcp.connections) == 0
+
+
+def test_churn_exhaustion_sequence_is_deterministic():
+    """Same seed → identical (time, message) error sequences."""
+
+    def once():
+        lan = TwoHostLan(seed=7)
+        _shrink(lan.client.tcp, 4)
+        lan.server.spawn(reply_server(lan.server, PORT, max_requests=None), "srv")
+        log = []
+        lan.client.spawn(_churn(lan, 12, log), "churn")
+        lan.run(until=30.0)
+        return log
+
+    first, second = once(), once()
+    assert first == second
+    assert first, "a 4-port range must exhaust at least once"
+
+
+def test_linger_window_restarts_when_fin_is_reanswered():
+    """A retransmitted FIN inside the linger window restarts it, the
+    TIME_WAIT 2·MSL-restart semantic carried over to the linger store."""
+    lan = TwoHostLan()
+    lan.server.tcp.listen(PORT)
+    conn = lan.client.tcp.connect(SERVER_IP, PORT)
+    lan.run(until=0.2)
+    assert conn.state == TcpState.ESTABLISHED
+    server_conn = next(iter(lan.server.tcp.connections.values()))
+    conn.close()
+    server_conn.close()
+    lan.run(until=0.5)
+    key = conn.key
+    assert key in lan.client.tcp._lingering
+    expiry_before = lan.client.tcp._lingering[key][0]
+    # Re-deliver the server's FIN as a straggler.
+    from repro.tcp.segment import FLAG_ACK, FLAG_FIN, TcpSegment
+
+    fin = TcpSegment(
+        src_port=PORT,
+        dst_port=key[1],
+        seq=server_conn.snd_max - 1,
+        ack=conn.snd_max,
+        flags=FLAG_FIN | FLAG_ACK,
+        window=0xFFFF,
+    ).sealed(SERVER_IP, key[0])
+    lan.client.tcp.receive_segment(fin, SERVER_IP, key[0])
+    assert lan.client.tcp._lingering[key][0] > expiry_before
+    assert lan.client.tcp.linger_acks_sent >= 1
+
+
+def test_lingering_key_keeps_reset_semantics():
+    """Retiring the TIME_WAIT TCB must not change RFC 5961 §3.2: an
+    in-window RST against a lingering key still draws a challenge ACK
+    (throttled at the connection-class budget), an out-of-window RST is
+    dropped silently, and an exact-match RST ends the quiet period —
+    the same answers the full TCB gave from the connection table."""
+    from repro.tcp.connection import TcpConnection
+    from repro.tcp.layer import LINGER_WINDOW
+    from repro.tcp.segment import FLAG_RST, TcpSegment
+    from repro.tcp.seqnum import seq_add
+
+    lan = TwoHostLan()
+    lan.server.tcp.listen(PORT)
+    conn = lan.client.tcp.connect(SERVER_IP, PORT)
+    lan.run(until=0.2)
+    server_conn = next(iter(lan.server.tcp.connections.values()))
+    conn.close()
+    server_conn.close()
+    lan.run(until=0.5)
+    key = conn.key
+    assert key in lan.client.tcp._lingering
+    rcv_nxt = lan.client.tcp._lingering[key][2]
+
+    def spoof_rst(seq):
+        seg = TcpSegment(
+            src_port=PORT, dst_port=key[1], seq=seq, ack=0,
+            flags=FLAG_RST, window=0,
+        ).sealed(SERVER_IP, key[0])
+        lan.client.tcp.receive_segment(seg, SERVER_IP, key[0])
+
+    def challenges():
+        return len(lan.tracer.select(
+            category="tcp.challenge_ack", node="client",
+            predicate=lambda r: r.detail["reason"] == "in-window-rst-timewait",
+        ))
+
+    # Out-of-window: silent drop, no challenge, entry intact.
+    spoof_rst(seq_add(rcv_nxt, LINGER_WINDOW + 1000))
+    assert challenges() == 0
+    assert key in lan.client.tcp._lingering
+
+    # In-window: challenge ACKs, throttled at CHALLENGE_LIMIT per window.
+    for _ in range(TcpConnection.CHALLENGE_LIMIT + 2):
+        spoof_rst(seq_add(rcv_nxt, 100))
+    assert challenges() == TcpConnection.CHALLENGE_LIMIT
+    assert key in lan.client.tcp._lingering
+
+    # Exact match: the quiet period ends, as TIME_WAIT teardown did.
+    spoof_rst(rcv_nxt)
+    assert key not in lan.client.tcp._lingering
+    assert key not in lan.client.tcp._linger_challenges
